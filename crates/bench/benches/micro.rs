@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the pure-CPU building blocks:
+//! MMAS signal arithmetic, custom-bits encodings, BLK codec, FFT and
+//! tridiagonal kernels. (Fabric-level latency/throughput figures come
+//! from the `fig*` binaries, which measure *virtual* time.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use unr_core::{striped_addends, Blk, Encoding, Notif};
+use unr_powerllel::{thomas_bench_system, C64, Fft};
+
+fn bench_signal_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmas");
+    g.bench_function("striped_addends_k8", |b| {
+        b.iter(|| striped_addends(black_box(8), black_box(32)))
+    });
+    g.finish();
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    let cases = [
+        ("full128", Encoding::Full128),
+        ("split64", Encoding::Split64),
+        ("keyonly8", Encoding::KeyOnly { bits: 8 }),
+        (
+            "mode2_16_16",
+            Encoding::Mode2 {
+                bits: 32,
+                key_bits: 16,
+            },
+        ),
+    ];
+    for (name, e) in cases {
+        let n = Notif {
+            key: 113,
+            addend: -1,
+        };
+        g.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| e.encode(black_box(n)).unwrap())
+        });
+        let wire = e.encode(n).unwrap();
+        g.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| e.decode(black_box(wire)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_blk_codec(c: &mut Criterion) {
+    let blk = Blk {
+        rank: 12,
+        region_id: 3,
+        region_len: 1 << 20,
+        offset: 4096,
+        len: 65536,
+        sig_key: 42,
+    };
+    let mut g = c.benchmark_group("blk");
+    g.bench_function("to_bytes", |b| b.iter(|| black_box(blk).to_bytes()));
+    let wire = blk.to_bytes();
+    g.bench_function("from_bytes", |b| {
+        b.iter(|| Blk::from_bytes(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024] {
+        let fft = Fft::new(n);
+        let src: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter(|| {
+                let mut x = src.clone();
+                fft.forward(&mut x);
+                x
+            })
+        });
+        g.bench_function(format!("roundtrip_{n}"), |b| {
+            b.iter(|| {
+                let mut x = src.clone();
+                fft.forward(&mut x);
+                fft.inverse(&mut x);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tridiag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tridiag");
+    for n in [128usize, 1024] {
+        let (a, bb, cc, d) = thomas_bench_system(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("thomas_{n}"), |b| {
+            b.iter(|| {
+                let mut x = d.clone();
+                unr_powerllel::tridiag::thomas(&a, &bb, &cc, &mut x);
+                x
+            })
+        });
+        g.bench_function(format!("pdd_4parts_{n}"), |b| {
+            b.iter(|| unr_powerllel::tridiag::pdd_reference(&a, &bb, &cc, &d, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signal_math,
+    bench_encodings,
+    bench_blk_codec,
+    bench_fft,
+    bench_tridiag
+);
+criterion_main!(benches);

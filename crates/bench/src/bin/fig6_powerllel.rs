@@ -1,0 +1,243 @@
+//! Figure 6 — PowerLLEL performance on the four platforms: MPI baseline
+//! vs UNR vs UNR's MPI-fallback channel, with runtime breakdowns, plus
+//! the polling-thread core-reservation ablation on HPC-IB (§VI-C) and
+//! the proposed level-4 hardware mode on TH-XY.
+//!
+//! Modeling notes (see DESIGN.md):
+//! * "Vendor MPI tuning" is modeled through the eager limit / copy
+//!   bandwidth of the mini-MPI layer: the brand-new TH-XY interconnect
+//!   gets a conservatively tuned MPI (small eager limit — the paper
+//!   observes its vendor MPI is beatable even by UNR's fallback
+//!   channel), while the mature TH-2A stack is well tuned (large eager
+//!   limit), which is why the fallback channel *loses* there.
+//! * Reserving a core for the polling thread scales compute by
+//!   `cores/(cores-k)`; co-locating it instead applies the
+//!   interval-dependent inflation of `UnrConfig::polling_compute_
+//!   inflation` plus the notification delay of a periodic poller.
+
+
+use unr_bench::print_table;
+use unr_core::{ChannelSelect, ProgressMode, Unr, UnrConfig};
+use unr_minimpi::{run_mpi_world_cfg, MpiConfig};
+use unr_powerllel::{Backend, Solver, SolverConfig, Timers};
+use unr_simnet::{to_ms, Platform, US};
+
+const STEPS: usize = 4;
+const WARMUP: usize = 1;
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    unr: bool,
+    channel: ChannelSelect,
+    /// Cores reserved for the polling thread (0 = co-located).
+    reserved_cores: usize,
+    /// Periodic polling interval when co-located (0 = spin).
+    interval_us: f64,
+    hardware: bool,
+}
+
+const MPI_BASE: Variant = Variant {
+    name: "MPI baseline",
+    unr: false,
+    channel: ChannelSelect::Auto,
+    reserved_cores: 0,
+    interval_us: 0.0,
+    hardware: false,
+};
+
+fn mpi_tuning(p: &Platform) -> MpiConfig {
+    let mut cfg = MpiConfig::default();
+    match p.abbrev {
+        // Brand-new interconnect: immature vendor MPI with a heavy
+        // per-call software path (the paper finds even UNR's fallback
+        // channel beats it).
+        "TH-XY" => {
+            cfg.overhead = 1_500;
+            cfg.eager_limit = 2 * 1024;
+            cfg.copy_bw = unr_simnet::Bandwidth::gibps(6.0);
+        }
+        // Decade-tuned stack: cheap calls, large eager window.
+        "TH-2A" => {
+            cfg.overhead = 150;
+            cfg.eager_limit = 64 * 1024;
+            cfg.copy_bw = unr_simnet::Bandwidth::gibps(14.0);
+        }
+        _ => {}
+    }
+    cfg
+}
+
+/// The fallback channel rides the same vendor MPI stack: it pays the
+/// same per-call overhead (plus its own bounce-buffer copies; the old
+/// TH-2A stack's unoptimized bounce path is modeled with a lower copy
+/// bandwidth).
+fn mpi_tuning_overhead(abbrev: &str) -> u64 {
+    match abbrev {
+        // The fallback channel uses the stack's light-weight pt2pt path,
+        // cheaper than the full baseline call chain on TH-XY.
+        "TH-XY" => 600,
+        "TH-2A" => 900,
+        _ => 150,
+    }
+}
+
+fn grid_for(p: &Platform) -> SolverConfig {
+    // Per paper: "grid sizes tailored to fit within the memory
+    // constraints of each system" — here tailored to the simulation
+    // budget; 8 ranks on 4 nodes.
+    let mut cfg = SolverConfig::small(4, 2);
+    cfg.nx = 64;
+    cfg.ny = 64;
+    cfg.nz = 32;
+    cfg.dt = 1e-3;
+    // Compute speed per platform (ns per cell-unit on all cores of the
+    // node share).
+    cfg.flop_ns = match p.abbrev {
+        "TH-XY" => 0.16,
+        "TH-2A" => 0.16,
+        "HPC-IB" => 0.13,
+        _ => 0.24,
+    };
+    cfg
+}
+
+fn run_variant(p: &Platform, v: Variant) -> (Timers, f64) {
+    let mut fabric = p.fabric_config(4, 2);
+    if v.hardware {
+        fabric.iface = fabric.iface.with_hardware_atomic_add();
+    }
+    fabric.seed = 2024;
+    let mut scfg = grid_for(p);
+    // Core accounting: compute slows down if cores are reserved, or if
+    // a co-located periodic poller steals cycles.
+    let cores = p.cores_per_node as f64;
+    if v.unr && !v.hardware {
+        if v.reserved_cores > 0 {
+            scfg.flop_ns *= cores / (cores - v.reserved_cores as f64);
+        } else if v.interval_us > 0.0 {
+            let ucfg = UnrConfig::default();
+            scfg.flop_ns *=
+                ucfg.polling_compute_inflation((v.interval_us * 1000.0) as u64, false);
+        }
+    }
+    let mpi_cfg = mpi_tuning(p);
+    let p_abbrev = p.abbrev.to_string();
+    let timers = run_mpi_world_cfg(fabric, mpi_cfg, move |comm| {
+        let fallback_overhead = mpi_tuning_overhead(&p_abbrev);
+        let fallback_copy = if p_abbrev == "TH-2A" { 5.0 } else { 12.0 };
+        let backend = if v.unr {
+            let ucfg = UnrConfig {
+                channel: v.channel,
+                fallback_overhead,
+                copy_bw_gibps: if matches!(v.channel, ChannelSelect::ForceFallback) {
+                    fallback_copy
+                } else {
+                    12.0
+                },
+                progress: if v.hardware {
+                    Some(ProgressMode::Hardware)
+                } else if v.interval_us > 0.0 {
+                    Some(ProgressMode::PollingAgent {
+                        interval: (v.interval_us * US as f64) as u64,
+                    })
+                } else {
+                    None
+                },
+                ..UnrConfig::default()
+            };
+            Backend::Unr(Unr::init(comm.ep_shared(), ucfg))
+        } else {
+            Backend::Mpi
+        };
+        let mut s = Solver::new(&backend, comm, scfg);
+        s.init_taylor_green();
+        for _ in 0..WARMUP {
+            s.step();
+        }
+        s.timers = Timers::default();
+        for _ in 0..STEPS {
+            s.step();
+        }
+        s.timers
+    });
+    // All ranks advance in lockstep; report rank 0's breakdown.
+    let t = timers[0];
+    (t, to_ms(t.total) / STEPS as f64)
+}
+
+fn main() {
+    for p in Platform::all() {
+        let mut variants = vec![
+            MPI_BASE,
+            Variant {
+                name: "UNR (1 core reserved)",
+                unr: true,
+                reserved_cores: 1,
+                ..MPI_BASE
+            },
+            Variant {
+                name: "UNR fallback channel",
+                unr: true,
+                channel: ChannelSelect::ForceFallback,
+                reserved_cores: 1,
+                ..MPI_BASE
+            },
+        ];
+        if p.abbrev == "HPC-IB" {
+            variants.push(Variant {
+                name: "UNR 18-thread (shared core, 5us poll)",
+                unr: true,
+                reserved_cores: 0,
+                interval_us: 5.0,
+                ..MPI_BASE
+            });
+            variants.push(Variant {
+                name: "UNR 16-thread (2 cores reserved)",
+                unr: true,
+                reserved_cores: 2,
+                ..MPI_BASE
+            });
+        }
+        if p.abbrev == "TH-XY" {
+            variants.push(Variant {
+                name: "UNR level-4 hardware (no polling)",
+                unr: true,
+                hardware: true,
+                ..MPI_BASE
+            });
+        }
+        let base = run_variant(&p, MPI_BASE).1;
+        let mut rows = Vec::new();
+        for v in &variants {
+            let (t, per_step) = run_variant(&p, *v);
+            rows.push(vec![
+                v.name.to_string(),
+                format!("{:.2}", to_ms(t.velocity_update()) / STEPS as f64),
+                format!("{:.2}", to_ms(t.ppe()) / STEPS as f64),
+                format!("{:.2}", to_ms(t.correct + t.other()) / STEPS as f64),
+                format!("{:.2}", per_step),
+                if v.name == MPI_BASE.name {
+                    "1.00x (baseline)".into()
+                } else {
+                    format!("{:+.0}%", (base / per_step - 1.0) * 100.0)
+                },
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 6 — PowerLLEL on {} ({} nodes x 2 ranks, 64x64x32 grid)",
+                p.abbrev, 4
+            ),
+            &[
+                "variant",
+                "velocity update (ms/step)",
+                "PPE solver (ms/step)",
+                "other (ms/step)",
+                "total (ms/step)",
+                "speedup vs MPI",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 7 — PowerLLEL strong scalability on TH-2A-like and TH-XY-like
+//! systems, with the velocity-update / PPE-solver time breakdown.
+//!
+//! The paper scales 12→192 nodes (TH-2A, 95% efficiency) and 288→1728
+//! nodes (TH-XY, 85%); the simulation scales 2→16 ranks with the same
+//! decomposition logic and reports the same metrics. The expected shape:
+//! the velocity update scales almost linearly (its communication is
+//! fully overlapped), while the PPE solver — whose all-to-all volume per
+//! rank shrinks more slowly — becomes the bottleneck.
+
+use unr_bench::print_table;
+use unr_core::{Unr, UnrConfig};
+use unr_minimpi::run_mpi_world_cfg;
+use unr_powerllel::{Backend, Solver, SolverConfig, Timers};
+use unr_simnet::{to_ms, Platform};
+
+const STEPS: usize = 3;
+const WARMUP: usize = 1;
+
+fn proc_grid(ranks: usize) -> (usize, usize) {
+    match ranks {
+        1 => (1, 1),
+        2 => (2, 1),
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        32 => (8, 4),
+        _ => panic!("unsupported rank count {ranks}"),
+    }
+}
+
+fn run_case(p: &Platform, ranks: usize, rpn: usize, grid: (usize, usize, usize), unr: bool) -> Timers {
+    let (py, pz) = proc_grid(ranks);
+    let mut fabric = p.fabric_config(ranks / rpn, rpn);
+    fabric.seed = 7;
+    let scfg = SolverConfig {
+        nx: grid.0,
+        ny: grid.1,
+        nz: grid.2,
+        py,
+        pz,
+        nu: 0.02,
+        dt: 1e-3,
+        lx: 1.0,
+        ly: 1.0,
+        lz: 1.0,
+        flop_ns: 0.16,
+        overlap: None,
+    };
+    let timers = run_mpi_world_cfg(fabric, unr_minimpi::MpiConfig::default(), move |comm| {
+        let backend = if unr {
+            Backend::Unr(Unr::init(comm.ep_shared(), UnrConfig::default()))
+        } else {
+            Backend::Mpi
+        };
+        let mut s = Solver::new(&backend, comm, scfg);
+        s.init_taylor_green();
+        for _ in 0..WARMUP {
+            s.step();
+        }
+        s.timers = Timers::default();
+        for _ in 0..STEPS {
+            s.step();
+        }
+        s.timers
+    });
+    timers[0]
+}
+
+fn scaling_table(p: &Platform, rpn: usize, grid: (usize, usize, usize), rank_list: &[usize]) {
+    let mut rows = Vec::new();
+    let mut base: Option<(usize, f64, f64)> = None; // (ranks, mpi t, unr t)
+    for &ranks in rank_list {
+        let mpi = run_case(p, ranks, rpn, grid, false);
+        let unr = run_case(p, ranks, rpn, grid, true);
+        let t_mpi = to_ms(mpi.total) / STEPS as f64;
+        let t_unr = to_ms(unr.total) / STEPS as f64;
+        if base.is_none() {
+            base = Some((ranks, t_mpi, t_unr));
+        }
+        let (r0, m0, u0) = base.expect("set");
+        let eff = |t0: f64, t: f64| 100.0 * (t0 * r0 as f64) / (t * ranks as f64);
+        rows.push(vec![
+            format!("{ranks}"),
+            format!("{:.2}", t_mpi),
+            format!("{:.0}%", eff(m0, t_mpi)),
+            format!("{:.2}", t_unr),
+            format!("{:.0}%", eff(u0, t_unr)),
+            format!(
+                "{:.2} / {:.2}",
+                to_ms(unr.velocity_update()) / STEPS as f64,
+                to_ms(unr.ppe()) / STEPS as f64
+            ),
+            format!("{:+.0}%", (t_mpi / t_unr - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Figure 7 — strong scaling on {} ({}x{}x{} grid, {} rank(s)/node)",
+            p.abbrev, grid.0, grid.1, grid.2, rpn
+        ),
+        &[
+            "ranks",
+            "MPI (ms/step)",
+            "MPI efficiency",
+            "UNR (ms/step)",
+            "UNR efficiency",
+            "UNR velocity / PPE (ms)",
+            "UNR speedup",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ranks: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8, 16] };
+    scaling_table(&Platform::th_2a(), 1, (64, 64, 32), ranks);
+    scaling_table(&Platform::th_xy(), 2, (128, 64, 32), ranks);
+}

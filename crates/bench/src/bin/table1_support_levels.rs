@@ -1,0 +1,64 @@
+//! Regenerate paper Table I: UNR support levels with implementation
+//! specifications and user suggestions, straight from the library's
+//! level logic.
+
+use unr_bench::print_table;
+use unr_core::SupportLevel;
+
+fn main() {
+    let rows = [
+        (
+            SupportLevel::Level0,
+            "0",
+            "0",
+            "Additional order-preserving message transfers (p, a).",
+        ),
+        (
+            SupportLevel::Level1,
+            "1",
+            "8, 16",
+            "All bits store p; a = -1 implied.",
+        ),
+        (
+            SupportLevel::Level2,
+            "2",
+            "32",
+            "Mode1: all bits p, a = -1. Mode2: x bits p, 32-x bits a.",
+        ),
+        (
+            SupportLevel::Level3,
+            "3",
+            "64, 128",
+            "Both p and a use half of the bits.",
+        ),
+        (
+            SupportLevel::Level4,
+            "4",
+            "128",
+            "64-bit p + 64-bit a; NIC applies *p += a (no polling thread).",
+        ),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(lvl, n, bits, spec)| {
+            vec![
+                n.to_string(),
+                bits.to_string(),
+                spec.to_string(),
+                lvl.suggestion().to_string(),
+                format!("multi-channel: {}", lvl.multi_channel_capable()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I — UNR support levels",
+        &[
+            "Level",
+            "PUT custom bits (remote)",
+            "Implementation specification",
+            "Suggestion for users",
+            "Capability",
+        ],
+        &table,
+    );
+}

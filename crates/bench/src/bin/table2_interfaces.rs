@@ -1,0 +1,47 @@
+//! Regenerate paper Table II: the notifiable-RMA interface registry
+//! with custom-bit widths and the UNR support level each classifies to.
+
+use unr_bench::print_table;
+use unr_core::SupportLevel;
+use unr_simnet::InterfaceSpec;
+
+fn main() {
+    let rows: Vec<Vec<String>> = InterfaceSpec::registry()
+        .iter()
+        .filter(|s| s.rma_capable)
+        .map(|s| {
+            let lvl = SupportLevel::classify(s);
+            vec![
+                s.name.to_string(),
+                s.interconnect.to_string(),
+                s.representative_systems.to_string(),
+                s.custom_bits.put_local.to_string(),
+                s.custom_bits.put_remote.to_string(),
+                s.custom_bits.get_local.to_string(),
+                s.custom_bits.get_remote.to_string(),
+                format!("{lvl:?}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II — UNR support level of high-performance NICs",
+        &[
+            "Interface",
+            "HPC interconnect",
+            "Representative systems",
+            "PUT local",
+            "PUT remote",
+            "GET local",
+            "GET remote",
+            "UNR level",
+        ],
+        &rows,
+    );
+    println!(
+        "\nProposed level-4 hardware: {:?} -> {:?}",
+        InterfaceSpec::lookup(unr_simnet::InterfaceKind::Glex).custom_bits,
+        SupportLevel::classify(
+            &InterfaceSpec::lookup(unr_simnet::InterfaceKind::Glex).with_hardware_atomic_add()
+        )
+    );
+}

@@ -1,0 +1,146 @@
+//! Ring allgather over notified puts.
+//!
+//! Rank `r` contributes `block` bytes at slot `r` of an `n * block`
+//! buffer. The ring pipeline runs `n-1` rounds: in round `t`, each rank
+//! puts the block it received in round `t-1` (its own block in round 0)
+//! into its right neighbor's corresponding slot. Because every round
+//! writes a **distinct slot**, no intra-epoch flow control is needed:
+//! a rank cannot send round `t` before having received round `t-1`, and
+//! per-round MMAS signals make each arrival observable. Epoch reuse is
+//! guarded by a single end-of-epoch credit to the left neighbor.
+
+use std::sync::Arc;
+
+use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
+use unr_minimpi::Comm;
+
+use crate::TAG_BASE;
+
+/// Persistent ring-allgather context.
+pub struct NotifiedAllgather {
+    unr: Arc<Unr>,
+    n: usize,
+    me: usize,
+    block: usize,
+    /// The `n * block` gather buffer (slot `r` belongs to rank `r`).
+    pub mem: UnrMem,
+    /// Per-round arrival signal (round t delivers slot `me-1-t mod n`).
+    round_sigs: Vec<Signal>,
+    /// Put target at the right neighbor, per round.
+    round_targets: Vec<Blk>,
+    /// Local-completion signal for all my sends of one epoch.
+    send_sig: Option<Signal>,
+    /// Epoch credit from my right neighbor (it consumed my writes).
+    credit_sig: Option<Signal>,
+    credit_plan: RmaPlan,
+    credit_mem: UnrMem,
+    epoch: u64,
+}
+
+impl NotifiedAllgather {
+    /// Collective constructor (`instance` separates tag spaces).
+    pub fn new(unr: &Arc<Unr>, comm: &Comm, block: usize, instance: i32) -> NotifiedAllgather {
+        let n = comm.size();
+        let me = comm.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mem = unr.mem_reg((n * block).max(8));
+        let credit_mem = unr.mem_reg(8);
+        let tag = TAG_BASE + 1000 + 4 * instance;
+
+        // Round t (0-based) delivers to me the block of rank
+        // (me - 1 - t) mod n, written by my left neighbor into slot
+        // (me - 1 - t). Publish those slots (with per-round signals) to
+        // the left; receive the symmetric targets from the right.
+        let rounds = n.saturating_sub(1);
+        let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
+        for (t, sig) in round_sigs.iter().enumerate() {
+            let owner = (me + n - 1 - t) % n;
+            let blk = unr.blk_init(&mem, owner * block, block, Some(sig));
+            convert::send_blk(comm, left, tag, &blk);
+        }
+        let round_targets: Vec<Blk> = (0..rounds)
+            .map(|_| convert::recv_blk(comm, right, tag))
+            .collect();
+        // Sanity: in round t I send the block of rank (me - t) mod n; the
+        // right neighbor's published slot for its round t is owned by
+        // (right - 1 - t) mod n = (me - t) mod n.
+        for (t, tgt) in round_targets.iter().enumerate() {
+            debug_assert_eq!(tgt.offset / block.max(1), (me + n - t) % n);
+        }
+
+        let send_sig = (rounds > 0).then(|| unr.sig_init(rounds as i64));
+
+        // End-of-epoch credit: I credit my LEFT neighbor (whose writes I
+        // consumed); my RIGHT neighbor credits me.
+        let credit_sig = (rounds > 0).then(|| unr.sig_init(1));
+        if rounds > 0 {
+            let blk = unr.blk_init(&credit_mem, 0, 1, credit_sig.as_ref());
+            convert::send_blk(comm, right, tag + 1, &blk);
+        }
+        let mut credit_plan = RmaPlan::new();
+        if rounds > 0 {
+            let left_credit = convert::recv_blk(comm, left, tag + 1);
+            credit_plan.put(&unr.blk_init(&credit_mem, 0, 1, None), &left_credit);
+        }
+
+        NotifiedAllgather {
+            unr: Arc::clone(unr),
+            n,
+            me,
+            block,
+            mem,
+            round_sigs,
+            round_targets,
+            send_sig,
+            credit_sig,
+            credit_plan,
+            credit_mem,
+            epoch: 0,
+        }
+    }
+
+    /// Slot byte range of rank `r` in `mem`.
+    pub fn slot(&self, r: usize) -> (usize, usize) {
+        (r * self.block, self.block)
+    }
+
+    /// Run one epoch. The caller must have written its own block into
+    /// slot `rank` beforehand; on return every slot is filled.
+    pub fn run(&mut self) -> Result<(), unr_core::UnrError> {
+        let rounds = self.n - 1;
+        if rounds == 0 {
+            return Ok(());
+        }
+        // New epoch ⇒ previous epoch's incoming data was consumed.
+        if self.epoch > 0 {
+            self.credit_plan.start(&self.unr)?;
+            // And my right neighbor must have consumed my writes.
+            let cs = self.credit_sig.as_ref().expect("credit signal");
+            self.unr.sig_wait(cs)?;
+            cs.reset()?;
+        }
+        for t in 0..rounds {
+            // Send the block of rank (me - t) mod n to the right.
+            let owner = (self.me + self.n - t) % self.n;
+            let src = self.mem.blk(
+                owner * self.block,
+                self.block,
+                self.send_sig.as_ref().map(|s| s.key()).unwrap_or(0),
+            );
+            self.unr.put(&src, &self.round_targets[t])?;
+            // Wait for this round's arrival before the next round (its
+            // payload is what round t+1 forwards).
+            self.unr.sig_wait(&self.round_sigs[t])?;
+            self.round_sigs[t].reset()?;
+        }
+        // All sends locally complete before the caller may rewrite slots.
+        if let Some(ss) = &self.send_sig {
+            self.unr.sig_wait(ss)?;
+            ss.reset()?;
+        }
+        let _ = &self.credit_mem;
+        self.epoch += 1;
+        Ok(())
+    }
+}

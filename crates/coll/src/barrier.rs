@@ -1,0 +1,77 @@
+//! Dissemination barrier over 1-byte notified puts.
+//!
+//! `ceil(log2 n)` rounds; in round `k` each rank puts a token to rank
+//! `me + 2^k` and waits for the token from `me - 2^k`. Consecutive
+//! barrier epochs alternate between two signal sets (parity), so a fast
+//! rank's next-epoch token can never be miscounted into the current
+//! epoch — the MMAS equivalent of sense reversal.
+
+use std::sync::Arc;
+
+use unr_core::{convert, Blk, Signal, Unr, UnrMem};
+use unr_minimpi::Comm;
+
+use crate::TAG_BASE;
+
+/// Persistent dissemination-barrier context.
+pub struct NotifiedBarrier {
+    unr: Arc<Unr>,
+    rounds: usize,
+    /// [parity][round] arrival signals.
+    sigs: [Vec<Signal>; 2],
+    /// [parity][round] put targets at rank `me + 2^round`.
+    targets: [Vec<Blk>; 2],
+    token_mem: UnrMem,
+    epoch: u64,
+}
+
+impl NotifiedBarrier {
+    /// Collective constructor (`instance` separates tag spaces).
+    pub fn new(unr: &Arc<Unr>, comm: &Comm, instance: i32) -> NotifiedBarrier {
+        let n = comm.size();
+        let me = comm.rank();
+        let mut rounds = 0;
+        while (1 << rounds) < n {
+            rounds += 1;
+        }
+        let token_mem = unr.mem_reg(8);
+        let tag = TAG_BASE + 2000 + 8 * instance;
+        let mut sigs = [Vec::new(), Vec::new()];
+        let mut targets = [Vec::new(), Vec::new()];
+        for parity in 0..2 {
+            for k in 0..rounds {
+                let dist = 1usize << k;
+                let to = (me + dist) % n;
+                let from = (me + n - dist) % n;
+                let sig = unr.sig_init(1);
+                let blk = unr.blk_init(&token_mem, 0, 1, Some(&sig));
+                // Publish my arrival slot to the rank that signals me.
+                convert::send_blk(comm, from, tag + (parity * rounds + k) as i32, &blk);
+                let tgt = convert::recv_blk(comm, to, tag + (parity * rounds + k) as i32);
+                sigs[parity].push(sig);
+                targets[parity].push(tgt);
+            }
+        }
+        NotifiedBarrier {
+            unr: Arc::clone(unr),
+            rounds,
+            sigs,
+            targets,
+            token_mem,
+            epoch: 0,
+        }
+    }
+
+    /// Synchronize: no rank returns before every rank has entered.
+    pub fn wait(&mut self) -> Result<(), unr_core::UnrError> {
+        let parity = (self.epoch % 2) as usize;
+        let token = self.token_mem.blk(0, 1, 0);
+        for k in 0..self.rounds {
+            self.unr.put(&token, &self.targets[parity][k])?;
+            self.unr.sig_wait(&self.sigs[parity][k])?;
+            self.sigs[parity][k].reset()?;
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,173 @@
+//! Binomial-tree broadcast over notified puts.
+//!
+//! Tree edges are fixed at construction; each epoch the payload flows
+//! root → children as notified PUTs, and every rank forwards as soon as
+//! its receive signal fires. Epoch reuse is guarded by **credits**:
+//! after a rank has consumed the payload (and its own forwards have
+//! locally completed), it sends a 1-byte notified put to its parent's
+//! credit signal. A parent only overwrites its children's buffers once
+//! all of them have credited the previous epoch — pre-synchronization
+//! performed entirely by earlier UNR traffic, per the paper's §V-A
+//! recipe.
+
+use std::sync::Arc;
+
+use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
+use unr_minimpi::Comm;
+
+use crate::TAG_BASE;
+
+/// Persistent broadcast context for one payload buffer.
+pub struct NotifiedBcast {
+    unr: Arc<Unr>,
+    me: usize,
+    root: usize,
+    children: Vec<usize>,
+    /// Payload region (shared: the caller reads/writes it).
+    pub mem: UnrMem,
+    len: usize,
+    /// Fires when the payload has fully arrived (non-root only).
+    recv_sig: Option<Signal>,
+    /// Local completions of my forwards to children.
+    fwd_send_sig: Option<Signal>,
+    /// Puts of the payload to each child.
+    fwd_plan: RmaPlan,
+    /// Children's epoch credits (one per child).
+    credit_sig: Option<Signal>,
+    /// Tiny put crediting my parent.
+    credit_plan: RmaPlan,
+    credit_mem: UnrMem,
+    epoch: u64,
+}
+
+impl NotifiedBcast {
+    /// Collective constructor: build the binomial tree rooted at
+    /// `root`, register `len` payload bytes, and exchange BLKs.
+    /// `instance` separates the tag space of multiple broadcasts.
+    pub fn new(
+        unr: &Arc<Unr>,
+        comm: &Comm,
+        len: usize,
+        root: usize,
+        instance: i32,
+    ) -> NotifiedBcast {
+        let n = comm.size();
+        let me = comm.rank();
+        let vrank = (me + n - root) % n;
+        // Binomial tree in virtual ranks: parent = vrank - highest bit;
+        // children = vrank + mask for mask > highest bit.
+        let mut mask = 1usize;
+        while mask <= vrank {
+            mask <<= 1;
+        }
+        let parent = (vrank != 0).then(|| ((vrank - (mask >> 1)) + root) % n);
+        let mut children = Vec::new();
+        let mut m = mask;
+        while vrank + m < n {
+            children.push(((vrank + m) + root) % n);
+            m <<= 1;
+        }
+
+        let mem = unr.mem_reg(len.max(8));
+        let credit_mem = unr.mem_reg(8);
+        let tag = TAG_BASE + 4 * instance;
+
+        // Receive path: publish my payload blk to my parent.
+        let recv_sig = parent.map(|p| {
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, len, Some(&sig));
+            convert::send_blk(comm, p, tag, &blk);
+            sig
+        });
+        // Forward path: collect children's payload blks.
+        let fwd_send_sig = (!children.is_empty()).then(|| unr.sig_init(children.len() as i64));
+        let mut fwd_plan = RmaPlan::new();
+        let child_blks: Vec<Blk> = children
+            .iter()
+            .map(|&c| convert::recv_blk(comm, c, tag))
+            .collect();
+        for tgt in &child_blks {
+            let src = unr.blk_init(&mem, 0, len, fwd_send_sig.as_ref());
+            fwd_plan.put(&src, tgt);
+        }
+
+        // Credit path: children put into my credit signal; I put into my
+        // parent's.
+        let credit_sig = (!children.is_empty()).then(|| unr.sig_init(children.len() as i64));
+        for &c in &children {
+            let blk = unr.blk_init(&credit_mem, 0, 1, credit_sig.as_ref());
+            convert::send_blk(comm, c, tag + 1, &blk);
+        }
+        let mut credit_plan = RmaPlan::new();
+        if let Some(p) = parent {
+            let parent_credit = convert::recv_blk(comm, p, tag + 1);
+            let src = unr.blk_init(&credit_mem, 0, 1, None);
+            credit_plan.put(&src, &parent_credit);
+        }
+
+        NotifiedBcast {
+            unr: Arc::clone(unr),
+            me,
+            root,
+            children,
+            mem,
+            len,
+            recv_sig,
+            fwd_send_sig,
+            fwd_plan,
+            credit_sig,
+            credit_plan,
+            credit_mem,
+            epoch: 0,
+        }
+    }
+
+    /// Payload length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this rank is the root.
+    pub fn is_root(&self) -> bool {
+        self.me == self.root
+    }
+
+    /// Run one broadcast epoch. The root must have written the payload
+    /// into `self.mem` beforehand; on return every rank's `mem` holds
+    /// it and is safe to read until the next `run` (calling `run` again
+    /// is what tells the parent the previous payload was consumed).
+    pub fn run(&mut self) -> Result<(), unr_core::UnrError> {
+        // Entering a new epoch means the previous payload has been
+        // consumed: credit my parent so it may overwrite my buffer.
+        if self.epoch > 0 {
+            self.credit_plan.start(&self.unr)?;
+        }
+        // Wait for last epoch's credits before overwriting children.
+        if let Some(cs) = &self.credit_sig {
+            if self.epoch > 0 {
+                self.unr.sig_wait(cs)?;
+                cs.reset()?;
+            }
+        }
+        // Non-root: wait for the payload.
+        if let Some(rs) = &self.recv_sig {
+            self.unr.sig_wait(rs)?;
+            rs.reset()?;
+        }
+        // Forward to children; the forwards' local completions make the
+        // buffer stable for the caller to read after return.
+        if !self.children.is_empty() {
+            self.fwd_plan.start(&self.unr)?;
+            let fs = self.fwd_send_sig.as_ref().expect("forward signal");
+            self.unr.sig_wait(fs)?;
+            fs.reset()?;
+        }
+        let _ = &self.credit_mem;
+        self.epoch += 1;
+        Ok(())
+    }
+}

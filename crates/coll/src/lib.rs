@@ -1,0 +1,38 @@
+//! # unr-coll — collectives built on UNR notified RMA
+//!
+//! The UNR paper deliberately keeps collectives out of the core library
+//! and suggests building them on top as acceleration libraries
+//! (§IV-E.3, citing notified-communication collectives in prior work).
+//! This crate is that library: persistent, synchronization-free
+//! collective operations whose every data movement is a notified PUT
+//! and whose every completion is an MMAS signal — including the flow
+//! control (credits are notified puts too).
+//!
+//! All operations are **persistent**: construction performs the
+//! address/BLK exchange over mini-MPI once (outside the main loop);
+//! each epoch afterwards touches only UNR.
+//!
+//! * [`NotifiedBcast`] — binomial-tree broadcast with credit-based
+//!   epoch flow control (the paper's future-work "irregular broadcast"
+//!   workload shape).
+//! * [`NotifiedAllgather`] — ring allgather (bandwidth-friendly); each
+//!   hop is one notified put into a distinct slot, so an epoch needs no
+//!   internal credits, only one end-of-epoch credit to the left
+//!   neighbor.
+//! * [`NotifiedAllgatherRd`] — recursive-doubling allgather
+//!   (latency-optimal, log2 n rounds; power-of-two sizes).
+//! * [`NotifiedBarrier`] — dissemination barrier over 1-byte notified
+//!   puts with parity-alternating signal sets.
+
+pub mod allgather;
+pub mod allgather_rd;
+pub mod barrier;
+pub mod bcast;
+
+pub use allgather::NotifiedAllgather;
+pub use allgather_rd::NotifiedAllgatherRd;
+pub use barrier::NotifiedBarrier;
+pub use bcast::NotifiedBcast;
+
+/// Reserved mini-MPI tag space for this crate's setup-time exchanges.
+pub(crate) const TAG_BASE: i32 = 1 << 21;

@@ -1,0 +1,277 @@
+//! Tests for the UNR-based collectives, including cross-checks against
+//! the two-sided mini-MPI implementations and multi-epoch reuse.
+
+use std::sync::Arc;
+
+use unr_coll::{NotifiedAllgather, NotifiedBarrier, NotifiedBcast};
+use unr_core::{Unr, UnrConfig};
+use unr_minimpi::run_mpi_world;
+use unr_simnet::{FabricConfig, InterfaceKind, InterfaceSpec};
+
+fn fabric(n: usize) -> FabricConfig {
+    FabricConfig::test_default(n)
+}
+
+#[test]
+fn bcast_delivers_to_all_sizes_and_roots() {
+    for n in [2usize, 3, 5, 8] {
+        for root in [0, n - 1] {
+            let results = run_mpi_world(fabric(n), move |comm| {
+                let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+                let mut bc = NotifiedBcast::new(&unr, comm, 64, root, 0);
+                if bc.is_root() {
+                    bc.mem.write_bytes(0, &[0xEE; 64]);
+                }
+                bc.run().unwrap();
+                let mut got = [0u8; 64];
+                bc.mem.read_bytes(0, &mut got);
+                got[0]
+            });
+            assert!(
+                results.iter().all(|&b| b == 0xEE),
+                "n={n} root={root}: {results:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bcast_multiple_epochs_with_changing_payload() {
+    let results = run_mpi_world(fabric(6), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut bc = NotifiedBcast::new(&unr, comm, 16, 2, 1);
+        let mut seen = Vec::new();
+        for epoch in 0..8u8 {
+            if bc.is_root() {
+                bc.mem.write_bytes(0, &[epoch * 3 + 1; 16]);
+            }
+            bc.run().unwrap();
+            let mut b = [0u8; 1];
+            bc.mem.read_bytes(0, &mut b);
+            seen.push(b[0]);
+        }
+        let errs = unr
+            .signal_stats()
+            .reset_errors
+            .load(std::sync::atomic::Ordering::Relaxed);
+        (seen, errs)
+    });
+    for (seen, errs) in &results {
+        assert_eq!(seen, &(0..8u8).map(|e| e * 3 + 1).collect::<Vec<_>>());
+        assert_eq!(*errs, 0, "credit flow control must prevent sync errors");
+    }
+}
+
+#[test]
+fn bcast_works_on_fallback_channel() {
+    let mut cfg = fabric(4);
+    cfg.iface = InterfaceSpec::lookup(InterfaceKind::MpiOnly);
+    let results = run_mpi_world(cfg, |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut bc = NotifiedBcast::new(&unr, comm, 32, 0, 0);
+        if bc.is_root() {
+            bc.mem.write_bytes(0, &[7; 32]);
+        }
+        bc.run().unwrap();
+        let mut b = [0u8; 1];
+        bc.mem.read_bytes(0, &mut b);
+        b[0]
+    });
+    assert!(results.iter().all(|&b| b == 7));
+}
+
+#[test]
+fn allgather_fills_every_slot() {
+    for n in [2usize, 3, 4, 7] {
+        let results = run_mpi_world(fabric(n), move |comm| {
+            let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+            let mut ag = NotifiedAllgather::new(&unr, comm, 8, 0);
+            let me = comm.rank();
+            ag.mem.write_bytes(me * 8, &[me as u8 + 1; 8]);
+            ag.run().unwrap();
+            let mut buf = vec![0u8; n * 8];
+            ag.mem.read_bytes(0, &mut buf);
+            buf
+        });
+        for (r, buf) in results.iter().enumerate() {
+            for src in 0..n {
+                assert!(
+                    buf[src * 8..(src + 1) * 8].iter().all(|&b| b == src as u8 + 1),
+                    "n={n} rank {r} slot {src}: {buf:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_repeated_epochs() {
+    let n = 5;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut ag = NotifiedAllgather::new(&unr, comm, 4, 2);
+        let me = comm.rank();
+        let mut ok = true;
+        for epoch in 0..6u8 {
+            ag.mem
+                .write_bytes(me * 4, &[10 * epoch + me as u8 + 1; 4]);
+            ag.run().unwrap();
+            let mut buf = vec![0u8; n * 4];
+            ag.mem.read_bytes(0, &mut buf);
+            for src in 0..n {
+                ok &= buf[src * 4..(src + 1) * 4]
+                    .iter()
+                    .all(|&b| b == 10 * epoch + src as u8 + 1);
+            }
+        }
+        let overflow = unr
+            .signal_stats()
+            .overflow_errors
+            .load(std::sync::atomic::Ordering::Relaxed);
+        (ok, overflow)
+    });
+    for (ok, overflow) in results {
+        assert!(ok, "every epoch's gather must be correct");
+        assert_eq!(overflow, 0);
+    }
+}
+
+#[test]
+fn allgather_matches_minimpi_allgather() {
+    let n = 4;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let me = comm.rank();
+        let mine = vec![(me * 7 + 3) as u8; 8];
+        let reference = unr_minimpi::allgather_bytes(comm, &mine).concat();
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut ag = NotifiedAllgather::new(&unr, comm, 8, 3);
+        ag.mem.write_bytes(me * 8, &mine);
+        ag.run().unwrap();
+        let mut buf = vec![0u8; n * 8];
+        ag.mem.read_bytes(0, &mut buf);
+        buf == reference
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn barrier_enforces_entry_before_exit() {
+    for n in [2usize, 3, 5, 8] {
+        let results = run_mpi_world(fabric(n), move |comm| {
+            let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+            let mut bar = NotifiedBarrier::new(&unr, comm, 0);
+            // Stagger the arrivals; everyone must leave at/after the
+            // latest arrival time.
+            comm.ep().sleep(unr_simnet::us(7.0) * comm.rank() as u64);
+            let arrive = comm.ep().now();
+            bar.wait().unwrap();
+            let leave = comm.ep().now();
+            (arrive, leave)
+        });
+        let latest_arrival = results.iter().map(|&(a, _)| a).max().unwrap();
+        for (r, &(_, leave)) in results.iter().enumerate() {
+            assert!(
+                leave >= latest_arrival,
+                "n={n} rank {r} left at {leave} before the last arrival {latest_arrival}"
+            );
+        }
+    }
+}
+
+#[test]
+fn barrier_many_epochs_parity_safe() {
+    // Back-to-back barriers with skewed per-rank work: the parity
+    // alternation must keep tokens from leaking between epochs.
+    let results = run_mpi_world(fabric(4), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut bar = NotifiedBarrier::new(&unr, comm, 1);
+        for epoch in 0..12u64 {
+            comm.ep()
+                .sleep(unr_simnet::us(1.0) * ((comm.rank() as u64 * 13 + epoch) % 5));
+            bar.wait().unwrap();
+        }
+        let overflow = unr
+            .signal_stats()
+            .overflow_errors
+            .load(std::sync::atomic::Ordering::Relaxed);
+        overflow
+    });
+    assert!(results.iter().all(|&o| o == 0));
+}
+
+#[test]
+fn collectives_compose_in_one_program() {
+    // Barrier + bcast + allgather sharing one Unr context.
+    let n = 4;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let unr = Arc::clone(&unr);
+        let mut bar = NotifiedBarrier::new(&unr, comm, 5);
+        let mut bc = NotifiedBcast::new(&unr, comm, 8, 0, 6);
+        let mut ag = NotifiedAllgather::new(&unr, comm, 8, 7);
+        let me = comm.rank();
+        for epoch in 0..3u8 {
+            if bc.is_root() {
+                bc.mem.write_bytes(0, &[100 + epoch; 8]);
+            }
+            bc.run().unwrap();
+            let mut b = [0u8; 8];
+            bc.mem.read_bytes(0, &mut b);
+            ag.mem.write_bytes(me * 8, &[b[0] + me as u8; 8]);
+            ag.run().unwrap();
+            bar.wait().unwrap();
+            let mut buf = vec![0u8; n * 8];
+            ag.mem.read_bytes(0, &mut buf);
+            for src in 0..n {
+                assert_eq!(buf[src * 8], 100 + epoch + src as u8);
+            }
+        }
+        true
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn allgather_rd_fills_every_slot() {
+    for n in [2usize, 4, 8] {
+        let results = run_mpi_world(fabric(n), move |comm| {
+            let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+            let mut ag = unr_coll::NotifiedAllgatherRd::new(&unr, comm, 8, 9);
+            let me = comm.rank();
+            let mut ok = true;
+            for epoch in 0..4u8 {
+                ag.mem.write_bytes(me * 8, &[7 * epoch + me as u8 + 1; 8]);
+                ag.run().unwrap();
+                let mut buf = vec![0u8; n * 8];
+                ag.mem.read_bytes(0, &mut buf);
+                for src in 0..n {
+                    ok &= buf[src * 8..(src + 1) * 8]
+                        .iter()
+                        .all(|&b| b == 7 * epoch + src as u8 + 1);
+                }
+            }
+            let errs = unr
+                .signal_stats()
+                .reset_errors
+                .load(std::sync::atomic::Ordering::Relaxed)
+                + unr
+                    .signal_stats()
+                    .overflow_errors
+                    .load(std::sync::atomic::Ordering::Relaxed);
+            (ok, errs)
+        });
+        for (ok, errs) in results {
+            assert!(ok, "n={n}: recursive-doubling gather incorrect");
+            assert_eq!(errs, 0);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "2^k ranks")]
+fn allgather_rd_rejects_non_power_of_two() {
+    run_mpi_world(fabric(3), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let _ = unr_coll::NotifiedAllgatherRd::new(&unr, comm, 8, 10);
+    });
+}

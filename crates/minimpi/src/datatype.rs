@@ -1,0 +1,132 @@
+//! Minimal derived-datatype support: strided views.
+//!
+//! PowerLLEL's halo exchanges send non-contiguous faces of 3-D arrays.
+//! Real MPI describes these with derived datatypes; here a
+//! [`StridedView`] describes `count` blocks of `block_len` elements
+//! separated by `stride` elements, and pack/unpack move them through a
+//! contiguous staging buffer (which is also how most MPI libraries
+//! implement non-contiguous datatypes internally).
+
+/// A strided selection over a flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedView {
+    /// Element offset of the first block.
+    pub offset: usize,
+    /// Elements per block.
+    pub block_len: usize,
+    /// Element distance between block starts.
+    pub stride: usize,
+    /// Number of blocks.
+    pub count: usize,
+}
+
+impl StridedView {
+    /// A contiguous run of `len` elements at `offset`.
+    pub fn contiguous(offset: usize, len: usize) -> Self {
+        StridedView {
+            offset,
+            block_len: len,
+            stride: len,
+            count: 1,
+        }
+    }
+
+    /// Total number of selected elements.
+    pub fn total(&self) -> usize {
+        self.block_len * self.count
+    }
+
+    /// Index of the last touched element + 1 (for bounds checking).
+    pub fn span_end(&self) -> usize {
+        if self.count == 0 || self.block_len == 0 {
+            return self.offset;
+        }
+        self.offset + (self.count - 1) * self.stride + self.block_len
+    }
+
+    /// Gather the selected elements into `out` (must hold `total()`).
+    pub fn pack<T: Copy>(&self, src: &[T], out: &mut [T]) {
+        assert!(self.span_end() <= src.len(), "strided pack out of bounds");
+        assert_eq!(out.len(), self.total(), "pack buffer size mismatch");
+        for b in 0..self.count {
+            let s = self.offset + b * self.stride;
+            out[b * self.block_len..(b + 1) * self.block_len]
+                .copy_from_slice(&src[s..s + self.block_len]);
+        }
+    }
+
+    /// Scatter `data` (length `total()`) into the selected elements.
+    pub fn unpack<T: Copy>(&self, data: &[T], dst: &mut [T]) {
+        assert!(self.span_end() <= dst.len(), "strided unpack out of bounds");
+        assert_eq!(data.len(), self.total(), "unpack buffer size mismatch");
+        for b in 0..self.count {
+            let d = self.offset + b * self.stride;
+            dst[d..d + self.block_len]
+                .copy_from_slice(&data[b * self.block_len..(b + 1) * self.block_len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_roundtrip() {
+        let v = StridedView::contiguous(2, 3);
+        let src = [0, 1, 2, 3, 4, 5];
+        let mut packed = [0; 3];
+        v.pack(&src, &mut packed);
+        assert_eq!(packed, [2, 3, 4]);
+        let mut dst = [9; 6];
+        v.unpack(&packed, &mut dst);
+        assert_eq!(dst, [9, 9, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn strided_pack_unpack() {
+        // A 3x4 row-major matrix; select column 1 (stride 4).
+        let v = StridedView {
+            offset: 1,
+            block_len: 1,
+            stride: 4,
+            count: 3,
+        };
+        let m: Vec<i32> = (0..12).collect();
+        let mut col = vec![0; 3];
+        v.pack(&m, &mut col);
+        assert_eq!(col, vec![1, 5, 9]);
+        let mut m2 = vec![0; 12];
+        v.unpack(&col, &mut m2);
+        assert_eq!(m2[1], 1);
+        assert_eq!(m2[5], 5);
+        assert_eq!(m2[9], 9);
+        assert_eq!(m2.iter().filter(|&&x| x == 0).count(), 9);
+    }
+
+    #[test]
+    fn span_end_handles_empty() {
+        let v = StridedView {
+            offset: 7,
+            block_len: 0,
+            stride: 5,
+            count: 0,
+        };
+        assert_eq!(v.span_end(), 7);
+        assert_eq!(v.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pack_bounds_checked() {
+        let v = StridedView {
+            offset: 0,
+            block_len: 2,
+            stride: 4,
+            count: 3,
+        };
+        let src = [0i32; 8]; // span_end = 10 > 8
+        let mut out = [0i32; 6];
+        v.pack(&src, &mut out);
+    }
+}

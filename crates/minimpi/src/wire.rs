@@ -1,0 +1,173 @@
+//! Wire format for mini-MPI control and data messages.
+//!
+//! Every message travels as one fabric datagram on the mini-MPI port.
+//! The header is a fixed 40-byte little-endian layout followed by an
+//! optional payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     kind (MsgKind)
+//! 1       3     (padding, zero)
+//! 4       4     cid    — communicator context id
+//! 8       4     src    — world rank of the sender
+//! 12      4     tag
+//! 16      8     seq    — per (src world rank, dst) sequence number
+//! 24      8     size   — full message payload size in bytes
+//! 32      8     rdv_id — rendezvous transaction id (0 if unused)
+//! 40      ...   payload (Eager, RdvData)
+//! ```
+
+/// Port number on which every mini-MPI message travels.
+pub const MPI_PORT: u32 = 0x4D50; // "MP"
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// Message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Full payload inline (small messages).
+    Eager = 0,
+    /// Rendezvous request-to-send envelope (no payload).
+    Rts = 1,
+    /// Rendezvous clear-to-send (receiver ready).
+    Cts = 2,
+    /// Rendezvous bulk data.
+    RdvData = 3,
+    /// One-sided epoch control (PSCW post / complete, lock, flush...).
+    RmaCtrl = 4,
+}
+
+impl MsgKind {
+    pub fn from_u8(v: u8) -> Option<MsgKind> {
+        Some(match v {
+            0 => MsgKind::Eager,
+            1 => MsgKind::Rts,
+            2 => MsgKind::Cts,
+            3 => MsgKind::RdvData,
+            4 => MsgKind::RmaCtrl,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoded message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub kind: MsgKind,
+    pub cid: u32,
+    pub src: u32,
+    pub tag: i32,
+    pub seq: u64,
+    pub size: u64,
+    pub rdv_id: u64,
+}
+
+impl Header {
+    /// Serialize the header followed by `payload` into one buffer.
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&self.cid.to_le_bytes());
+        buf.extend_from_slice(&self.src.to_le_bytes());
+        buf.extend_from_slice(&self.tag.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.size.to_le_bytes());
+        buf.extend_from_slice(&self.rdv_id.to_le_bytes());
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Decode a header; returns the header and the payload offset.
+    pub fn decode(buf: &[u8]) -> Option<(Header, &[u8])> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        let kind = MsgKind::from_u8(buf[0])?;
+        let cid = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        let src = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        let tag = i32::from_le_bytes(buf[12..16].try_into().ok()?);
+        let seq = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let size = u64::from_le_bytes(buf[24..32].try_into().ok()?);
+        let rdv_id = u64::from_le_bytes(buf[32..40].try_into().ok()?);
+        Some((
+            Header {
+                kind,
+                cid,
+                src,
+                tag,
+                seq,
+                size,
+                rdv_id,
+            },
+            &buf[HEADER_LEN..],
+        ))
+    }
+}
+
+/// Reserved tag space: user tags must be non-negative (like MPI).
+/// Collectives and internal protocols use negative tags.
+pub const TAG_COLL_BASE: i32 = -1000;
+/// Any-tag wildcard for receives.
+pub const ANY_TAG: i32 = i32::MIN;
+/// Any-source wildcard for receives (world-rank space).
+pub const ANY_SOURCE: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            kind: MsgKind::RdvData,
+            cid: 3,
+            src: 17,
+            tag: -42,
+            seq: 0xDEAD_BEEF_CAFE,
+            size: 1 << 33,
+            rdv_id: 99,
+        };
+        let buf = h.encode(b"xyz");
+        let (h2, payload) = Header::decode(&buf).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(payload, b"xyz");
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert!(Header::decode(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let h = Header {
+            kind: MsgKind::Eager,
+            cid: 0,
+            src: 0,
+            tag: 0,
+            seq: 0,
+            size: 0,
+            rdv_id: 0,
+        };
+        let mut buf = h.encode(&[]);
+        buf[0] = 200;
+        assert!(Header::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for k in [
+            MsgKind::Eager,
+            MsgKind::Rts,
+            MsgKind::Cts,
+            MsgKind::RdvData,
+            MsgKind::RmaCtrl,
+        ] {
+            assert_eq!(MsgKind::from_u8(k as u8), Some(k));
+        }
+    }
+}

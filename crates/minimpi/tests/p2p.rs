@@ -1,0 +1,223 @@
+//! Point-to-point protocol tests: eager, rendezvous, ordering, wildcards.
+
+use unr_minimpi::{run_mpi_world_cfg, Comm, MpiConfig};
+use unr_simnet::FabricConfig;
+
+#[test]
+fn eager_send_recv() {
+    let results = run_comm_world(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 7, b"hello eager");
+            Vec::new()
+        } else {
+            let msg = comm.recv(Some(0), 7);
+            assert_eq!(msg.src, 0);
+            assert_eq!(msg.tag, 7);
+            msg.data
+        }
+    });
+    assert_eq!(results[1], b"hello eager");
+}
+
+/// Helper: run an SPMD closure that receives a world communicator.
+fn run_comm_world<R: Send + 'static>(
+    nodes: usize,
+    f: impl Fn(&Comm) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    run_mpi_world_cfg(FabricConfig::test_default(nodes), MpiConfig::default(), f)
+}
+
+#[test]
+fn rendezvous_large_message() {
+    let payload_len = 256 * 1024; // far above the 16 KiB eager limit
+    let results = run_comm_world(2, move |comm| {
+        if comm.rank() == 0 {
+            let data: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+            comm.send(1, 3, &data);
+            0u64
+        } else {
+            let msg = comm.recv(Some(0), 3);
+            assert_eq!(msg.data.len(), payload_len);
+            assert!(msg
+                .data
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (i % 251) as u8));
+            msg.data.len() as u64
+        }
+    });
+    assert_eq!(results[1], payload_len as u64);
+}
+
+#[test]
+fn messages_do_not_overtake_same_tag() {
+    let results = run_comm_world(2, |comm| {
+        if comm.rank() == 0 {
+            for i in 0..20u8 {
+                comm.send(1, 5, &[i]);
+            }
+            Vec::new()
+        } else {
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.push(comm.recv(Some(0), 5).data[0]);
+            }
+            got
+        }
+    });
+    assert_eq!(results[1], (0..20u8).collect::<Vec<_>>());
+}
+
+#[test]
+fn tag_selective_matching() {
+    let results = run_comm_world(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, b"first-sent");
+            comm.send(1, 2, b"second-sent");
+            Vec::new()
+        } else {
+            // Receive the tag-2 message first, although tag-1 was sent
+            // earlier: matching must be tag-selective.
+            let m2 = comm.recv(Some(0), 2);
+            let m1 = comm.recv(Some(0), 1);
+            assert_eq!(m2.data, b"second-sent");
+            assert_eq!(m1.data, b"first-sent");
+            m2.data
+        }
+    });
+    assert_eq!(results[1], b"second-sent");
+}
+
+#[test]
+fn wildcard_source_recv() {
+    let results = run_comm_world(3, |comm| {
+        if comm.rank() == 0 {
+            let mut seen = [false; 3];
+            for _ in 0..2 {
+                let m = comm.recv(None, 9);
+                seen[m.src] = true;
+            }
+            assert!(seen[1] && seen[2]);
+            1
+        } else {
+            comm.send(0, 9, &[comm.rank() as u8]);
+            0
+        }
+    });
+    assert_eq!(results[0], 1);
+}
+
+#[test]
+fn isend_irecv_overlap() {
+    let results = run_comm_world(2, |comm| {
+        let peer = 1 - comm.rank();
+        let rreq = comm.irecv(Some(peer), 4);
+        let payload = vec![comm.rank() as u8; 64];
+        let sreq = comm.isend(peer, 4, &payload);
+        let msg = comm.wait_recv(rreq);
+        comm.wait_send(sreq);
+        msg.data[0]
+    });
+    assert_eq!(results, vec![1, 0]);
+}
+
+#[test]
+fn sendrecv_bidirectional() {
+    let results = run_comm_world(2, |comm| {
+        let peer = 1 - comm.rank();
+        let m = comm.sendrecv(peer, 11, &[comm.rank() as u8 + 10], Some(peer), 11);
+        m.data[0]
+    });
+    assert_eq!(results, vec![11, 10]);
+}
+
+#[test]
+fn rendezvous_completes_send_side() {
+    // A rendezvous isend must not report completion until the CTS
+    // arrived and the data was pushed.
+    let results = run_comm_world(2, |comm| {
+        if comm.rank() == 0 {
+            let data = vec![7u8; 128 * 1024];
+            let sreq = comm.isend(1, 1, &data);
+            // The receiver delays; test_send must be false now.
+            let immediately_done = comm.test_send(&sreq);
+            comm.wait_send(sreq);
+            immediately_done
+        } else {
+            comm.ep().sleep(unr_simnet::us(200.0));
+            let m = comm.recv(Some(0), 1);
+            assert_eq!(m.data.len(), 128 * 1024);
+            false
+        }
+    });
+    assert!(
+        !results[0],
+        "rendezvous send completed before receiver matched"
+    );
+}
+
+#[test]
+fn ping_pong_latency_sane() {
+    // 8-byte eager ping-pong on a 1.2 us fabric: one-way latency must be
+    // in the low microseconds and symmetric.
+    let results = run_comm_world(2, |comm| {
+        let iters = 50;
+        let peer = 1 - comm.rank();
+        let t0 = comm.ep().now();
+        for _ in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(peer, 0, &[0u8; 8]);
+                comm.recv(Some(peer), 0);
+            } else {
+                comm.recv(Some(peer), 0);
+                comm.send(peer, 0, &[0u8; 8]);
+            }
+        }
+        let dt = comm.ep().now() - t0;
+        dt as f64 / iters as f64 / 2.0 // one-way ns
+    });
+    let one_way_us = results[0] / 1000.0;
+    assert!(
+        one_way_us > 1.0 && one_way_us < 4.0,
+        "8B one-way latency {one_way_us} us out of expected band"
+    );
+}
+
+#[test]
+fn self_send_recv_works() {
+    let results = run_comm_world(1, |comm| {
+        let sreq = comm.isend(0, 2, b"loop");
+        let m = comm.recv(Some(0), 2);
+        comm.wait_send(sreq);
+        m.data
+    });
+    assert_eq!(results[0], b"loop");
+}
+
+#[test]
+fn concurrent_rendezvous_from_many_senders() {
+    // Regression: rendezvous transaction ids are only unique per sender;
+    // the receiver must key its pending-data table by (source, id).
+    let n = 6;
+    let results = run_comm_world(n, move |comm| {
+        let big = 64 * 1024; // rendezvous-sized
+        if comm.rank() == 0 {
+            let mut reqs = Vec::new();
+            for src in 1..n {
+                reqs.push(comm.irecv(Some(src), 4));
+            }
+            let mut sum = 0u64;
+            for r in reqs {
+                let m = comm.wait_recv(r);
+                assert_eq!(m.data.len(), big);
+                assert!(m.data.iter().all(|&b| b == m.src as u8));
+                sum += m.src as u64;
+            }
+            sum
+        } else {
+            comm.send(0, 4, &vec![comm.rank() as u8; big]);
+            0
+        }
+    });
+    assert_eq!(results[0], (1..6u64).sum::<u64>());
+}

@@ -1,0 +1,637 @@
+//! The mini-PowerLLEL solver: incompressible flow on a staggered grid,
+//! RK2 momentum advance + FFT/PDD pressure projection (paper §V-B,
+//! Figure 3a).
+//!
+//! Staggering: cell `(i, j, k)` stores `p` at its center, `u` on its
+//! +x face, `v` on its +y face, `w` on its +z face. x and y are
+//! periodic; z has no-slip walls (`u = v = 0` at the walls, `w = 0` on
+//! the wall faces). With this arrangement `div ∘ grad` is exactly the
+//! compact 7-point Laplacian the spectral solver inverts, so the
+//! projected field is discretely divergence-free.
+
+use unr_simnet::Ns;
+
+use crate::backend::Backend;
+use crate::halo::HaloOp;
+use crate::decomp::Decomp;
+use crate::field::Field3;
+use crate::poisson::PoissonSolver;
+use crate::timing::Timers;
+
+/// Solver configuration (identical on all ranks).
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub py: usize,
+    pub pz: usize,
+    /// Kinematic viscosity.
+    pub nu: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Domain size (uniform spacing per direction).
+    pub lx: f64,
+    pub ly: f64,
+    pub lz: f64,
+    /// Virtual nanoseconds charged per grid-point update (models the
+    /// per-core compute speed; Fig 6 sweeps this).
+    pub flop_ns: f64,
+    /// Overlap communication with interior computation. `None`: follow
+    /// the backend (UNR overlaps — the paper's optimized PowerLLEL;
+    /// MPI does not — the original bulk-synchronous code).
+    pub overlap: Option<bool>,
+}
+
+impl SolverConfig {
+    pub fn small(py: usize, pz: usize) -> SolverConfig {
+        SolverConfig {
+            nx: 16,
+            ny: 16,
+            nz: 16,
+            py,
+            pz,
+            nu: 0.05,
+            dt: 2e-3,
+            lx: 1.0,
+            ly: 1.0,
+            lz: 1.0,
+            flop_ns: 2.0,
+            overlap: None,
+        }
+    }
+
+    pub fn hx(&self) -> f64 {
+        self.lx / self.nx as f64
+    }
+    pub fn hy(&self) -> f64 {
+        self.ly / self.ny as f64
+    }
+    pub fn hz(&self) -> f64 {
+        self.lz / self.nz as f64
+    }
+}
+
+/// The distributed solver state for one rank.
+pub struct Solver {
+    pub cfg: SolverConfig,
+    pub d: Decomp,
+    backend_name: &'static str,
+    // Velocity, pressure and RK stage fields (1 ghost layer).
+    pub u: Field3,
+    pub v: Field3,
+    pub w: Field3,
+    pub p: Field3,
+    us: Field3,
+    vs: Field3,
+    ws: Field3,
+    fu: Field3,
+    fv: Field3,
+    fw: Field3,
+    rhs: Field3,
+    // Communication machinery.
+    halo_a: HaloOp,
+    halo_b: HaloOp,
+    halo_p: HaloOp,
+    poisson: PoissonSolver,
+    overlap: bool,
+    pub timers: Timers,
+    steps_done: usize,
+}
+
+impl Solver {
+    /// Collective constructor.
+    pub fn new(backend: &Backend, comm: &unr_minimpi::Comm, cfg: SolverConfig) -> Solver {
+        let d = Decomp::new(comm, cfg.nx, cfg.ny, cfg.nz, cfg.py, cfg.pz);
+        let mk = || Field3::new(cfg.nx, d.ly, d.lz, 1);
+        // Two halo exchanger instances alternate between RK substeps
+        // (paper Fig 3d): each is the implicit pre-synchronization of
+        // the other.
+        let halo_a = HaloOp::new(backend, &d, 1, 3, 0);
+        let halo_b = HaloOp::new(backend, &d, 1, 3, 1);
+        let halo_p = HaloOp::new(backend, &d, 1, 1, 2);
+        let poisson = PoissonSolver::new(backend, &d, cfg.hx(), cfg.hy(), cfg.hz(), cfg.flop_ns);
+        let overlap = cfg.overlap.unwrap_or(matches!(backend, Backend::Unr(_)));
+        Solver {
+            cfg,
+            overlap,
+            backend_name: backend.name(),
+            u: mk(),
+            v: mk(),
+            w: mk(),
+            p: mk(),
+            us: mk(),
+            vs: mk(),
+            ws: mk(),
+            fu: mk(),
+            fv: mk(),
+            fw: mk(),
+            rhs: mk(),
+            halo_a,
+            halo_b,
+            halo_p,
+            poisson,
+            timers: Timers::default(),
+            steps_done: 0,
+            d,
+        }
+    }
+
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Taylor–Green-like initial condition (periodic in x/y, damped
+    /// towards the walls so the no-slip BC is consistent).
+    pub fn init_taylor_green(&mut self) {
+        let cfg = self.cfg;
+        let (hx, hy, hz) = (cfg.hx(), cfg.hy(), cfg.hz());
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let (oy, oz) = (self.d.off_y, self.d.off_z);
+        let nz = cfg.nz;
+        let fz = |zk: f64| (std::f64::consts::PI * zk).sin(); // 0 at walls
+        self.u.fill(oy, oz, |i, j, k| {
+            let x = (i as f64 + 1.0) * hx; // +x face
+            let y = (j as f64 + 0.5) * hy;
+            let z = (k as f64 + 0.5) * hz / (nz as f64 * hz);
+            (two_pi * x / cfg.lx).sin() * (two_pi * y / cfg.ly).cos() * fz(z)
+        });
+        self.v.fill(oy, oz, |i, j, k| {
+            let x = (i as f64 + 0.5) * hx;
+            let y = (j as f64 + 1.0) * hy;
+            let z = (k as f64 + 0.5) * hz / (nz as f64 * hz);
+            -(two_pi * x / cfg.lx).cos() * (two_pi * y / cfg.ly).sin() * fz(z)
+        });
+        // w = 0 initially.
+        self.w.fill(oy, oz, |_, _, _| 0.0);
+        self.enforce_w_walls();
+        self.project();
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.d.cz == 0
+    }
+    fn is_top(&self) -> bool {
+        self.d.cz + 1 == self.d.pz
+    }
+
+    /// Wall-face w values are constrained to zero.
+    fn enforce_w_walls(&mut self) {
+        if self.is_top() {
+            let lz = self.d.lz as isize;
+            for j in 0..self.d.ly as isize {
+                for i in 0..self.cfg.nx as isize {
+                    self.w.set(i, j, lz - 1, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Fill z-ghost layers with wall boundary conditions (only on wall
+    /// ranks; interior z ghosts come from the halo exchange).
+    fn z_wall_bc(u: &mut Field3, v: &mut Field3, w: &mut Field3, bottom: bool, top: bool) {
+        let (nx, ny, nz) = (u.nx as isize, u.ny as isize, u.nz as isize);
+        if bottom {
+            for j in -1..ny + 1 {
+                for i in 0..nx {
+                    // No-slip: mirror u, v; wall face below cell 0 is w[-1].
+                    let uval = u.get(i, j, 0);
+                    u.set(i, j, -1, -uval);
+                    let vval = v.get(i, j, 0);
+                    v.set(i, j, -1, -vval);
+                    w.set(i, j, -1, 0.0);
+                }
+            }
+        }
+        if top {
+            for j in -1..ny + 1 {
+                for i in 0..nx {
+                    let uval = u.get(i, j, nz - 1);
+                    u.set(i, j, nz, -uval);
+                    let vval = v.get(i, j, nz - 1);
+                    v.set(i, j, nz, -vval);
+                    // w[nz-1] is the wall itself (0); the ghost face
+                    // above mirrors to keep d(uw)/dz finite.
+                    w.set(i, j, nz, 0.0);
+                    w.set(i, j, nz - 1, 0.0);
+                }
+            }
+        }
+    }
+
+    fn p_wall_bc(p: &mut Field3, bottom: bool, top: bool) {
+        let (nx, ny, nz) = (p.nx as isize, p.ny as isize, p.nz as isize);
+        if bottom {
+            for j in -1..ny + 1 {
+                for i in 0..nx {
+                    let v = p.get(i, j, 0);
+                    p.set(i, j, -1, v);
+                }
+            }
+        }
+        if top {
+            for j in -1..ny + 1 {
+                for i in 0..nx {
+                    let v = p.get(i, j, nz - 1);
+                    p.set(i, j, nz, v);
+                }
+            }
+        }
+    }
+
+    /// Momentum right-hand side `F = -conv + nu * lap` evaluated from
+    /// `(u, v, w)` (ghosts must be current for the requested range) into
+    /// `(du, dv, dw)`, over `j` in `[j0, j1)` and `k` in `[k0, k1)`.
+    #[allow(clippy::too_many_arguments)]
+    fn momentum_rhs(
+        cfg: &SolverConfig,
+        u: &Field3,
+        v: &Field3,
+        w: &Field3,
+        du: &mut Field3,
+        dv: &mut Field3,
+        dw: &mut Field3,
+        (j0, j1): (isize, isize),
+        (k0, k1): (isize, isize),
+    ) {
+        let (hx, hy, hz) = (cfg.hx(), cfg.hy(), cfg.hz());
+        let nu = cfg.nu;
+        let nx = u.nx as isize;
+        let lap = |f: &Field3, i: isize, j: isize, k: isize| {
+            (f.get(i - 1, j, k) - 2.0 * f.get(i, j, k) + f.get(i + 1, j, k)) / (hx * hx)
+                + (f.get(i, j - 1, k) - 2.0 * f.get(i, j, k) + f.get(i, j + 1, k)) / (hy * hy)
+                + (f.get(i, j, k - 1) - 2.0 * f.get(i, j, k) + f.get(i, j, k + 1)) / (hz * hz)
+        };
+        for k in k0..k1 {
+            for j in j0..j1 {
+                for i in 0..nx {
+                    // ---- u momentum (at +x face) ----
+                    {
+                        let uc_e = 0.5 * (u.get(i, j, k) + u.get(i + 1, j, k));
+                        let uc_w = 0.5 * (u.get(i - 1, j, k) + u.get(i, j, k));
+                        let duu = (uc_e * uc_e - uc_w * uc_w) / hx;
+                        let v_n = 0.5 * (v.get(i, j, k) + v.get(i + 1, j, k));
+                        let u_n = 0.5 * (u.get(i, j, k) + u.get(i, j + 1, k));
+                        let v_s = 0.5 * (v.get(i, j - 1, k) + v.get(i + 1, j - 1, k));
+                        let u_s = 0.5 * (u.get(i, j - 1, k) + u.get(i, j, k));
+                        let duv = (u_n * v_n - u_s * v_s) / hy;
+                        let w_t = 0.5 * (w.get(i, j, k) + w.get(i + 1, j, k));
+                        let u_t = 0.5 * (u.get(i, j, k) + u.get(i, j, k + 1));
+                        let w_b = 0.5 * (w.get(i, j, k - 1) + w.get(i + 1, j, k - 1));
+                        let u_b = 0.5 * (u.get(i, j, k - 1) + u.get(i, j, k));
+                        let duw = (u_t * w_t - u_b * w_b) / hz;
+                        let at = du.idx(i as usize, j as usize, k as usize);
+                        du.data[at] = -(duu + duv + duw) + nu * lap(u, i, j, k);
+                    }
+                    // ---- v momentum (at +y face) ----
+                    {
+                        let u_e = 0.5 * (u.get(i, j, k) + u.get(i, j + 1, k));
+                        let v_e = 0.5 * (v.get(i, j, k) + v.get(i + 1, j, k));
+                        let u_w = 0.5 * (u.get(i - 1, j, k) + u.get(i - 1, j + 1, k));
+                        let v_w = 0.5 * (v.get(i - 1, j, k) + v.get(i, j, k));
+                        let dvu = (u_e * v_e - u_w * v_w) / hx;
+                        let vc_n = 0.5 * (v.get(i, j, k) + v.get(i, j + 1, k));
+                        let vc_s = 0.5 * (v.get(i, j - 1, k) + v.get(i, j, k));
+                        let dvv = (vc_n * vc_n - vc_s * vc_s) / hy;
+                        let w_t = 0.5 * (w.get(i, j, k) + w.get(i, j + 1, k));
+                        let v_t = 0.5 * (v.get(i, j, k) + v.get(i, j, k + 1));
+                        let w_b = 0.5 * (w.get(i, j, k - 1) + w.get(i, j + 1, k - 1));
+                        let v_b = 0.5 * (v.get(i, j, k - 1) + v.get(i, j, k));
+                        let dvw = (v_t * w_t - v_b * w_b) / hz;
+                        let at = dv.idx(i as usize, j as usize, k as usize);
+                        dv.data[at] = -(dvu + dvv + dvw) + nu * lap(v, i, j, k);
+                    }
+                    // ---- w momentum (at +z face) ----
+                    {
+                        let u_e = 0.5 * (u.get(i, j, k) + u.get(i, j, k + 1));
+                        let w_e = 0.5 * (w.get(i, j, k) + w.get(i + 1, j, k));
+                        let u_w = 0.5 * (u.get(i - 1, j, k) + u.get(i - 1, j, k + 1));
+                        let w_w = 0.5 * (w.get(i - 1, j, k) + w.get(i, j, k));
+                        let dwu = (u_e * w_e - u_w * w_w) / hx;
+                        let v_n = 0.5 * (v.get(i, j, k) + v.get(i, j, k + 1));
+                        let w_n = 0.5 * (w.get(i, j, k) + w.get(i, j + 1, k));
+                        let v_s = 0.5 * (v.get(i, j - 1, k) + v.get(i, j - 1, k + 1));
+                        let w_s = 0.5 * (w.get(i, j - 1, k) + w.get(i, j, k));
+                        let dwv = (v_n * w_n - v_s * w_s) / hy;
+                        let wc_t = 0.5 * (w.get(i, j, k) + w.get(i, j, k + 1));
+                        let wc_b = 0.5 * (w.get(i, j, k - 1) + w.get(i, j, k));
+                        let dww = (wc_t * wc_t - wc_b * wc_b) / hz;
+                        let at = dw.idx(i as usize, j as usize, k as usize);
+                        dw.data[at] = -(dwu + dwv + dww) + nu * lap(w, i, j, k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Halo exchange + momentum RHS for one RK substep, with
+    /// communication overlapped by interior computation when enabled.
+    /// `which` = 0: F(u) -> (us, vs, ws) via exchanger A;
+    /// `which` = 1: F(us) -> (fu, fv, fw) via exchanger B.
+    fn rhs_with_halo(&mut self, which: usize) {
+        let cfg = self.cfg;
+        let (bottom, top) = (self.is_bottom(), self.is_top());
+        let units = if which == 0 { 30 } else { 35 };
+        let ep_d = &self.d;
+        if which == 0 {
+            Self::rhs_with_halo_impl(
+                &cfg,
+                self.overlap,
+                bottom,
+                top,
+                &mut self.halo_a,
+                &mut self.u,
+                &mut self.v,
+                &mut self.w,
+                &mut self.us,
+                &mut self.vs,
+                &mut self.ws,
+                ep_d,
+                &mut self.timers,
+                units,
+            );
+        } else {
+            Self::rhs_with_halo_impl(
+                &cfg,
+                self.overlap,
+                bottom,
+                top,
+                &mut self.halo_b,
+                &mut self.us,
+                &mut self.vs,
+                &mut self.ws,
+                &mut self.fu,
+                &mut self.fv,
+                &mut self.fw,
+                ep_d,
+                &mut self.timers,
+                units,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rhs_with_halo_impl(
+        cfg: &SolverConfig,
+        overlap: bool,
+        bottom: bool,
+        top: bool,
+        halo: &mut HaloOp,
+        u: &mut Field3,
+        v: &mut Field3,
+        w: &mut Field3,
+        du: &mut Field3,
+        dv: &mut Field3,
+        dw: &mut Field3,
+        d: &Decomp,
+        timers: &mut Timers,
+        units: usize,
+    ) {
+        let ep = d.world.ep();
+        let (ly, lz) = (d.ly as isize, d.lz as isize);
+        let charge = |n: usize| ep.advance((n as f64 * cfg.flop_ns * units as f64) as Ns);
+        if overlap && ly > 2 && lz > 2 {
+            // Post transfers, compute the interior, then the shells.
+            let t = ep.now();
+            halo.start(&mut [u, v, w]);
+            timers.halo += ep.now() - t;
+
+            let t = ep.now();
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (1, ly - 1), (1, lz - 1));
+            let interior = cfg.nx * (ly as usize - 2) * (lz as usize - 2);
+            charge(interior);
+            timers.rk_compute += ep.now() - t;
+
+            let t = ep.now();
+            halo.finish(&mut [u, v, w]);
+            Self::z_wall_bc(u, v, w, bottom, top);
+            timers.halo += ep.now() - t;
+
+            let t = ep.now();
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, ly), (0, 1));
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, ly), (lz - 1, lz));
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, 1), (1, lz - 1));
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (ly - 1, ly), (1, lz - 1));
+            let shell = cfg.nx * d.ly * d.lz - interior;
+            charge(shell);
+            timers.rk_compute += ep.now() - t;
+        } else {
+            let t = ep.now();
+            halo.exchange(&mut [u, v, w]);
+            Self::z_wall_bc(u, v, w, bottom, top);
+            timers.halo += ep.now() - t;
+
+            let t = ep.now();
+            Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, ly), (0, lz));
+            charge(cfg.nx * d.ly * d.lz);
+            timers.rk_compute += ep.now() - t;
+        }
+    }
+
+    fn charge_compute(&self, points: usize) {
+        let ns = (points as f64 * self.cfg.flop_ns) as Ns;
+        self.d.world.ep().advance(ns);
+    }
+
+    fn now(&self) -> Ns {
+        self.d.world.ep().now()
+    }
+
+    fn cells(&self) -> usize {
+        self.cfg.nx * self.d.ly * self.d.lz
+    }
+
+    /// Exchange velocity halos + apply wall BCs, using exchanger `which`
+    /// (0 = A, 1 = B; alternate per RK substep).
+    fn velocity_halo(
+        halo: &mut HaloOp,
+        u: &mut Field3,
+        v: &mut Field3,
+        w: &mut Field3,
+        bottom: bool,
+        top: bool,
+    ) {
+        halo.exchange(&mut [u, v, w]);
+        Self::z_wall_bc(u, v, w, bottom, top);
+    }
+
+    /// One full time step (paper Figure 3a): RK1, RK2, PPE, correction.
+    pub fn step(&mut self) {
+        let t_start = self.now();
+        let cfg = self.cfg;
+        let dt = cfg.dt;
+
+        // ---- RK substep 1: us = u + dt F(u) ---------------------------
+        self.rhs_with_halo(0);
+        let t1 = self.now();
+        for (dst, src) in [
+            (&mut self.us, &self.u),
+            (&mut self.vs, &self.v),
+            (&mut self.ws, &self.w),
+        ] {
+            for k in 0..self.d.lz {
+                for j in 0..self.d.ly {
+                    for i in 0..cfg.nx {
+                        let at = dst.idx(i, j, k);
+                        dst.data[at] = src.data[at] + dt * dst.data[at];
+                    }
+                }
+            }
+        }
+        self.enforce_ws_walls();
+        self.charge_compute(self.cells() * 3);
+        self.timers.rk_compute += self.now() - t1;
+
+        // ---- RK substep 2: u = 0.5 (u + us + dt F(us)) ------------------
+        self.rhs_with_halo(1);
+        let t3 = self.now();
+        for k in 0..self.d.lz {
+            for j in 0..self.d.ly {
+                for i in 0..cfg.nx {
+                    let at = self.u.idx(i, j, k);
+                    let fu = self.fu.data[at];
+                    let fv = self.fv.data[at];
+                    let fw = self.fw.data[at];
+                    self.u.data[at] = 0.5 * (self.u.data[at] + self.us.data[at] + dt * fu);
+                    self.v.data[at] = 0.5 * (self.v.data[at] + self.vs.data[at] + dt * fv);
+                    self.w.data[at] = 0.5 * (self.w.data[at] + self.ws.data[at] + dt * fw);
+                }
+            }
+        }
+        self.enforce_w_walls();
+        self.charge_compute(self.cells() * 5);
+        self.timers.rk_compute += self.now() - t3;
+
+        // ---- projection -------------------------------------------------
+        self.project();
+
+        self.steps_done += 1;
+        self.timers.total += self.now() - t_start;
+    }
+
+    fn enforce_ws_walls(&mut self) {
+        if self.is_top() {
+            let lz = self.d.lz as isize;
+            for j in 0..self.d.ly as isize {
+                for i in 0..self.cfg.nx as isize {
+                    self.ws.set(i, j, lz - 1, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Pressure projection: solve ∇²p = div(u)/dt, correct velocities.
+    fn project(&mut self) {
+        let cfg = self.cfg;
+        let (bottom, top) = (self.is_bottom(), self.is_top());
+        let (hx, hy, hz) = (cfg.hx(), cfg.hy(), cfg.hz());
+        let dt = cfg.dt;
+        let cells = self.cells();
+
+        // Current-velocity halos are needed for the divergence stencil
+        // (u[i-1] wraps locally in x; v[j-1], w[k-1] cross ranks).
+        let t0 = self.now();
+        Self::velocity_halo(
+            &mut self.halo_a,
+            &mut self.u,
+            &mut self.v,
+            &mut self.w,
+            bottom,
+            top,
+        );
+        self.timers.halo += self.now() - t0;
+
+        let t1 = self.now();
+        for k in 0..self.d.lz as isize {
+            for j in 0..self.d.ly as isize {
+                for i in 0..cfg.nx as isize {
+                    let div = (self.u.get(i, j, k) - self.u.get(i - 1, j, k)) / hx
+                        + (self.v.get(i, j, k) - self.v.get(i, j - 1, k)) / hy
+                        + (self.w.get(i, j, k) - self.w.get(i, j, k - 1)) / hz;
+                    let at = self.rhs.idx(i as usize, j as usize, k as usize);
+                    self.rhs.data[at] = div / dt;
+                }
+            }
+        }
+        self.charge_compute(cells * 8);
+        self.timers.correct += self.now() - t1;
+
+        // ---- PPE solve --------------------------------------------------
+        self.poisson.solve(&self.rhs, &mut self.p, &mut self.timers);
+
+        // ---- correction --------------------------------------------------
+        let t2 = self.now();
+        self.halo_p.exchange(&mut [&mut self.p]);
+        Self::p_wall_bc(&mut self.p, bottom, top);
+        for k in 0..self.d.lz as isize {
+            for j in 0..self.d.ly as isize {
+                for i in 0..cfg.nx as isize {
+                    let du = dt * (self.p.get(i + 1, j, k) - self.p.get(i, j, k)) / hx;
+                    let dv = dt * (self.p.get(i, j + 1, k) - self.p.get(i, j, k)) / hy;
+                    let dw = dt * (self.p.get(i, j, k + 1) - self.p.get(i, j, k)) / hz;
+                    let at = self.u.idx(i as usize, j as usize, k as usize);
+                    self.u.data[at] -= du;
+                    self.v.data[at] -= dv;
+                    self.w.data[at] -= dw;
+                }
+            }
+        }
+        self.enforce_w_walls();
+        self.charge_compute(cells * 10);
+        self.timers.correct += self.now() - t2;
+    }
+
+    /// Max |div u| over the local interior (call `global_div_max` for
+    /// the reduced value).
+    pub fn local_div_max(&mut self) -> f64 {
+        let cfg = self.cfg;
+        let (bottom, top) = (self.is_bottom(), self.is_top());
+        Self::velocity_halo(
+            &mut self.halo_b,
+            &mut self.u,
+            &mut self.v,
+            &mut self.w,
+            bottom,
+            top,
+        );
+        let (hx, hy, hz) = (cfg.hx(), cfg.hy(), cfg.hz());
+        let mut m: f64 = 0.0;
+        for k in 0..self.d.lz as isize {
+            for j in 0..self.d.ly as isize {
+                for i in 0..cfg.nx as isize {
+                    let div = (self.u.get(i, j, k) - self.u.get(i - 1, j, k)) / hx
+                        + (self.v.get(i, j, k) - self.v.get(i, j - 1, k)) / hy
+                        + (self.w.get(i, j, k) - self.w.get(i, j, k - 1)) / hz;
+                    m = m.max(div.abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Globally reduced max divergence.
+    pub fn global_div_max(&mut self) -> f64 {
+        let local = self.local_div_max();
+        unr_minimpi::allreduce_f64(&self.d.world, &[local], unr_minimpi::ReduceOp::Max)[0]
+    }
+
+    /// Globally reduced kinetic energy (0.5 Σ u²+v²+w² over faces).
+    pub fn kinetic_energy(&self) -> f64 {
+        let mut e = 0.0;
+        for k in 0..self.d.lz {
+            for j in 0..self.d.ly {
+                for i in 0..self.cfg.nx {
+                    let at = self.u.idx(i, j, k);
+                    e += self.u.data[at].powi(2)
+                        + self.v.data[at].powi(2)
+                        + self.w.data[at].powi(2);
+                }
+            }
+        }
+        0.5 * unr_minimpi::allreduce_f64(&self.d.world, &[e], unr_minimpi::ReduceOp::Sum)[0]
+    }
+
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+}

@@ -1,0 +1,77 @@
+//! Phase timers (virtual time) for the runtime breakdowns of the
+//! paper's Figures 6 and 7.
+
+use unr_simnet::Ns;
+
+/// Accumulated virtual time per solver phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Timers {
+    /// Stencil / RK computation.
+    pub rk_compute: Ns,
+    /// Velocity halo exchanges (communication + pack/unpack waits).
+    pub halo: Ns,
+    /// x and y FFTs.
+    pub fft: Ns,
+    /// Pencil transposes (the all-to-alls).
+    pub transpose: Ns,
+    /// Distributed tridiagonal solve (incl. neighbor exchange).
+    pub pdd: Ns,
+    /// Pressure correction + divergence assembly.
+    pub correct: Ns,
+    /// Whole time-step wall (virtual) time.
+    pub total: Ns,
+}
+
+impl Timers {
+    /// Velocity-update portion (paper Fig 7 breakdown).
+    pub fn velocity_update(&self) -> Ns {
+        self.rk_compute + self.halo
+    }
+
+    /// PPE-solver portion (paper Fig 7 breakdown).
+    pub fn ppe(&self) -> Ns {
+        self.fft + self.transpose + self.pdd
+    }
+
+    /// Everything not covered by a specific phase.
+    pub fn other(&self) -> Ns {
+        self.total
+            .saturating_sub(self.velocity_update() + self.ppe() + self.correct)
+    }
+
+    pub fn add(&mut self, o: &Timers) {
+        self.rk_compute += o.rk_compute;
+        self.halo += o.halo;
+        self.fft += o.fft;
+        self.transpose += o.transpose;
+        self.pdd += o.pdd;
+        self.correct += o.correct;
+        self.total += o.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let t = Timers {
+            rk_compute: 10,
+            halo: 5,
+            fft: 7,
+            transpose: 3,
+            pdd: 2,
+            correct: 1,
+            total: 30,
+        };
+        assert_eq!(t.velocity_update(), 15);
+        assert_eq!(t.ppe(), 12);
+        assert_eq!(t.other(), 2);
+        let mut s = Timers::default();
+        s.add(&t);
+        s.add(&t);
+        assert_eq!(s.total, 60);
+        assert_eq!(s.ppe(), 24);
+    }
+}

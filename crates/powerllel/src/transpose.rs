@@ -1,0 +1,564 @@
+//! Pencil transposes (paper Fig 3c) with optional slab pipelining
+//! (paper Fig 3e, pipelines 1 and 3).
+//!
+//! The MPI backend performs the classic bulk alltoallv. The UNR backend
+//! splits the local z extent into `S` slabs; as soon as a slab's FFT
+//! finishes, its blocks are PUT to every row peer, and the receive side
+//! consumes slabs as their per-slab MMAS signal fires — overlapping the
+//! transpose with the FFTs on both sides.
+//!
+//! Layout contracts (f64 element counts, complex interleaved):
+//! * x-pencil buffer: `2 * nx * ly * lz`, index `((k*ly + j)*nx + i)*2`;
+//! * y-pencil buffer: `2 * lx_t * ny * lz`, index `((k*ny + j)*lx_t + i)*2`;
+//! * wire format to peer q: `for k { for j-rows { 2*chunk }}` with the
+//!   per-k block contiguous, so a z-slab is contiguous per peer.
+
+use std::sync::Arc;
+
+use unr_core::{RmaPlan, Signal, Unr};
+use unr_minimpi::Comm;
+use unr_simnet::mem::{as_bytes, vec_from_bytes};
+
+use crate::backend::Backend;
+use crate::decomp::{chunk, Decomp};
+
+pub struct TransposeOp {
+    d_nx: usize,
+    d_ny: usize,
+    ly: usize,
+    lz: usize,
+    lx_t: usize,
+    /// Per-peer byte counts (whole buffer).
+    send_counts: Vec<usize>,
+    recv_counts: Vec<usize>,
+    x_chunks: Vec<(usize, usize)>,
+    y_chunks: Vec<(usize, usize)>,
+    /// Number of pipeline slabs (1 = bulk).
+    slabs: usize,
+    imp: Imp,
+}
+
+enum Imp {
+    Mpi {
+        row: Comm,
+    },
+    Unr(Box<UnrT>),
+}
+
+struct UnrT {
+    unr: Arc<Unr>,
+    fwd_send: unr_core::UnrMem,
+    fwd_recv: unr_core::UnrMem,
+    bwd_send: unr_core::UnrMem,
+    bwd_recv: unr_core::UnrMem,
+    /// Per-slab plans and receive signals.
+    fwd_plans: Vec<RmaPlan>,
+    bwd_plans: Vec<RmaPlan>,
+    fwd_recv_sigs: Vec<Signal>,
+    bwd_recv_sigs: Vec<Signal>,
+    fwd_send_sig: Signal,
+    bwd_send_sig: Signal,
+}
+
+impl TransposeOp {
+    /// Collective over `d.row`. `slabs` is the pipeline depth for the
+    /// UNR backend (clamped to `lz`); the MPI backend is always bulk.
+    pub fn new(backend: &Backend, d: &Decomp, slabs: usize) -> TransposeOp {
+        let py = d.py;
+        let x_chunks: Vec<(usize, usize)> = (0..py).map(|q| d.x_chunk_of(q)).collect();
+        let y_chunks: Vec<(usize, usize)> = (0..py).map(|q| d.y_chunk_of(q)).collect();
+        let send_counts: Vec<usize> =
+            (0..py).map(|q| 2 * x_chunks[q].1 * d.ly * d.lz * 8).collect();
+        let recv_counts: Vec<usize> =
+            (0..py).map(|q| 2 * d.lx_t * y_chunks[q].1 * d.lz * 8).collect();
+        let slabs = slabs.clamp(1, d.lz.max(1));
+        let imp = match backend {
+            Backend::Mpi => Imp::Mpi { row: d.row.clone() },
+            Backend::Unr(unr) => {
+                Imp::Unr(Box::new(Self::build_unr(
+                    unr, d, slabs, &x_chunks, &y_chunks, &send_counts, &recv_counts,
+                )))
+            }
+        };
+        TransposeOp {
+            d_nx: d.nx,
+            d_ny: d.ny,
+            ly: d.ly,
+            lz: d.lz,
+            lx_t: d.lx_t,
+            send_counts,
+            recv_counts,
+            x_chunks,
+            y_chunks,
+            slabs: match backend {
+                Backend::Mpi => 1,
+                Backend::Unr(_) => slabs,
+            },
+            imp,
+        }
+    }
+
+    /// Number of pipeline slabs the caller should drive (1 for bulk).
+    pub fn slabs(&self) -> usize {
+        self.slabs
+    }
+
+    /// k-range of slab `s`.
+    pub fn slab_range(&self, s: usize) -> (usize, usize) {
+        let (k0, nk) = chunk(self.lz, self.slabs, s);
+        (k0, k0 + nk)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_unr(
+        unr: &Arc<Unr>,
+        d: &Decomp,
+        slabs: usize,
+        x_chunks: &[(usize, usize)],
+        y_chunks: &[(usize, usize)],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> UnrT {
+        let py = d.py;
+        let total_send: usize = send_counts.iter().sum();
+        let total_recv: usize = recv_counts.iter().sum();
+        let fwd_send = unr.mem_reg(total_send.max(8));
+        let fwd_recv = unr.mem_reg(total_recv.max(8));
+        let bwd_send = unr.mem_reg(total_recv.max(8));
+        let bwd_recv = unr.mem_reg(total_send.max(8));
+        let fwd_recv_sigs: Vec<Signal> =
+            (0..slabs).map(|_| unr.sig_init(py as i64)).collect();
+        let bwd_recv_sigs: Vec<Signal> =
+            (0..slabs).map(|_| unr.sig_init(py as i64)).collect();
+        let fwd_send_sig = unr.sig_init((py * slabs) as i64);
+        let bwd_send_sig = unr.sig_init((py * slabs) as i64);
+
+        let displ = |counts: &[usize]| {
+            let mut v = vec![0usize; counts.len()];
+            for i in 1..counts.len() {
+                v[i] = v[i - 1] + counts[i - 1];
+            }
+            v
+        };
+        let sd = displ(send_counts);
+        let rd = displ(recv_counts);
+
+        // Publish per-(peer, slab) receive blocks of fwd_recv / bwd_recv.
+        // fwd: peer q writes, per slab s, nk * yl_q * 2*lx_t doubles at
+        //      rd[q] + k0 * yl_q * 2*lx_t elements.
+        // bwd: peer q writes nk * ly * 2*xl_q at sd[q] + k0 * ly * 2*xl_q.
+        let comm = &d.row;
+        let me = comm.rank();
+        let mut fwd_flat = Vec::new();
+        let mut bwd_flat = Vec::new();
+        for s in 0..slabs {
+            let (k0, nk) = chunk(d.lz, slabs, s);
+            for q in 0..py {
+                let ylq = y_chunks[q].1;
+                let off = rd[q] + k0 * ylq * 2 * d.lx_t * 8;
+                let len = nk * ylq * 2 * d.lx_t * 8;
+                fwd_flat.extend_from_slice(
+                    &unr.blk_init(&fwd_recv, off, len, Some(&fwd_recv_sigs[s])).to_bytes(),
+                );
+                let xlq = x_chunks[q].1;
+                let boff = sd[q] + k0 * d.ly * 2 * xlq * 8;
+                let blen = nk * d.ly * 2 * xlq * 8;
+                bwd_flat.extend_from_slice(
+                    &unr.blk_init(&bwd_recv, boff, blen, Some(&bwd_recv_sigs[s])).to_bytes(),
+                );
+            }
+        }
+        let all_fwd = unr_minimpi::allgather_bytes(comm, &fwd_flat);
+        let all_bwd = unr_minimpi::allgather_bytes(comm, &bwd_flat);
+
+        // Build per-slab plans: slab s of MY send buffer to each peer's
+        // published (peer=me, slab=s) receive block.
+        let wire = unr_core::BLK_WIRE_LEN;
+        let mut fwd_plans = Vec::with_capacity(slabs);
+        let mut bwd_plans = Vec::with_capacity(slabs);
+        for s in 0..slabs {
+            let (k0, nk) = chunk(d.lz, slabs, s);
+            let mut fp = RmaPlan::new();
+            let mut bp = RmaPlan::new();
+            for q in 0..py {
+                // Forward: my x-chunk restriction to peer q; q's table
+                // entry for (slab s, source me).
+                let tgt = unr_core::Blk::from_bytes(
+                    &all_fwd[q][(s * py + me) * wire..(s * py + me + 1) * wire],
+                )
+                .expect("blk table");
+                let xlq = x_chunks[q].1;
+                let off = sd[q] + k0 * d.ly * 2 * xlq * 8;
+                let len = nk * d.ly * 2 * xlq * 8;
+                fp.put(&unr.blk_init(&fwd_send, off, len, Some(&fwd_send_sig)), &tgt);
+
+                let btgt = unr_core::Blk::from_bytes(
+                    &all_bwd[q][(s * py + me) * wire..(s * py + me + 1) * wire],
+                )
+                .expect("blk table");
+                let ylq = y_chunks[q].1;
+                let boff = rd[q] + k0 * ylq * 2 * d.lx_t * 8;
+                let blen = nk * ylq * 2 * d.lx_t * 8;
+                bp.put(&unr.blk_init(&bwd_send, boff, blen, Some(&bwd_send_sig)), &btgt);
+            }
+            fwd_plans.push(fp);
+            bwd_plans.push(bp);
+        }
+        UnrT {
+            unr: Arc::clone(unr),
+            fwd_send,
+            fwd_recv,
+            bwd_send,
+            bwd_recv,
+            fwd_plans,
+            bwd_plans,
+            fwd_recv_sigs,
+            bwd_recv_sigs,
+            fwd_send_sig,
+            bwd_send_sig,
+        }
+    }
+
+    // ---- pack / unpack -------------------------------------------------------
+
+    /// Pack slab `s` (k in [k0, k1)) of an x-pencil array into the
+    /// forward wire layout; returns (element offset in the send buffer
+    /// region per peer handled internally).
+    fn pack_fwd_slab(&self, s: usize, xp: &[f64], out: &mut Vec<f64>, offs: &mut Vec<usize>) {
+        let (k0, k1) = self.slab_range(s);
+        let (ly, nx) = (self.ly, self.d_nx);
+        out.clear();
+        offs.clear();
+        let mut sd = 0;
+        for (q, (xs, xl)) in self.x_chunks.iter().enumerate() {
+            // Element offset of (peer q, slab s) in the send buffer.
+            offs.push(sd + k0 * ly * 2 * xl);
+            for k in k0..k1 {
+                for j in 0..ly {
+                    let row = ((k * ly + j) * nx + xs) * 2;
+                    out.extend_from_slice(&xp[row..row + 2 * xl]);
+                }
+            }
+            sd += self.send_counts[q] / 8;
+        }
+    }
+
+    /// Unpack slab `s` of the forward receive buffer into a y-pencil
+    /// array. `data` holds, per peer, the slab's rows (concatenated in
+    /// peer order).
+    fn unpack_fwd_slab(&self, s: usize, data: &[f64], yp: &mut [f64]) {
+        let (k0, k1) = self.slab_range(s);
+        let (lx_t, ny) = (self.lx_t, self.d_ny);
+        let mut off = 0;
+        for (ys, yl) in &self.y_chunks {
+            for k in k0..k1 {
+                for j in 0..*yl {
+                    let row = ((k * ny + (ys + j)) * lx_t) * 2;
+                    yp[row..row + 2 * lx_t].copy_from_slice(&data[off..off + 2 * lx_t]);
+                    off += 2 * lx_t;
+                }
+            }
+        }
+        debug_assert_eq!(off, data.len());
+    }
+
+    fn pack_bwd_slab(&self, s: usize, yp: &[f64], out: &mut Vec<f64>, offs: &mut Vec<usize>) {
+        let (k0, k1) = self.slab_range(s);
+        let (lx_t, ny) = (self.lx_t, self.d_ny);
+        out.clear();
+        offs.clear();
+        let mut rdisp = 0;
+        for (q, (ys, yl)) in self.y_chunks.iter().enumerate() {
+            offs.push(rdisp + k0 * yl * 2 * lx_t);
+            for k in k0..k1 {
+                for j in 0..*yl {
+                    let row = ((k * ny + (ys + j)) * lx_t) * 2;
+                    out.extend_from_slice(&yp[row..row + 2 * lx_t]);
+                }
+            }
+            rdisp += self.recv_counts[q] / 8;
+        }
+    }
+
+    fn unpack_bwd_slab(&self, s: usize, data: &[f64], xp: &mut [f64]) {
+        let (k0, k1) = self.slab_range(s);
+        let (ly, nx) = (self.ly, self.d_nx);
+        let mut off = 0;
+        for (xs, xl) in &self.x_chunks {
+            for k in k0..k1 {
+                for j in 0..ly {
+                    let row = ((k * ly + j) * nx + xs) * 2;
+                    xp[row..row + 2 * xl].copy_from_slice(&data[off..off + 2 * xl]);
+                    off += 2 * xl;
+                }
+            }
+        }
+        debug_assert_eq!(off, data.len());
+    }
+
+    // ---- pipelined protocol (UNR) ---------------------------------------------
+
+    /// Send slab `s` of the x-pencil buffer to every peer.
+    pub fn fwd_send_slab(&mut self, s: usize, xp: &[f64]) {
+        let mut packed = Vec::new();
+        let mut offs = Vec::new();
+        self.pack_fwd_slab(s, xp, &mut packed, &mut offs);
+        let (k0, k1) = self.slab_range(s);
+        let nk = k1 - k0;
+        let lens: Vec<usize> = self
+            .x_chunks
+            .iter()
+            .map(|(_, xl)| nk * self.ly * 2 * xl)
+            .collect();
+        let Imp::Unr(u) = &mut self.imp else {
+            panic!("pipelined transpose on the MPI backend")
+        };
+        // Scatter the packed per-peer chunks into the send region.
+        let mut src = 0;
+        for (q, &len) in lens.iter().enumerate() {
+            u.fwd_send.write_slice(offs[q], &packed[src..src + len]);
+            src += len;
+        }
+        u.fwd_plans[s].start(&u.unr).expect("fwd slab puts");
+    }
+
+    /// Wait until any of the still-pending forward slabs has arrived;
+    /// returns its index. `pending[s]` marks slabs not yet consumed.
+    pub fn fwd_wait_any(&self, pending: &[bool]) -> usize {
+        let Imp::Unr(u) = &self.imp else {
+            panic!("pipelined transpose on the MPI backend")
+        };
+        let sigs: Vec<&unr_core::Signal> = u
+            .fwd_recv_sigs
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| pending[*s])
+            .map(|(_, sig)| sig)
+            .collect();
+        let local = u.unr.sig_wait_any(&sigs).expect("fwd slab wait-any");
+        // Map back to the global slab index.
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(s, _)| s)
+            .nth(local)
+            .expect("index in range")
+    }
+
+    /// Same for the backward direction.
+    pub fn bwd_wait_any(&self, pending: &[bool]) -> usize {
+        let Imp::Unr(u) = &self.imp else {
+            panic!("pipelined transpose on the MPI backend")
+        };
+        let sigs: Vec<&unr_core::Signal> = u
+            .bwd_recv_sigs
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| pending[*s])
+            .map(|(_, sig)| sig)
+            .collect();
+        let local = u.unr.sig_wait_any(&sigs).expect("bwd slab wait-any");
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(s, _)| s)
+            .nth(local)
+            .expect("index in range")
+    }
+
+    /// Wait for slab `s` to arrive and unpack it into the y-pencil
+    /// buffer.
+    pub fn fwd_recv_slab(&mut self, s: usize, yp: &mut [f64]) {
+        let (k0, k1) = self.slab_range(s);
+        let nk = k1 - k0;
+        // (element offset, element length) per peer for this slab.
+        let mut spans = Vec::with_capacity(self.y_chunks.len());
+        let mut rd = 0;
+        for (q, (_, yl)) in self.y_chunks.iter().enumerate() {
+            spans.push((rd + k0 * yl * 2 * self.lx_t, nk * yl * 2 * self.lx_t));
+            rd += self.recv_counts[q] / 8;
+        }
+        let data = {
+            let Imp::Unr(u) = &mut self.imp else {
+                panic!("pipelined transpose on the MPI backend")
+            };
+            u.unr.sig_wait(&u.fwd_recv_sigs[s]).expect("fwd slab recv");
+            u.fwd_recv_sigs[s].reset().expect("fwd slab signal clean");
+            let mut data = Vec::new();
+            let mut buf = Vec::new();
+            for &(off, len) in &spans {
+                buf.resize(len, 0.0);
+                u.fwd_recv.read_slice(off, &mut buf);
+                data.extend_from_slice(&buf);
+            }
+            data
+        };
+        self.unpack_fwd_slab(s, &data, yp);
+    }
+
+    /// Wait for all forward send completions (source reusable).
+    pub fn fwd_complete(&mut self) {
+        if let Imp::Unr(u) = &mut self.imp {
+            u.unr.sig_wait(&u.fwd_send_sig).expect("fwd sends");
+            u.fwd_send_sig.reset().expect("fwd send signal clean");
+        }
+    }
+
+    pub fn bwd_send_slab(&mut self, s: usize, yp: &[f64]) {
+        let mut packed = Vec::new();
+        let mut offs = Vec::new();
+        self.pack_bwd_slab(s, yp, &mut packed, &mut offs);
+        let (k0, k1) = self.slab_range(s);
+        let nk = k1 - k0;
+        let lens: Vec<usize> = self
+            .y_chunks
+            .iter()
+            .map(|(_, yl)| nk * yl * 2 * self.lx_t)
+            .collect();
+        let Imp::Unr(u) = &mut self.imp else {
+            panic!("pipelined transpose on the MPI backend")
+        };
+        let mut src = 0;
+        for (q, &len) in lens.iter().enumerate() {
+            u.bwd_send.write_slice(offs[q], &packed[src..src + len]);
+            src += len;
+        }
+        u.bwd_plans[s].start(&u.unr).expect("bwd slab puts");
+    }
+
+    pub fn bwd_recv_slab(&mut self, s: usize, xp: &mut [f64]) {
+        let (k0, k1) = self.slab_range(s);
+        let nk = k1 - k0;
+        let mut spans = Vec::with_capacity(self.x_chunks.len());
+        let mut sd = 0;
+        for (q, (_, xl)) in self.x_chunks.iter().enumerate() {
+            spans.push((sd + k0 * self.ly * 2 * xl, nk * self.ly * 2 * xl));
+            sd += self.send_counts[q] / 8;
+        }
+        let data = {
+            let Imp::Unr(u) = &mut self.imp else {
+                panic!("pipelined transpose on the MPI backend")
+            };
+            u.unr.sig_wait(&u.bwd_recv_sigs[s]).expect("bwd slab recv");
+            u.bwd_recv_sigs[s].reset().expect("bwd slab signal clean");
+            let mut data = Vec::new();
+            let mut buf = Vec::new();
+            for &(off, len) in &spans {
+                buf.resize(len, 0.0);
+                u.bwd_recv.read_slice(off, &mut buf);
+                data.extend_from_slice(&buf);
+            }
+            data
+        };
+        self.unpack_bwd_slab(s, &data, xp);
+    }
+
+    pub fn bwd_complete(&mut self) {
+        if let Imp::Unr(u) = &mut self.imp {
+            u.unr.sig_wait(&u.bwd_send_sig).expect("bwd sends");
+            u.bwd_send_sig.reset().expect("bwd send signal clean");
+        }
+    }
+
+    // ---- bulk protocol (MPI, and UNR fallback path) -------------------------
+
+    /// Bulk x-pencil -> y-pencil (blocking).
+    pub fn forward(&mut self, xp: &[f64], yp: &mut [f64]) {
+        assert_eq!(xp.len(), 2 * self.d_nx * self.ly * self.lz);
+        assert_eq!(yp.len(), 2 * self.lx_t * self.d_ny * self.lz);
+        if matches!(self.imp, Imp::Unr(_)) {
+            for s in 0..self.slabs {
+                self.fwd_send_slab(s, xp);
+            }
+            for s in 0..self.slabs {
+                self.fwd_recv_slab(s, yp);
+            }
+            self.fwd_complete();
+            return;
+        }
+        let row = match &self.imp {
+            Imp::Mpi { row } => row.clone(),
+            Imp::Unr(_) => unreachable!(),
+        };
+        // Pack whole buffer in wire order.
+        let mut packed = Vec::with_capacity(xp.len());
+        for (xs, xl) in &self.x_chunks {
+            for k in 0..self.lz {
+                for j in 0..self.ly {
+                    let r = ((k * self.ly + j) * self.d_nx + xs) * 2;
+                    packed.extend_from_slice(&xp[r..r + 2 * xl]);
+                }
+            }
+        }
+        let recv = unr_minimpi::alltoallv_bytes(
+            &row,
+            as_bytes(&packed),
+            &self.send_counts,
+            &self.recv_counts,
+        );
+        let data = vec_from_bytes::<f64>(&recv);
+        let mut off = 0;
+        for (ys, yl) in &self.y_chunks {
+            for k in 0..self.lz {
+                for j in 0..*yl {
+                    let r = ((k * self.d_ny + (ys + j)) * self.lx_t) * 2;
+                    yp[r..r + 2 * self.lx_t].copy_from_slice(&data[off..off + 2 * self.lx_t]);
+                    off += 2 * self.lx_t;
+                }
+            }
+        }
+    }
+
+    /// Bulk y-pencil -> x-pencil (blocking).
+    pub fn backward(&mut self, yp: &[f64], xp: &mut [f64]) {
+        assert_eq!(yp.len(), 2 * self.lx_t * self.d_ny * self.lz);
+        assert_eq!(xp.len(), 2 * self.d_nx * self.ly * self.lz);
+        if matches!(self.imp, Imp::Unr(_)) {
+            for s in 0..self.slabs {
+                self.bwd_send_slab(s, yp);
+            }
+            for s in 0..self.slabs {
+                self.bwd_recv_slab(s, xp);
+            }
+            self.bwd_complete();
+            return;
+        }
+        let row = match &self.imp {
+            Imp::Mpi { row } => row.clone(),
+            Imp::Unr(_) => unreachable!(),
+        };
+        let mut packed = Vec::with_capacity(yp.len());
+        for (ys, yl) in &self.y_chunks {
+            for k in 0..self.lz {
+                for j in 0..*yl {
+                    let r = ((k * self.d_ny + (ys + j)) * self.lx_t) * 2;
+                    packed.extend_from_slice(&yp[r..r + 2 * self.lx_t]);
+                }
+            }
+        }
+        let recv = unr_minimpi::alltoallv_bytes(
+            &row,
+            as_bytes(&packed),
+            &self.recv_counts,
+            &self.send_counts,
+        );
+        let data = vec_from_bytes::<f64>(&recv);
+        let mut off = 0;
+        for (xs, xl) in &self.x_chunks {
+            for k in 0..self.lz {
+                for j in 0..self.ly {
+                    let r = ((k * self.ly + j) * self.d_nx + xs) * 2;
+                    xp[r..r + 2 * xl].copy_from_slice(&data[off..off + 2 * xl]);
+                    off += 2 * xl;
+                }
+            }
+        }
+    }
+
+    /// Whether the caller can drive the slab-pipelined protocol.
+    pub fn pipelined(&self) -> bool {
+        matches!(self.imp, Imp::Unr(_)) && self.slabs > 1
+    }
+}

@@ -1,0 +1,177 @@
+//! Platform presets reproducing the paper's Table III.
+//!
+//! Each preset captures the interconnect characteristics that matter for
+//! the evaluation: link speed, NIC count per node, base latency, and the
+//! notifiable-RMA interface exposed. CPU core counts are carried along
+//! for the PowerLLEL experiments (polling-thread core reservation).
+//!
+//! Latency values are not printed in the paper's Table III; the presets
+//! use representative figures for each technology (GLEX ≈ 1.3–1.5 µs,
+//! EDR InfiniBand ≈ 1.1 µs, 25 GbE RoCE ≈ 2.2 µs) — the *relative*
+//! behaviour across sync schemes, which is what Figure 4 shows, does not
+//! depend on the exact constants.
+
+use crate::fabric::FabricConfig;
+use crate::nic::{InterfaceKind, InterfaceSpec, NicModel};
+use crate::time::SEC;
+
+/// One experiment platform (a row of Table III).
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    pub name: &'static str,
+    pub abbrev: &'static str,
+    pub deployed: u32,
+    pub cpu_desc: &'static str,
+    pub nic_desc: &'static str,
+    /// NICs per node.
+    pub nics_per_node: usize,
+    /// Per-NIC link speed, Gb/s.
+    pub gbps: f64,
+    /// One-way small-message latency, µs.
+    pub latency_us: f64,
+    /// Arrival jitter fraction (adaptive-routing model).
+    pub jitter_frac: f64,
+    pub iface: InterfaceKind,
+    /// Cores per node (for the PowerLLEL thread experiments).
+    pub cores_per_node: usize,
+    /// Node count used in the paper's largest run.
+    pub paper_nodes: usize,
+}
+
+impl Platform {
+    /// Tianhe-Xingyi: 2 × 200 Gb/s new TH Express NICs, GLEX interface.
+    pub const fn th_xy() -> Self {
+        Platform {
+            name: "Tianhe-Xingyi Supercomputing System",
+            abbrev: "TH-XY",
+            deployed: 2024,
+            cpu_desc: "2x Multi-core CPU",
+            nic_desc: "2x200Gbps new TH Express NICs",
+            nics_per_node: 2,
+            gbps: 200.0,
+            latency_us: 1.3,
+            jitter_frac: 0.15,
+            iface: InterfaceKind::Glex,
+            cores_per_node: 32,
+            paper_nodes: 1728,
+        }
+    }
+
+    /// Tianhe-2A: one 114 Gb/s TH Express NIC, GLEX interface.
+    pub const fn th_2a() -> Self {
+        Platform {
+            name: "Tianhe-2A Supercomputing System",
+            abbrev: "TH-2A",
+            deployed: 2013,
+            cpu_desc: "2x Xeon E5-2692 v2 12-core CPU",
+            nic_desc: "114Gbps TH Express NIC",
+            nics_per_node: 1,
+            gbps: 114.0,
+            latency_us: 1.5,
+            jitter_frac: 0.15,
+            iface: InterfaceKind::Glex,
+            cores_per_node: 24,
+            paper_nodes: 192,
+        }
+    }
+
+    /// InfiniBand cluster: 100 Gb/s EDR ConnectX-5, Verbs interface.
+    pub const fn hpc_ib() -> Self {
+        Platform {
+            name: "HPC system interconnected by Infiniband",
+            abbrev: "HPC-IB",
+            deployed: 2019,
+            cpu_desc: "2x Xeon Gold 6150 18-core CPU",
+            nic_desc: "100Gbps EDR ConnectX-5 NIC",
+            nics_per_node: 1,
+            gbps: 100.0,
+            latency_us: 1.1,
+            jitter_frac: 0.1,
+            iface: InterfaceKind::Verbs,
+            cores_per_node: 36,
+            paper_nodes: 24,
+        }
+    }
+
+    /// RoCE cluster: 25 Gb/s ConnectX-4 Lx, Verbs interface.
+    pub const fn hpc_roce() -> Self {
+        Platform {
+            name: "HPC system interconnected by RoCE",
+            abbrev: "HPC-RoCE",
+            deployed: 2019,
+            cpu_desc: "2x Xeon Gold 6150 18-core CPU",
+            nic_desc: "25Gbps ConnectX-4 Lx NIC",
+            nics_per_node: 1,
+            gbps: 25.0,
+            latency_us: 2.2,
+            jitter_frac: 0.1,
+            iface: InterfaceKind::Verbs,
+            cores_per_node: 36,
+            paper_nodes: 12,
+        }
+    }
+
+    /// All four platforms in Table III order.
+    pub const fn all() -> [Platform; 4] {
+        [
+            Platform::th_xy(),
+            Platform::th_2a(),
+            Platform::hpc_ib(),
+            Platform::hpc_roce(),
+        ]
+    }
+
+    /// Build a fabric configuration for `nodes` nodes with
+    /// `ranks_per_node` ranks each.
+    pub fn fabric_config(&self, nodes: usize, ranks_per_node: usize) -> FabricConfig {
+        FabricConfig {
+            nodes,
+            ranks_per_node,
+            nics_per_node: self.nics_per_node,
+            nic: NicModel::new(self.latency_us, self.gbps).with_jitter(self.jitter_frac),
+            intra: NicModel::new(0.35, 500.0),
+            iface: InterfaceSpec::lookup(self.iface),
+            cq_capacity: 65536,
+            seed: 0xC0FFEE ^ (nodes as u64) << 8 ^ ranks_per_node as u64,
+            virtual_time_cap: 24 * 3_600 * SEC,
+            trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_platforms_match_table3() {
+        let all = Platform::all();
+        assert_eq!(all[0].abbrev, "TH-XY");
+        assert_eq!(all[0].nics_per_node, 2);
+        assert_eq!(all[0].paper_nodes, 1728);
+        assert_eq!(all[1].abbrev, "TH-2A");
+        assert!((all[1].gbps - 114.0).abs() < 1e-9);
+        assert_eq!(all[2].iface, InterfaceKind::Verbs);
+        assert_eq!(all[3].abbrev, "HPC-RoCE");
+        assert!((all[3].gbps - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabric_config_is_consistent() {
+        let cfg = Platform::th_xy().fabric_config(4, 2);
+        assert_eq!(cfg.total_ranks(), 8);
+        assert_eq!(cfg.nics_per_node, 2);
+        assert_eq!(cfg.node_of(3), 1);
+        assert!(cfg.iface.rma_capable);
+    }
+
+    #[test]
+    fn glex_supports_wider_custom_bits_than_verbs() {
+        let glex = Platform::th_xy().fabric_config(2, 1);
+        let verbs = Platform::hpc_ib().fabric_config(2, 1);
+        assert!(
+            glex.iface.custom_bits.put_remote > verbs.iface.custom_bits.put_remote,
+            "Table II ordering must hold"
+        );
+    }
+}

@@ -1,0 +1,663 @@
+//! The conservative discrete-event scheduler.
+//!
+//! Every participant in a simulation — application ranks, library-internal
+//! agents such as the UNR polling thread — is an **actor**: a real OS
+//! thread with a *local virtual clock*. The scheduler enforces a single
+//! global rule: at any instant, the runnable entity (ready actor or
+//! pending fabric event) with the smallest virtual timestamp executes.
+//! Because nothing ever executes "in the past" of anything else, the
+//! simulation is causally exact and — ties broken deterministically —
+//! bit-reproducible across runs.
+//!
+//! Actors interact with the simulation only through the methods on
+//! [`SimCore`] (via their [`ActorHandle`]). Between calls they run
+//! arbitrary Rust code; that code cannot observe simulation state, so its
+//! real-time interleaving is irrelevant.
+//!
+//! Events are boxed closures run *inside* the scheduler loop with the
+//! scheduler state borrowed mutably; they perform fabric effects (memory
+//! writes, queue pushes) and wake blocked actors.
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::time::Ns;
+
+/// Identifies an actor within one [`SimCore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A fabric event: a timestamped effect applied inside the scheduler.
+pub(crate) struct EventEntry {
+    pub t: Ns,
+    pub seq: u64,
+    pub f: Box<dyn FnOnce(&mut Sched) + Send>,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActorState {
+    /// Registered, but its thread has not called `begin()` yet.
+    NotStarted,
+    /// Currently chosen to execute.
+    Running,
+    /// Wants to execute; in the ready heap.
+    Ready,
+    /// Parked until another entity wakes it.
+    Blocked,
+    /// Finished; never runs again.
+    Finished,
+}
+
+struct ActorSlot {
+    t: Ns,
+    state: ActorState,
+    name: String,
+}
+
+/// Scheduler state. All mutation happens under one mutex; events run with
+/// this borrowed mutably.
+pub struct Sched {
+    actors: Vec<ActorSlot>,
+    /// Min-heap of (time, actor-id) for Ready actors.
+    ready: BinaryHeap<Reverse<(Ns, usize)>>,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    current: Option<usize>,
+    live: usize,
+    event_seq: u64,
+    /// Total events executed (for diagnostics).
+    pub(crate) events_run: u64,
+    /// Virtual-time ceiling; exceeding it panics (runaway guard).
+    cap: Ns,
+}
+
+impl Sched {
+    /// Schedule an event at absolute virtual time `t`.
+    pub fn schedule_at(&mut self, t: Ns, f: impl FnOnce(&mut Sched) + Send + 'static) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(Reverse(EventEntry {
+            t,
+            seq,
+            f: Box::new(f),
+        }));
+    }
+
+    /// Wake a blocked actor so it becomes ready no earlier than `t`.
+    ///
+    /// No-op if the actor is already ready, running, or finished: wakes
+    /// are level-triggered; the woken actor re-checks its predicate.
+    pub fn wake(&mut self, id: ActorId, t: Ns) {
+        let slot = &mut self.actors[id.0];
+        if slot.state == ActorState::Blocked {
+            slot.t = slot.t.max(t);
+            slot.state = ActorState::Ready;
+            self.ready.push(Reverse((slot.t, id.0)));
+        }
+    }
+
+    /// Local virtual time of an actor.
+    pub fn actor_time(&self, id: ActorId) -> Ns {
+        self.actors[id.0].t
+    }
+
+    fn ready_min(&mut self) -> Option<(Ns, usize)> {
+        // Lazily drop stale heap entries (an actor may have been woken,
+        // chosen, blocked and re-woken, leaving duplicates behind).
+        while let Some(&Reverse((t, id))) = self.ready.peek() {
+            let slot = &self.actors[id];
+            if slot.state == ActorState::Ready && slot.t == t {
+                return Some((t, id));
+            }
+            self.ready.pop();
+        }
+        None
+    }
+
+    /// Core dispatch loop: run due events and select the next actor.
+    /// Events win ties against actors (an arrival "at" time t is visible
+    /// to an actor acting at t).
+    ///
+    /// Registered-but-not-started actors gate progress: nothing may
+    /// execute past the earliest pending start time, otherwise a slow OS
+    /// thread spawn would let the simulation run ahead of an actor's
+    /// causal past.
+    fn dispatch(&mut self) {
+        if self.current.is_some() {
+            return;
+        }
+        loop {
+            let gate = self
+                .actors
+                .iter()
+                .filter(|s| s.state == ActorState::NotStarted)
+                .map(|s| s.t)
+                .min();
+            let a = self.ready_min();
+            let a = match (a, gate) {
+                (Some((ta, _)), Some(g)) if ta > g => None,
+                (a, _) => a,
+            };
+            let run_event = match (self.events.peek(), a) {
+                (Some(Reverse(e)), Some((ta, _))) => {
+                    e.t <= ta && gate.is_none_or(|g| e.t <= g)
+                }
+                (Some(Reverse(e)), None) => gate.is_none_or(|g| e.t <= g),
+                (None, _) => false,
+            };
+            if run_event {
+                let Reverse(ev) = self.events.pop().expect("peeked");
+                if ev.t > self.cap {
+                    panic!(
+                        "simulation exceeded virtual time cap ({} ns > {} ns); \
+                         likely a livelock or runaway agent",
+                        ev.t, self.cap
+                    );
+                }
+                self.events_run += 1;
+                (ev.f)(self);
+                continue;
+            }
+            match a {
+                Some((_, id)) => {
+                    // Re-fetch; the heap entry was validated by ready_min.
+                    self.ready.pop();
+                    self.actors[id].state = ActorState::Running;
+                    self.current = Some(id);
+                    return;
+                }
+                None => {
+                    // No events, no ready actors. If some actor has not
+                    // started yet, simply wait for its begin() (it will
+                    // re-dispatch); only report deadlock when every live
+                    // actor is genuinely blocked.
+                    let not_started = self
+                        .actors
+                        .iter()
+                        .any(|s| s.state == ActorState::NotStarted);
+                    let blocked: Vec<&ActorSlot> = self
+                        .actors
+                        .iter()
+                        .filter(|s| s.state == ActorState::Blocked)
+                        .collect();
+                    if !blocked.is_empty() && !not_started {
+                        let names: Vec<String> = blocked
+                            .iter()
+                            .map(|s| format!("{} (t={} ns)", s.name, s.t))
+                            .collect();
+                        panic!(
+                            "virtual-time deadlock: {} actor(s) blocked with no pending \
+                             events: [{}]. This usually means a synchronization bug \
+                             (a signal that is never triggered, or a receive without \
+                             a matching send).",
+                            names.len(),
+                            names.join(", ")
+                        );
+                    }
+                    return; // all finished
+                }
+            }
+        }
+    }
+}
+
+/// The shared scheduler.
+pub struct SimCore {
+    state: Mutex<Sched>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl SimCore {
+    /// Create a scheduler with a virtual-time ceiling (runaway guard).
+    pub fn new(virtual_time_cap: Ns) -> Arc<Self> {
+        Arc::new(SimCore {
+            state: Mutex::new(Sched {
+                actors: Vec::new(),
+                ready: BinaryHeap::new(),
+                events: BinaryHeap::new(),
+                current: None,
+                live: 0,
+                event_seq: 0,
+                events_run: 0,
+                cap: virtual_time_cap,
+            }),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// Register a new actor starting at virtual time `t0`. The actor does
+    /// not run until its thread calls [`ActorHandle::begin`].
+    pub fn register_actor(self: &Arc<Self>, name: &str, t0: Ns) -> ActorHandle {
+        let mut st = self.state.lock();
+        let id = st.actors.len();
+        st.actors.push(ActorSlot {
+            t: t0,
+            state: ActorState::NotStarted,
+            name: name.to_string(),
+        });
+        st.live += 1;
+        ActorHandle {
+            core: Arc::clone(self),
+            id: ActorId(id),
+        }
+    }
+
+    /// Total events executed so far (diagnostic).
+    pub fn events_run(&self) -> u64 {
+        self.state.lock().events_run
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!("simulation previously panicked; scheduler is poisoned");
+        }
+    }
+
+    /// Become the scheduled (minimum-time) entity. Returns with the lock
+    /// held and `current == me`.
+    fn acquire(&self, me: ActorId) -> parking_lot::MutexGuard<'_, Sched> {
+        self.check_poison();
+        let mut st = self.state.lock();
+        debug_assert!(
+            st.actors[me.0].state == ActorState::Running || st.current != Some(me.0),
+            "re-entrant acquire"
+        );
+        if st.current == Some(me.0) {
+            return st;
+        }
+        let t = st.actors[me.0].t;
+        st.actors[me.0].state = ActorState::Ready;
+        st.ready.push(Reverse((t, me.0)));
+        st.dispatch();
+        while st.current != Some(me.0) {
+            self.cv.notify_all();
+            self.cv.wait(&mut st);
+            self.check_poison();
+        }
+        st
+    }
+
+    /// Release the scheduler after an op; pick the next entity.
+    fn release(&self, mut st: parking_lot::MutexGuard<'_, Sched>, me: ActorId) {
+        debug_assert_eq!(st.current, Some(me.0));
+        // Stay "current": the next acquire() by this actor is then a
+        // no-op fast path. Other actors steal currency via acquire()'s
+        // dispatch only when this actor really yields (park/advance).
+        // However, leaving current set would starve smaller-time actors,
+        // so we must genuinely yield whenever someone earlier is waiting.
+        st.current = None;
+        st.actors[me.0].state = ActorState::Ready;
+        let t = st.actors[me.0].t;
+        st.ready.push(Reverse((t, me.0)));
+        st.dispatch();
+        // If we are still the global minimum, dispatch re-selected us and
+        // we keep running with no context switch; otherwise wake whoever
+        // was selected.
+        let chosen_other = st.current != Some(me.0);
+        drop(st);
+        if chosen_other {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Run `f` as a scheduled op at the actor's current time.
+    fn op<R>(&self, me: ActorId, f: impl FnOnce(&mut Sched, ActorId) -> R) -> R {
+        let mut st = self.acquire(me);
+        let r = f(&mut st, me);
+        self.release(st, me);
+        r
+    }
+}
+
+/// Per-thread handle an actor uses to talk to the scheduler.
+///
+/// Not `Clone`: a handle identifies one OS thread's actor. Spawn agents
+/// with [`SimCore::register_actor`] instead of sharing handles.
+pub struct ActorHandle {
+    core: Arc<SimCore>,
+    id: ActorId,
+}
+
+impl fmt::Debug for ActorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ActorHandle({})", self.id)
+    }
+}
+
+impl ActorHandle {
+    /// The scheduler this actor belongs to.
+    pub fn core(&self) -> &Arc<SimCore> {
+        &self.core
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// First synchronization: call once at thread start.
+    pub fn begin(&self) {
+        let core = &self.core;
+        let mut st = core.state.lock();
+        let t = st.actors[self.id.0].t;
+        st.actors[self.id.0].state = ActorState::Ready;
+        st.ready.push(Reverse((t, self.id.0)));
+        st.dispatch();
+        while st.current != Some(self.id.0) {
+            core.cv.notify_all();
+            core.cv.wait(&mut st);
+            core.check_poison();
+        }
+        drop(st);
+    }
+
+    /// Final synchronization: call once when the actor's work is done.
+    pub fn end(&self) {
+        let mut st = self.core.acquire(self.id);
+        st.actors[self.id.0].state = ActorState::Finished;
+        st.live -= 1;
+        st.current = None;
+        st.dispatch();
+        drop(st);
+        self.core.cv.notify_all();
+    }
+
+    /// Local virtual time.
+    pub fn now(&self) -> Ns {
+        self.core.op(self.id, |st, me| st.actors[me.0].t)
+    }
+
+    /// Advance local virtual time by `dt` (models computation or
+    /// software overhead) and yield to earlier entities.
+    pub fn advance(&self, dt: Ns) {
+        self.core.op(self.id, |st, me| {
+            st.actors[me.0].t += dt;
+        });
+    }
+
+    /// Run `f`, measure its real execution time, and charge
+    /// `real * scale` to the virtual clock. Because actors execute one
+    /// at a time, the measurement is uncontended even on one core.
+    pub fn compute_real<R>(&self, scale: f64, f: impl FnOnce() -> R) -> R {
+        // Hold the scheduled slot while computing: we are the minimum-
+        // time entity, nothing else may run anyway.
+        let st = self.core.acquire(self.id);
+        drop(st); // do not hold the lock during user code
+        let start = std::time::Instant::now();
+        let r = f();
+        let real_ns = start.elapsed().as_nanos() as f64;
+        let dt = (real_ns * scale).round() as Ns;
+        // Re-acquire is the fast path: current is still us.
+        self.advance(dt.max(1));
+        r
+    }
+
+    /// Perform a scheduler op: read/mutate fabric state, schedule events,
+    /// wake actors. `f` runs at this actor's virtual time with global
+    /// minimum-time guarantee.
+    pub fn with_sched<R>(&self, f: impl FnOnce(&mut Sched, Ns) -> R) -> R {
+        self.core.op(self.id, |st, me| {
+            let t = st.actors[me.0].t;
+            f(st, t)
+        })
+    }
+
+    /// Block until `pred` returns `true`. `pred` is evaluated under the
+    /// scheduler lock at moments when this actor holds the global
+    /// minimum; `register` is called (same context) whenever the actor is
+    /// about to park, and must arrange for [`Sched::wake`] to be called
+    /// when the predicate may have changed.
+    ///
+    /// Returns the virtual time at which the wait completed.
+    pub fn wait_until(
+        &self,
+        mut pred: impl FnMut(&mut Sched) -> bool,
+        mut register: impl FnMut(&mut Sched, ActorId),
+    ) -> Ns {
+        let core = &self.core;
+        let mut st = core.acquire(self.id);
+        loop {
+            if pred(&mut st) {
+                let t = st.actors[self.id.0].t;
+                core.release(st, self.id);
+                return t;
+            }
+            register(&mut st, self.id);
+            st.actors[self.id.0].state = ActorState::Blocked;
+            st.current = None;
+            st.dispatch();
+            core.cv.notify_all();
+            while st.current != Some(self.id.0) {
+                core.cv.wait(&mut st);
+                core.check_poison();
+            }
+        }
+    }
+
+    /// Sleep for `dt` virtual nanoseconds (yields to other entities).
+    pub fn sleep(&self, dt: Ns) {
+        let fired = Arc::new(AtomicBool::new(false));
+        let mut armed = false;
+        let fired_pred = Arc::clone(&fired);
+        self.wait_until(
+            |_st| fired_pred.load(Ordering::Relaxed),
+            |st, me| {
+                if !armed {
+                    armed = true;
+                    let t = st.actors[me.0].t + dt;
+                    let flag = Arc::clone(&fired);
+                    st.schedule_at(t, move |st2| {
+                        flag.store(true, Ordering::Relaxed);
+                        st2.wake(me, t);
+                    });
+                }
+            },
+        );
+    }
+
+    /// Mark the whole simulation poisoned (used by panic guards in the
+    /// world runner so sibling actors do not hang forever).
+    pub fn poison(&self) {
+        self.core.poisoned.store(true, Ordering::Relaxed);
+        self.core.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SEC;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    fn run_actors<const N: usize>(fs: [Box<dyn FnOnce(ActorHandle) + Send>; N]) {
+        let core = SimCore::new(100 * SEC);
+        let handles: Vec<ActorHandle> = (0..N)
+            .map(|i| core.register_actor(&format!("t{i}"), 0))
+            .collect();
+        let mut joins = Vec::new();
+        for (h, f) in handles.into_iter().zip(fs) {
+            joins.push(std::thread::spawn(move || {
+                h.begin();
+                f(h);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn advance_moves_local_clock() {
+        run_actors([Box::new(|h: ActorHandle| {
+            assert_eq!(h.now(), 0);
+            h.advance(500);
+            assert_eq!(h.now(), 500);
+            h.advance(250);
+            assert_eq!(h.now(), 750);
+            h.end();
+        })]);
+    }
+
+    #[test]
+    fn actors_interleave_in_time_order() {
+        // Two actors append (who, t) to a shared log; the log must be
+        // sorted by virtual time regardless of OS scheduling.
+        let log = Arc::new(Mutex::new(Vec::<(usize, Ns)>::new()));
+        let l0 = Arc::clone(&log);
+        let l1 = Arc::clone(&log);
+        run_actors([
+            Box::new(move |h: ActorHandle| {
+                for _ in 0..10 {
+                    h.advance(100);
+                    // Record inside the scheduler op: between ops another
+                    // actor may legitimately run.
+                    h.with_sched(|_s, t| l0.lock().push((0, t)));
+                }
+                h.end();
+            }),
+            Box::new(move |h: ActorHandle| {
+                for _ in 0..10 {
+                    h.advance(70);
+                    h.with_sched(|_s, t| l1.lock().push((1, t)));
+                }
+                h.end();
+            }),
+        ]);
+        let log = log.lock();
+        assert_eq!(log.len(), 20);
+        let times: Vec<Ns> = log.iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "ops must execute in virtual-time order");
+    }
+
+    #[test]
+    fn sleep_wakes_at_exact_time() {
+        run_actors([Box::new(|h: ActorHandle| {
+            h.sleep(1_234);
+            assert_eq!(h.now(), 1_234);
+            h.sleep(1);
+            assert_eq!(h.now(), 1_235);
+            h.end();
+        })]);
+    }
+
+    #[test]
+    fn event_wakes_blocked_actor() {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f0 = Arc::clone(&flag);
+        let f1 = Arc::clone(&flag);
+        run_actors([
+            Box::new(move |h: ActorHandle| {
+                // Waiter: blocks until the flag is set.
+                let t = h.wait_until(
+                    |_st| f0.load(AO::Relaxed) == 7,
+                    |st, me| {
+                        // Poll-style fallback: re-arm a wake far in the
+                        // future only once; the setter wakes us directly.
+                        let _ = (st, me);
+                    },
+                );
+                // The setter fires at t=5000.
+                assert_eq!(t, 5_000);
+                h.end();
+            }),
+            Box::new(move |h: ActorHandle| {
+                h.advance(10);
+                h.with_sched(move |st, t| {
+                    let f = Arc::clone(&f1);
+                    st.schedule_at(t + 4_990, move |st2| {
+                        f.store(7, AO::Relaxed);
+                        st2.wake(ActorId(0), 5_000);
+                    });
+                });
+                h.end();
+            }),
+        ]);
+        assert_eq!(flag.load(AO::Relaxed), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-time deadlock")]
+    fn deadlock_is_detected() {
+        // One actor waits forever on a predicate nobody sets.
+        let core = SimCore::new(SEC);
+        let h = core.register_actor("stuck", 0);
+        let j = std::thread::spawn(move || {
+            h.begin();
+            h.wait_until(|_| false, |_, _| {});
+        });
+        let err = j.join().expect_err("thread must panic");
+        std::panic::resume_unwind(err);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        // Many runs of two same-time actors must give identical logs.
+        let mut logs = Vec::new();
+        for _ in 0..5 {
+            let log = Arc::new(Mutex::new(Vec::<usize>::new()));
+            let l0 = Arc::clone(&log);
+            let l1 = Arc::clone(&log);
+            run_actors([
+                Box::new(move |h: ActorHandle| {
+                    for _ in 0..5 {
+                        h.advance(100);
+                        h.with_sched(|_s, _t| l0.lock().push(0));
+                    }
+                    h.end();
+                }),
+                Box::new(move |h: ActorHandle| {
+                    for _ in 0..5 {
+                        h.advance(100);
+                        h.with_sched(|_s, _t| l1.lock().push(1));
+                    }
+                    h.end();
+                }),
+            ]);
+            logs.push(Arc::try_unwrap(log).unwrap().into_inner());
+        }
+        for w in logs.windows(2) {
+            assert_eq!(w[0], w[1], "tie-breaking must be deterministic");
+        }
+    }
+
+    #[test]
+    fn compute_real_charges_time() {
+        run_actors([Box::new(|h: ActorHandle| {
+            let before = h.now();
+            let v = h.compute_real(1.0, || (0..1000).sum::<u64>());
+            assert_eq!(v, 499_500);
+            assert!(h.now() > before);
+            h.end();
+        })]);
+    }
+}

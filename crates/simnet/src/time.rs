@@ -1,0 +1,125 @@
+//! Virtual-time units and helpers.
+//!
+//! The simulator measures time in integer **nanoseconds** of *virtual*
+//! time. All model parameters (NIC latency, bandwidth, software
+//! overheads) are expressed in these units; nothing in the simulator
+//! sleeps in real time.
+
+/// Virtual nanoseconds.
+pub type Ns = u64;
+
+/// One microsecond in [`Ns`].
+pub const US: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MS: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SEC: Ns = 1_000_000_000;
+
+/// Convert a microsecond count (possibly fractional) to [`Ns`].
+#[inline]
+pub fn us(v: f64) -> Ns {
+    (v * 1_000.0).round() as Ns
+}
+
+/// Convert [`Ns`] to fractional microseconds (for reporting).
+#[inline]
+pub fn to_us(ns: Ns) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Convert [`Ns`] to fractional milliseconds (for reporting).
+#[inline]
+pub fn to_ms(ns: Ns) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+/// Convert [`Ns`] to fractional seconds (for reporting).
+#[inline]
+pub fn to_sec(ns: Ns) -> f64 {
+    ns as f64 / 1_000_000_000.0
+}
+
+/// Bandwidth expressed as a transfer-time model.
+///
+/// Stored as bytes per virtual second to keep the arithmetic exact for
+/// the message sizes we simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// From link speed in gigabits per second (the unit used by the
+    /// paper's Table III).
+    pub fn gbps(v: f64) -> Self {
+        assert!(v > 0.0, "bandwidth must be positive");
+        Bandwidth {
+            bytes_per_sec: v * 1e9 / 8.0,
+        }
+    }
+
+    /// From gigabytes per second.
+    pub fn gibps(v: f64) -> Self {
+        assert!(v > 0.0, "bandwidth must be positive");
+        Bandwidth {
+            bytes_per_sec: v * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Bytes per virtual second.
+    #[inline]
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Time to move `bytes` across this link, in [`Ns`].
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> Ns {
+        ((bytes as f64) / self.bytes_per_sec * 1e9).ceil() as Ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(us(1.5), 1_500);
+        assert_eq!(US * 1000, MS);
+        assert_eq!(MS * 1000, SEC);
+        assert!((to_us(2_500) - 2.5).abs() < 1e-12);
+        assert!((to_ms(2_500_000) - 2.5).abs() < 1e-12);
+        assert!((to_sec(1_500_000_000) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_gbps_transfer_time() {
+        // 100 Gb/s = 12.5 GB/s; 1 MiB should take ~83.9 us.
+        let bw = Bandwidth::gbps(100.0);
+        let t = bw.transfer_time(1 << 20);
+        assert!((to_us(t) - 83.886).abs() < 0.01, "got {} us", to_us(t));
+    }
+
+    #[test]
+    fn bandwidth_zero_bytes_is_free() {
+        assert_eq!(Bandwidth::gbps(200.0).transfer_time(0), 0);
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_size() {
+        let bw = Bandwidth::gbps(25.0);
+        let mut last = 0;
+        for sz in [1usize, 64, 4096, 1 << 20] {
+            let t = bw.transfer_time(sz);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn bandwidth_rejects_zero() {
+        let _ = Bandwidth::gbps(0.0);
+    }
+}

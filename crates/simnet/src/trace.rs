@@ -1,0 +1,159 @@
+//! Virtual-time execution tracing.
+//!
+//! When enabled ([`crate::FabricConfig::trace`]), the fabric records a
+//! timeline entry for every PUT, GET and datagram — post time, NIC
+//! service window, and arrival — and can export the whole run as a
+//! Chrome trace-event JSON (`chrome://tracing` / Perfetto), with one
+//! process row per rank and one thread row per NIC. Because time is
+//! virtual and deterministic, a trace is an exact, reproducible record
+//! of the protocol, which makes it a powerful way to *see* overlap,
+//! striping and synchronization stalls.
+
+use parking_lot::Mutex;
+
+use crate::time::Ns;
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Operation label ("put", "get", "dgram").
+    pub kind: &'static str,
+    /// Initiating rank.
+    pub src: usize,
+    /// Target rank.
+    pub dst: usize,
+    /// NIC index used on the initiating node.
+    pub nic: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Post time at the initiator.
+    pub t_post: Ns,
+    /// NIC service window.
+    pub t_service_start: Ns,
+    pub t_service_end: Ns,
+    /// Arrival (remote visibility) time.
+    pub t_arrival: Ns,
+}
+
+/// A recorder shared by the fabric.
+#[derive(Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    pub fn record(&self, e: TraceEvent) {
+        self.events.lock().push(e);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the recorded events (post order).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Export as Chrome trace-event JSON. Each transfer renders as two
+    /// complete ("X") events: the NIC service window on the source
+    /// rank's row, and the in-flight window ending at arrival on the
+    /// destination rank's row. Timestamps are microseconds (fractional).
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::from("[\n");
+        let us = |ns: Ns| ns as f64 / 1000.0;
+        for (i, e) in events.iter().enumerate() {
+            let service_dur = us(e.t_service_end.saturating_sub(e.t_service_start)).max(0.001);
+            let flight_dur = us(e.t_arrival.saturating_sub(e.t_service_end)).max(0.001);
+            out.push_str(&format!(
+                "  {{\"name\": \"{} {}B -> r{}\", \"cat\": \"nic\", \"ph\": \"X\", \
+                 \"pid\": {}, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"args\": {{\"bytes\": {}, \"post\": {:.3}}}}},\n",
+                e.kind,
+                e.bytes,
+                e.dst,
+                e.src,
+                e.nic,
+                us(e.t_service_start),
+                service_dur,
+                e.bytes,
+                us(e.t_post),
+            ));
+            out.push_str(&format!(
+                "  {{\"name\": \"{} {}B <- r{}\", \"cat\": \"wire\", \"ph\": \"X\", \
+                 \"pid\": {}, \"tid\": 99, \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"args\": {{\"bytes\": {}}}}}{}\n",
+                e.kind,
+                e.bytes,
+                e.src,
+                e.dst,
+                us(e.t_service_end),
+                flight_dur,
+                e.bytes,
+                if i + 1 == events.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: usize, t: Ns) -> TraceEvent {
+        TraceEvent {
+            kind: "put",
+            src,
+            dst: 1 - src,
+            nic: 0,
+            bytes: 64,
+            t_post: t,
+            t_service_start: t,
+            t_service_end: t + 10,
+            t_arrival: t + 1200,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let r = TraceRecorder::default();
+        r.record(ev(0, 100));
+        r.record(ev(1, 200));
+        assert_eq!(r.len(), 2);
+        let es = r.events();
+        assert_eq!(es[0].t_post, 100);
+        assert_eq!(es[1].src, 1);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let r = TraceRecorder::default();
+        r.record(ev(0, 100));
+        r.record(ev(1, 250));
+        let json = r.to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        // Two X-events per transfer.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 4);
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+        // Rank/NIC rows present.
+        assert!(json.contains("\"pid\": 0"));
+        assert!(json.contains("\"tid\": 0"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_array() {
+        let r = TraceRecorder::default();
+        assert_eq!(r.to_chrome_json().trim(), "[\n]".trim());
+        assert!(r.is_empty());
+    }
+}

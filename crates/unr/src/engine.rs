@@ -1,0 +1,1080 @@
+//! The UNR context: registration, notifiable PUT/GET with multi-NIC
+//! striping, the progress engine and the polling agent (paper §IV).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use unr_simnet::{
+    ActorId, AtomicAddSink, Bandwidth, CompletionKind, CompletionQueue, Endpoint, FabricError,
+    GetOp, MemRegion, NicSel, Ns, Port, PutOp, Sched,
+};
+
+use crate::blk::{Blk, UnrMem};
+use crate::channel::{Channel, ChannelSelect, DirEncodings, Mechanism};
+use crate::level::{EncodeError, Encoding, Notif, SupportLevel};
+use crate::signal::{striped_addends, Signal, SignalError, SignalTable};
+
+/// Fabric port carrying UNR control traffic (fallback data, level-0
+/// companion messages, fallback GET requests).
+pub const UNR_PORT: u32 = 0x554E; // "UN"
+
+const MSG_FALLBACK_DATA: u8 = 1;
+const MSG_FALLBACK_GET: u8 = 2;
+const MSG_COMPANION: u8 = 3;
+
+/// How notification events are progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// A dedicated polling agent drains the NIC event queue (levels
+    /// 0–3; the paper's polling thread). `interval == 0` models a
+    /// busy-spinning thread on a dedicated core: it reacts as soon as
+    /// an event arrives, paying only the per-pass processing cost.
+    /// `interval > 0` models a periodic poller sharing a core (the
+    /// §VI-C trade-off: larger interval -> less CPU stolen but higher
+    /// notification delay and queue-overflow risk).
+    PollingAgent { interval: Ns },
+    /// The application drives progress itself (`Unr::progress`,
+    /// `Unr::sig_wait`).
+    UserDriven,
+    /// Level-4 hardware applies `*p += a`; no software progress at all.
+    Hardware,
+}
+
+/// UNR configuration. All ranks must use identical values (SPMD).
+#[derive(Debug, Clone, Copy)]
+pub struct UnrConfig {
+    pub channel: ChannelSelect,
+    /// `None`: pick automatically (Hardware on level-4 fabrics,
+    /// PollingAgent otherwise).
+    pub progress: Option<ProgressMode>,
+    /// Event-field width `N` of the MMAS counters. Must be small enough
+    /// that striping addends fit the channel's addend bits (mode 2).
+    pub n_bits: u32,
+    /// Messages at or above this size are striped across NICs.
+    pub stripe_threshold: usize,
+    /// Cap on sub-messages per message (0 or 1 disables striping).
+    pub max_stripes: usize,
+    /// Modeled cost of one polling-loop pass (base) and per event.
+    pub poll_cost_base: Ns,
+    pub poll_cost_per_event: Ns,
+    /// Modeled memcpy bandwidth for the fallback channel's copies.
+    pub copy_bw_gibps: f64,
+    /// Pin all single-message traffic to one NIC index (the classic
+    /// one-NIC-per-process arrangement). Striped traffic still spreads
+    /// over all NICs. `None`: round-robin.
+    pub pin_nic: Option<usize>,
+    /// Per-message software overhead of the fallback channel (models
+    /// the underlying MPI stack's per-call cost; charged at both ends).
+    pub fallback_overhead: Ns,
+}
+
+impl Default for UnrConfig {
+    fn default() -> Self {
+        UnrConfig {
+            channel: ChannelSelect::Auto,
+            progress: None,
+            n_bits: 32,
+            stripe_threshold: 64 * 1024,
+            max_stripes: 8,
+            poll_cost_base: 150,
+            poll_cost_per_event: 80,
+            copy_bw_gibps: 12.0,
+            pin_nic: None,
+            fallback_overhead: 150,
+        }
+    }
+}
+
+impl UnrConfig {
+    /// The compute-time inflation factor modeling a co-located polling
+    /// thread stealing cycles (paper §VI-C): every `interval` the agent
+    /// burns roughly one loop pass on a core shared with computation.
+    /// 1.0 when a core is reserved or no polling thread exists.
+    pub fn polling_compute_inflation(&self, interval: Ns, core_reserved: bool) -> f64 {
+        if core_reserved {
+            return 1.0;
+        }
+        1.0 + (self.poll_cost_base + 4 * self.poll_cost_per_event) as f64 / interval as f64
+    }
+}
+
+/// UNR errors.
+#[derive(Debug)]
+pub enum UnrError {
+    Encode(EncodeError),
+    Fabric(FabricError),
+    /// The local block of a put/get does not belong to this rank.
+    NotMyBlock { blk_rank: usize, my_rank: usize },
+    /// Source and destination block sizes differ.
+    LenMismatch { local: usize, remote: usize },
+    /// Remote GET notification requested on a channel without remote
+    /// GET custom bits (e.g. Verbs).
+    GetRemoteNotifyUnsupported,
+    /// The local block references an unknown (unregistered) region.
+    RegionUnknown(u32),
+    Signal(SignalError),
+}
+
+impl std::fmt::Display for UnrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrError::Encode(e) => write!(f, "encoding: {e}"),
+            UnrError::Fabric(e) => write!(f, "fabric: {e}"),
+            UnrError::NotMyBlock { blk_rank, my_rank } => write!(
+                f,
+                "local block belongs to rank {blk_rank}, not this rank {my_rank}"
+            ),
+            UnrError::LenMismatch { local, remote } => {
+                write!(f, "block size mismatch: local {local} vs remote {remote}")
+            }
+            UnrError::GetRemoteNotifyUnsupported => {
+                write!(f, "this channel cannot notify the remote side of a GET")
+            }
+            UnrError::RegionUnknown(id) => write!(f, "unknown region id {id}"),
+            UnrError::Signal(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for UnrError {}
+
+impl From<EncodeError> for UnrError {
+    fn from(e: EncodeError) -> Self {
+        UnrError::Encode(e)
+    }
+}
+impl From<FabricError> for UnrError {
+    fn from(e: FabricError) -> Self {
+        UnrError::Fabric(e)
+    }
+}
+impl From<SignalError> for UnrError {
+    fn from(e: SignalError) -> Self {
+        UnrError::Signal(e)
+    }
+}
+
+/// Operation counters.
+#[derive(Debug, Default)]
+pub struct UnrStats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub sub_messages: AtomicU64,
+    pub bytes_put: AtomicU64,
+    pub fallback_msgs: AtomicU64,
+    pub events_progressed: AtomicU64,
+}
+
+/// State shared between the application rank and the polling agent.
+pub(crate) struct UnrCore {
+    pub channel: Channel,
+    pub table: Arc<SignalTable>,
+    pub cq: Arc<CompletionQueue>,
+    pub port: Arc<Port>,
+    pub regions: Mutex<HashMap<u32, MemRegion>>,
+    pub stats: UnrStats,
+    pub cfg: UnrConfig,
+    pub copy_bw: Bandwidth,
+}
+
+/// A deferred reply computed inside scheduler context and sent after.
+enum Reply {
+    Dgram { dst: usize, bytes: Vec<u8> },
+}
+
+impl UnrCore {
+    /// Drain completion events and control messages once; apply the
+    /// notifications. Returns (events processed, replies to send);
+    /// `work.1` accumulates fallback payload bytes (the receive-side
+    /// copy the poller must perform).
+    fn progress_pass(
+        &self,
+        sched: &mut Sched,
+        t: Ns,
+        replies: &mut Vec<Reply>,
+    ) -> (usize, usize, usize) {
+        let mut n = 0;
+        let mut fb_bytes = 0usize;
+        let mut fb_msgs = 0usize;
+        let mut events = Vec::new();
+        self.cq.drain(usize::MAX, &mut events);
+        if let Mechanism::Rma(enc) = self.channel.mech {
+            for e in &events {
+                let encoding = match e.kind {
+                    CompletionKind::PutLocal => Some(enc.put_local),
+                    CompletionKind::PutRemote => Some(enc.put_remote),
+                    CompletionKind::GetLocal => Some(enc.get_local),
+                    CompletionKind::GetRemote => enc.get_remote,
+                };
+                if let Some(encoding) = encoding {
+                    let notif = encoding.decode(e.custom);
+                    self.table.apply(sched, t, notif.key, notif.addend);
+                }
+                n += 1;
+            }
+        } else {
+            // Level-0: local completions carry Split64 custom bits.
+            for e in &events {
+                let notif = Encoding::Split64.decode(e.custom);
+                self.table.apply(sched, t, notif.key, notif.addend);
+                n += 1;
+            }
+        }
+        while let Some(d) = self.port.try_pop() {
+            n += 1;
+            if d.bytes[0] == MSG_FALLBACK_DATA || d.bytes[0] == MSG_FALLBACK_GET {
+                fb_bytes += d.bytes.len();
+                fb_msgs += 1;
+            }
+            self.handle_ctrl(sched, t, d.src, &d.bytes, replies);
+        }
+        self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
+        (n, fb_bytes, fb_msgs)
+    }
+
+    fn handle_ctrl(
+        &self,
+        sched: &mut Sched,
+        t: Ns,
+        src: usize,
+        bytes: &[u8],
+        replies: &mut Vec<Reply>,
+    ) {
+        match bytes[0] {
+            MSG_COMPANION => {
+                let key = u64::from_le_bytes(bytes[1..9].try_into().expect("companion key"));
+                let addend =
+                    i64::from_le_bytes(bytes[9..17].try_into().expect("companion addend"));
+                self.table.apply(sched, t, key, addend);
+            }
+            MSG_FALLBACK_DATA => {
+                let region_id =
+                    u32::from_le_bytes(bytes[1..5].try_into().expect("fallback region"));
+                let offset =
+                    u64::from_le_bytes(bytes[5..13].try_into().expect("fallback offset")) as usize;
+                let key = u64::from_le_bytes(bytes[13..21].try_into().expect("fallback key"));
+                let addend =
+                    i64::from_le_bytes(bytes[21..29].try_into().expect("fallback addend"));
+                let payload = &bytes[29..];
+                let region = self.regions.lock().get(&region_id).cloned();
+                match region {
+                    Some(r) => {
+                        r.write_bytes(offset, payload)
+                            .expect("fallback write in bounds");
+                        self.table.apply(sched, t, key, addend);
+                    }
+                    None => {
+                        // Data for an unregistered region: dropped, as on
+                        // real hardware.
+                    }
+                }
+            }
+            MSG_FALLBACK_GET => {
+                let region_id = u32::from_le_bytes(bytes[1..5].try_into().expect("get region"));
+                let offset = u64::from_le_bytes(bytes[5..13].try_into().expect("get off")) as usize;
+                let len = u64::from_le_bytes(bytes[13..21].try_into().expect("get len")) as usize;
+                let reply_region = u32::from_le_bytes(bytes[21..25].try_into().expect("reply r"));
+                let reply_offset =
+                    u64::from_le_bytes(bytes[25..33].try_into().expect("reply off"));
+                let reply_key = u64::from_le_bytes(bytes[33..41].try_into().expect("reply key"));
+                let reply_addend =
+                    i64::from_le_bytes(bytes[41..49].try_into().expect("reply add"));
+                let remote_key = u64::from_le_bytes(bytes[49..57].try_into().expect("rkey"));
+                let remote_addend =
+                    i64::from_le_bytes(bytes[57..65].try_into().expect("radd"));
+                let region = self.regions.lock().get(&region_id).cloned();
+                if let Some(r) = region {
+                    let data = r.snapshot(offset, len).expect("fallback get in bounds");
+                    // Notify the exposer side (GET remote completion).
+                    self.table.apply(sched, t, remote_key, remote_addend);
+                    let mut msg = Vec::with_capacity(29 + data.len());
+                    msg.push(MSG_FALLBACK_DATA);
+                    msg.extend_from_slice(&reply_region.to_le_bytes());
+                    msg.extend_from_slice(&reply_offset.to_le_bytes());
+                    msg.extend_from_slice(&reply_key.to_le_bytes());
+                    msg.extend_from_slice(&reply_addend.to_le_bytes());
+                    msg.extend_from_slice(&data);
+                    replies.push(Reply::Dgram { dst: src, bytes: msg });
+                }
+            }
+            other => panic!("unknown UNR control message kind {other}"),
+        }
+    }
+}
+
+struct AgentState {
+    stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+    actor_id: ActorId,
+    join: Option<std::thread::JoinHandle<()>>,
+    finalize_waiter: Arc<Mutex<Option<ActorId>>>,
+}
+
+/// The UNR library context for one rank (`UNR_Init`).
+pub struct Unr {
+    ep: Arc<Endpoint>,
+    core: Arc<UnrCore>,
+    progress_mode: ProgressMode,
+    agent: Mutex<Option<AgentState>>,
+}
+
+impl Unr {
+    /// Initialize UNR on this rank. The channel is selected from the
+    /// fabric's interface (Table II) unless forced by `cfg.channel`.
+    pub fn init(ep: Arc<Endpoint>, cfg: UnrConfig) -> Arc<Unr> {
+        let spec = ep.iface();
+        let channel = Channel::select(&spec, cfg.channel);
+        let table = SignalTable::new(cfg.n_bits);
+        let cq = ep.create_cq();
+        let port = ep.open_port(UNR_PORT);
+        let core = Arc::new(UnrCore {
+            channel,
+            table,
+            cq,
+            port,
+            regions: Mutex::new(HashMap::new()),
+            stats: UnrStats::default(),
+            cfg,
+            copy_bw: Bandwidth::gibps(cfg.copy_bw_gibps),
+        });
+        let progress_mode = cfg.progress.unwrap_or(if channel.hardware {
+            ProgressMode::Hardware
+        } else {
+            // Default: dedicated busy-polling thread (interval 0).
+            ProgressMode::PollingAgent { interval: 0 }
+        });
+        let unr = Arc::new(Unr {
+            ep,
+            core,
+            progress_mode,
+            agent: Mutex::new(None),
+        });
+        if channel.hardware {
+            // A level-4 NIC applies *p += a itself, whatever the software
+            // progress mode is; without the sink every notification would
+            // be silently lost (hardware channels post no CQ events).
+            let sink = Arc::new(TableSink {
+                table: Arc::clone(&unr.core.table),
+            });
+            unr.ep.set_add_sink(sink);
+        }
+        match progress_mode {
+            ProgressMode::Hardware => {
+                assert!(
+                    channel.hardware,
+                    "Hardware progress requires a level-4 fabric (hardware atomic add)"
+                );
+            }
+            ProgressMode::PollingAgent { interval } => {
+                unr.spawn_agent(interval);
+            }
+            ProgressMode::UserDriven => {}
+        }
+        unr
+    }
+
+    /// The endpoint this context is bound to.
+    pub fn ep(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// The selected transport channel.
+    pub fn channel(&self) -> Channel {
+        self.core.channel
+    }
+
+    /// The channel's support level.
+    pub fn support_level(&self) -> SupportLevel {
+        self.core.channel.level
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &UnrStats {
+        &self.core.stats
+    }
+
+    /// Signal-table statistics (sync-error counters).
+    pub fn signal_stats(&self) -> &crate::signal::SignalStats {
+        &self.core.table.stats
+    }
+
+    /// The active progress mode.
+    pub fn progress_mode(&self) -> ProgressMode {
+        self.progress_mode
+    }
+
+    // ---- resources -------------------------------------------------------
+
+    /// `UNR_Mem_Reg`: register `len` bytes for RMA.
+    pub fn mem_reg(&self, len: usize) -> UnrMem {
+        let region = self.ep.register(len, &self.core.cq);
+        self.core
+            .regions
+            .lock()
+            .insert(region.rkey.id, region.clone());
+        UnrMem { region }
+    }
+
+    /// `UNR_Sig_Init`: allocate a signal triggered after `num_event`
+    /// events.
+    pub fn sig_init(&self, num_event: i64) -> Signal {
+        self.core.table.alloc(num_event)
+    }
+
+    /// `UNR_Blk_Init`: describe a block of a registered region, bound to
+    /// an optional signal.
+    pub fn blk_init(&self, mem: &UnrMem, offset: usize, len: usize, sig: Option<&Signal>) -> Blk {
+        mem.blk(offset, len, sig.map(Signal::key).unwrap_or(0))
+    }
+
+    // ---- data movement ----------------------------------------------------
+
+    /// `UNR_Put(local_blk, remote_blk)`: write the local block into the
+    /// remote block. Triggers the local block's signal when the source
+    /// buffer is reusable and the remote block's signal when the data
+    /// has fully arrived (aggregated across sub-messages).
+    pub fn put(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
+        self.put_with(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// `UNR_Put` with explicit signal keys (paper §IV-D: the signal can
+    /// be specified at call time instead of bound to the BLK).
+    pub fn put_with(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+    ) -> Result<(), UnrError> {
+        let my_rank = self.ep.rank();
+        if local.rank != my_rank {
+            return Err(UnrError::NotMyBlock {
+                blk_rank: local.rank,
+                my_rank,
+            });
+        }
+        if local.len != remote.len {
+            return Err(UnrError::LenMismatch {
+                local: local.len,
+                remote: remote.len,
+            });
+        }
+        let region = self
+            .core
+            .regions
+            .lock()
+            .get(&local.region_id)
+            .cloned()
+            .ok_or(UnrError::RegionUnknown(local.region_id))?;
+        let len = local.len;
+        if remote.offset + remote.len > remote.region_len {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "remote block [{}, {}) exceeds its region of {} bytes",
+                remote.offset,
+                remote.offset + remote.len,
+                remote.region_len
+            ))));
+        }
+        self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .stats
+            .bytes_put
+            .fetch_add(len as u64, Ordering::Relaxed);
+
+        match self.core.channel.mech {
+            Mechanism::Dgram => {
+                self.core.stats.fallback_msgs.fetch_add(1, Ordering::Relaxed);
+                self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+                // Two-sided emulation: pack (copy), send, notify locally.
+                let data = region
+                    .snapshot(local.offset, len)
+                    .expect("local block in bounds");
+                self.ep.advance(
+                    self.core.copy_bw.transfer_time(len) + self.core.cfg.fallback_overhead,
+                );
+                let mut msg = Vec::with_capacity(29 + len);
+                msg.push(MSG_FALLBACK_DATA);
+                msg.extend_from_slice(&remote.region_id.to_le_bytes());
+                msg.extend_from_slice(&(remote.offset as u64).to_le_bytes());
+                msg.extend_from_slice(&remote_sig.to_le_bytes());
+                msg.extend_from_slice(&(-1i64).to_le_bytes());
+                msg.extend_from_slice(&data);
+                self.ep
+                    .send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                self.apply_local_now(local_sig, -1);
+                Ok(())
+            }
+            Mechanism::RmaCompanion => {
+                self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+                let custom_local =
+                    Encoding::Split64.encode(Notif {
+                        key: local_sig,
+                        addend: if local_sig == 0 { 0 } else { -1 },
+                    })?;
+                let companion = (remote_sig != 0).then(|| {
+                    let mut msg = Vec::with_capacity(17);
+                    msg.push(MSG_COMPANION);
+                    msg.extend_from_slice(&remote_sig.to_le_bytes());
+                    msg.extend_from_slice(&(-1i64).to_le_bytes());
+                    (UNR_PORT, msg)
+                });
+                self.ep.put(PutOp {
+                    src: &region,
+                    src_offset: local.offset,
+                    len,
+                    dst: remote.rkey(),
+                    dst_offset: remote.offset,
+                    nic: self.default_nic(),
+                    custom_local,
+                    custom_remote: 0,
+                    local_cq: (local_sig != 0).then(|| Arc::clone(&self.core.cq)),
+                    notify_remote: false,
+                    companion,
+                })?;
+                Ok(())
+            }
+            Mechanism::Rma(enc) => self.put_rma(
+                &region, local, remote, local_sig, remote_sig, len, enc,
+            ),
+        }
+    }
+
+    /// Native notifiable-RMA put with multi-NIC striping (MMAS).
+    #[allow(clippy::too_many_arguments)]
+    fn put_rma(
+        &self,
+        region: &MemRegion,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+        len: usize,
+        enc: DirEncodings,
+    ) -> Result<(), UnrError> {
+        let k = self.stripes_for(len, local_sig, remote_sig, &enc);
+        let n_bits = self.core.table.n_bits();
+        let local_adds = striped_addends(k, n_bits);
+        let remote_adds = local_adds.clone();
+        let chunk = len / k;
+        let rem = len % k;
+        let mut off = 0usize;
+        for i in 0..k {
+            let this = chunk + usize::from(i < rem);
+            let custom_local = enc.put_local.encode(if local_sig == 0 {
+                Notif::NULL
+            } else {
+                Notif {
+                    key: local_sig,
+                    addend: local_adds[i],
+                }
+            })?;
+            let custom_remote = enc.put_remote.encode(if remote_sig == 0 {
+                Notif::NULL
+            } else {
+                Notif {
+                    key: remote_sig,
+                    addend: remote_adds[i],
+                }
+            })?;
+            self.ep.put(PutOp {
+                src: region,
+                src_offset: local.offset + off,
+                len: this,
+                dst: remote.rkey(),
+                dst_offset: remote.offset + off,
+                nic: if k == 1 {
+                    self.default_nic()
+                } else {
+                    NicSel::Index(i % self.nics())
+                },
+                custom_local,
+                custom_remote,
+                local_cq: (local_sig != 0 && !self.core.channel.hardware)
+                    .then(|| Arc::clone(&self.core.cq)),
+                notify_remote: remote_sig != 0,
+                companion: None,
+            })?;
+            off += this;
+            self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// `UNR_Get(local_blk, remote_blk)`: read the remote block into the
+    /// local block. The local signal triggers when the data has landed;
+    /// the remote signal (if any) triggers at the exposer when its
+    /// memory has been read — unsupported on channels without remote
+    /// GET custom bits (Verbs).
+    pub fn get(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
+        self.get_with(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// `UNR_Get` with explicit signal keys.
+    pub fn get_with(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+    ) -> Result<(), UnrError> {
+        let my_rank = self.ep.rank();
+        if local.rank != my_rank {
+            return Err(UnrError::NotMyBlock {
+                blk_rank: local.rank,
+                my_rank,
+            });
+        }
+        if local.len != remote.len {
+            return Err(UnrError::LenMismatch {
+                local: local.len,
+                remote: remote.len,
+            });
+        }
+        let region = self
+            .core
+            .regions
+            .lock()
+            .get(&local.region_id)
+            .cloned()
+            .ok_or(UnrError::RegionUnknown(local.region_id))?;
+        let len = local.len;
+        if remote.offset + remote.len > remote.region_len {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "remote block [{}, {}) exceeds its region of {} bytes",
+                remote.offset,
+                remote.offset + remote.len,
+                remote.region_len
+            ))));
+        }
+        self.core.stats.gets.fetch_add(1, Ordering::Relaxed);
+
+        match self.core.channel.mech {
+            Mechanism::Dgram => {
+                self.core.stats.fallback_msgs.fetch_add(1, Ordering::Relaxed);
+                let mut msg = Vec::with_capacity(65);
+                msg.push(MSG_FALLBACK_GET);
+                msg.extend_from_slice(&remote.region_id.to_le_bytes());
+                msg.extend_from_slice(&(remote.offset as u64).to_le_bytes());
+                msg.extend_from_slice(&(len as u64).to_le_bytes());
+                msg.extend_from_slice(&local.region_id.to_le_bytes());
+                msg.extend_from_slice(&(local.offset as u64).to_le_bytes());
+                msg.extend_from_slice(&local_sig.to_le_bytes());
+                msg.extend_from_slice(&(-1i64).to_le_bytes());
+                msg.extend_from_slice(&remote_sig.to_le_bytes());
+                msg.extend_from_slice(&(-1i64).to_le_bytes());
+                self.ep
+                    .send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                Ok(())
+            }
+            Mechanism::RmaCompanion => {
+                if remote_sig != 0 {
+                    // Level-0 remote GET notification: a plain control
+                    // message racing the remote read — correctness-
+                    // verification channel only.
+                    let mut msg = Vec::with_capacity(17);
+                    msg.push(MSG_COMPANION);
+                    msg.extend_from_slice(&remote_sig.to_le_bytes());
+                    msg.extend_from_slice(&(-1i64).to_le_bytes());
+                    self.ep.send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                }
+                let custom_local = Encoding::Split64.encode(Notif {
+                    key: local_sig,
+                    addend: if local_sig == 0 { 0 } else { -1 },
+                })?;
+                self.ep.get(GetOp {
+                    dst: &region,
+                    dst_offset: local.offset,
+                    len,
+                    src: remote.rkey(),
+                    src_offset: remote.offset,
+                    nic: self.default_nic(),
+                    custom_local,
+                    custom_remote: 0,
+                    local_cq: (local_sig != 0).then(|| Arc::clone(&self.core.cq)),
+                    notify_remote: false,
+                })?;
+                Ok(())
+            }
+            Mechanism::Rma(enc) => {
+                let custom_remote = match (remote_sig, enc.get_remote) {
+                    (0, _) => 0,
+                    (_, None) => return Err(UnrError::GetRemoteNotifyUnsupported),
+                    (key, Some(e)) => e.encode(Notif { key, addend: -1 })?,
+                };
+                let custom_local = enc.get_local.encode(if local_sig == 0 {
+                    Notif::NULL
+                } else {
+                    Notif {
+                        key: local_sig,
+                        addend: -1,
+                    }
+                })?;
+                self.ep.get(GetOp {
+                    dst: &region,
+                    dst_offset: local.offset,
+                    len,
+                    src: remote.rkey(),
+                    src_offset: remote.offset,
+                    nic: self.default_nic(),
+                    custom_local,
+                    custom_remote,
+                    local_cq: (local_sig != 0 && !self.core.channel.hardware)
+                        .then(|| Arc::clone(&self.core.cq)),
+                    notify_remote: remote_sig != 0,
+                })?;
+                Ok(())
+            }
+        }
+    }
+
+    /// How many sub-messages a `len`-byte message is split into.
+    fn stripes_for(
+        &self,
+        len: usize,
+        local_sig: u64,
+        remote_sig: u64,
+        enc: &DirEncodings,
+    ) -> usize {
+        let cfg = &self.core.cfg;
+        if !self.core.channel.multi_channel
+            || cfg.max_stripes <= 1
+            || len < cfg.stripe_threshold
+            || self.nics() <= 1
+        {
+            return 1;
+        }
+        let k = self.nics().min(cfg.max_stripes).min(len);
+        if k <= 1 {
+            return 1;
+        }
+        // The largest-magnitude addend must be encodable for every
+        // direction that carries a real signal; otherwise fall back to a
+        // single message (Table I: limited multi-channel on mode 2).
+        let probe = striped_addends(k, self.core.table.n_bits())[0];
+        if local_sig != 0
+            && enc
+                .put_local
+                .encode(Notif {
+                    key: local_sig,
+                    addend: probe,
+                })
+                .is_err()
+        {
+            return 1;
+        }
+        if remote_sig != 0
+            && enc
+                .put_remote
+                .encode(Notif {
+                    key: remote_sig,
+                    addend: probe,
+                })
+                .is_err()
+        {
+            return 1;
+        }
+        k
+    }
+
+    fn nics(&self) -> usize {
+        self.ep.fabric().cfg.nics_per_node
+    }
+
+    /// NIC selection for non-striped traffic.
+    fn default_nic(&self) -> NicSel {
+        match self.core.cfg.pin_nic {
+            Some(i) => NicSel::Index(i % self.nics()),
+            None => NicSel::Auto,
+        }
+    }
+
+    /// Apply a local notification immediately (buffered-send semantics
+    /// of the fallback channel).
+    fn apply_local_now(&self, key: u64, addend: i64) {
+        if key == 0 {
+            return;
+        }
+        let core = Arc::clone(&self.core);
+        self.ep
+            .actor()
+            .with_sched(move |st, t| core.table.apply(st, t, key, addend));
+    }
+
+    // ---- progress -----------------------------------------------------------
+
+    /// Drive progress from the application thread (one pass). Returns
+    /// the number of events processed.
+    pub fn progress(&self) -> usize {
+        Self::progress_on(&self.core, &self.ep)
+    }
+
+    fn progress_on(core: &Arc<UnrCore>, ep: &Endpoint) -> usize {
+        let mut replies = Vec::new();
+        let (n, fb_bytes, fb_msgs) = {
+            let core2 = Arc::clone(core);
+            let replies_ref = &mut replies;
+            ep.actor()
+                .with_sched(move |st, t| core2.progress_pass(st, t, replies_ref))
+        };
+        if fb_msgs > 0 {
+            // Receive-side bounce-buffer copy + per-message MPI-stack
+            // overhead of the fallback channel.
+            ep.advance(
+                core.copy_bw.transfer_time(fb_bytes)
+                    + fb_msgs as Ns * core.cfg.fallback_overhead,
+            );
+        }
+        for r in replies {
+            match r {
+                Reply::Dgram { dst, bytes } => ep.send_dgram(dst, UNR_PORT, bytes, NicSel::Auto),
+            }
+        }
+        n
+    }
+
+    /// `UNR_Sig_Wait`: block until the signal triggers, driving progress
+    /// if no polling agent exists. Reports overflow synchronization
+    /// errors (paper §IV-D).
+    pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
+        match self.progress_mode {
+            ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
+                sig.wait(&self.ep).map_err(UnrError::Signal)
+            }
+            ProgressMode::UserDriven => {
+                loop {
+                    Self::progress_on(&self.core, &self.ep);
+                    if sig.test() || sig.overflowed() {
+                        break;
+                    }
+                    // Block until anything arrives that could progress us.
+                    let cq = Arc::clone(&self.core.cq);
+                    let port = Arc::clone(&self.core.port);
+                    let cq2 = Arc::clone(&self.core.cq);
+                    let port2 = Arc::clone(&self.core.port);
+                    self.ep.actor().wait_until(
+                        move |_st| !cq.is_empty() || !port.is_empty(),
+                        move |_st, me| {
+                            cq2.add_waiter(me);
+                            port2.add_waiter(me);
+                        },
+                    );
+                }
+                if sig.overflowed() {
+                    return Err(UnrError::Signal(SignalError::EventOverflow {
+                        counter: sig.counter(),
+                    }));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `UNR_Sig_Reset` (convenience passthrough; see [`Signal::reset`]).
+    pub fn sig_reset(&self, sig: &Signal) -> Result<(), UnrError> {
+        sig.reset().map_err(UnrError::Signal)
+    }
+
+    /// Wait until **any** of `sigs` triggers; returns its index.
+    /// Signals that are already triggered win immediately (lowest index
+    /// first). Overflowed signals count as ready and surface the error.
+    pub fn sig_wait_any(&self, sigs: &[&Signal]) -> Result<usize, UnrError> {
+        assert!(!sigs.is_empty(), "sig_wait_any needs at least one signal");
+        let n_bits = sigs[0].n_bits();
+        match self.progress_mode {
+            ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
+                let probes: Vec<_> = sigs.iter().map(|s| s.probe()).collect();
+                let regs = probes.clone();
+                self.ep.actor().wait_until(
+                    move |_st| probes.iter().any(|p| p.ready()),
+                    move |_st, me| {
+                        for p in &regs {
+                            p.register(me);
+                        }
+                    },
+                );
+            }
+            ProgressMode::UserDriven => loop {
+                Self::progress_on(&self.core, &self.ep);
+                if sigs.iter().any(|s| s.ready(n_bits)) {
+                    break;
+                }
+                let cq = Arc::clone(&self.core.cq);
+                let port = Arc::clone(&self.core.port);
+                let cq2 = Arc::clone(&self.core.cq);
+                let port2 = Arc::clone(&self.core.port);
+                self.ep.actor().wait_until(
+                    move |_st| !cq.is_empty() || !port.is_empty(),
+                    move |_st, me| {
+                        cq2.add_waiter(me);
+                        port2.add_waiter(me);
+                    },
+                );
+            },
+        }
+        let idx = sigs
+            .iter()
+            .position(|s| s.ready(n_bits))
+            .expect("woken with a ready signal");
+        if sigs[idx].overflowed() {
+            return Err(UnrError::Signal(SignalError::EventOverflow {
+                counter: sigs[idx].counter(),
+            }));
+        }
+        Ok(idx)
+    }
+
+    // ---- polling agent ------------------------------------------------------
+
+    fn spawn_agent(self: &Arc<Self>, interval: Ns) {
+        let rank = self.ep.rank();
+        let agent_ep = self
+            .ep
+            .fabric()
+            .attach_at(rank, &format!("unr-poller-{rank}"), self.ep.now());
+        let actor_id = agent_ep.actor().id();
+        let stop = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let finalize_waiter: Arc<Mutex<Option<ActorId>>> = Arc::new(Mutex::new(None));
+        let core = Arc::clone(&self.core);
+        let stop2 = Arc::clone(&stop);
+        let done2 = Arc::clone(&done);
+        let waiter2 = Arc::clone(&finalize_waiter);
+        let join = std::thread::Builder::new()
+            .name(format!("unr-poller-{rank}"))
+            .spawn(move || {
+                agent_ep.actor().begin();
+                let cfg = core.cfg;
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let n = Self::progress_on(&core, &agent_ep);
+                    agent_ep
+                        .advance(cfg.poll_cost_base + n as Ns * cfg.poll_cost_per_event);
+                    if interval == 0 {
+                        // Busy-spin model: block until there is anything
+                        // to process (the CQ/port wake us), or stop.
+                        let stop3 = Arc::clone(&stop2);
+                        let cq = Arc::clone(&core.cq);
+                        let port = Arc::clone(&core.port);
+                        let cq2 = Arc::clone(&core.cq);
+                        let port2 = Arc::clone(&core.port);
+                        agent_ep.actor().wait_until(
+                            move |_st| {
+                                stop3.load(Ordering::Relaxed)
+                                    || !cq.is_empty()
+                                    || !port.is_empty()
+                            },
+                            move |_st, me| {
+                                cq2.add_waiter(me);
+                                port2.add_waiter(me);
+                            },
+                        );
+                    } else {
+                        // Periodic model: interruptible sleep.
+                        let fired = Arc::new(AtomicBool::new(false));
+                        let mut armed = false;
+                        let fired2 = Arc::clone(&fired);
+                        let stop3 = Arc::clone(&stop2);
+                        agent_ep.actor().wait_until(
+                            move |_st| {
+                                fired2.load(Ordering::Relaxed) || stop3.load(Ordering::Relaxed)
+                            },
+                            move |st, me| {
+                                if !armed {
+                                    armed = true;
+                                    let t = st.actor_time(me) + interval;
+                                    let f = Arc::clone(&fired);
+                                    st.schedule_at(t, move |st2| {
+                                        f.store(true, Ordering::Relaxed);
+                                        st2.wake(me, t);
+                                    });
+                                }
+                            },
+                        );
+                    }
+                }
+                // Hand-shake with finalize, then retire the actor.
+                agent_ep.actor().with_sched(|st, t| {
+                    done2.store(true, Ordering::Relaxed);
+                    if let Some(w) = waiter2.lock().take() {
+                        st.wake(w, t);
+                    }
+                });
+                agent_ep.actor().end();
+            })
+            .expect("spawn polling agent");
+        *self.agent.lock() = Some(AgentState {
+            stop,
+            done,
+            actor_id,
+            join: Some(join),
+            finalize_waiter,
+        });
+    }
+
+    /// Shut down the polling agent (idempotent). Must be called before
+    /// the rank's actor ends; `Drop` calls it as a safety net.
+    pub fn finalize(&self) {
+        let mut guard = self.agent.lock();
+        let Some(agent) = guard.as_mut() else { return };
+        let stop = Arc::clone(&agent.stop);
+        let done = Arc::clone(&agent.done);
+        let waiter = Arc::clone(&agent.finalize_waiter);
+        let agent_actor = agent.actor_id;
+        // Signal stop and wake the agent inside the scheduler.
+        self.ep.actor().with_sched(move |st, t| {
+            stop.store(true, Ordering::Relaxed);
+            st.wake(agent_actor, t);
+        });
+        // Wait (in virtual time) for the agent to acknowledge.
+        let done2 = Arc::clone(&done);
+        self.ep.actor().wait_until(
+            move |_st| done2.load(Ordering::Relaxed),
+            move |_st, me| {
+                *waiter.lock() = Some(me);
+            },
+        );
+        // The agent still needs one scheduled turn to retire its actor
+        // (`end()`); yield virtual time so it can run, then join for
+        // real. Without the yield this rank would hold the scheduler
+        // while blocking in a real join — a real-time deadlock.
+        self.ep.sleep(1);
+        if let Some(j) = agent.join.take() {
+            j.join().expect("polling agent join");
+        }
+        *guard = None;
+    }
+}
+
+impl Drop for Unr {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The world runner poisons the scheduler; the agent dies on
+            // its next wake-up.
+            if let Some(agent) = self.agent.lock().as_ref() {
+                agent.stop.store(true, Ordering::Relaxed);
+            }
+            return;
+        }
+        self.finalize();
+    }
+}
+
+/// Level-4 sink: the "NIC" applies `*p += a` (paper §IV-C).
+struct TableSink {
+    table: Arc<SignalTable>,
+}
+
+impl AtomicAddSink for TableSink {
+    fn apply(&self, sched: &mut Sched, t: Ns, custom: u128) {
+        let notif = Encoding::Full128.decode(custom);
+        self.table.apply(sched, t, notif.key, notif.addend);
+    }
+}

@@ -1,0 +1,575 @@
+//! MMAS — Multi-channel Multi-message Aggregated Signal (paper §IV-B).
+//!
+//! A signal is a 64-bit counter split into three fields:
+//!
+//! ```text
+//!  63          N+1 | N        | N-1        0
+//!  +--------------+----------+-------------+
+//!  | sub-messages | overflow | event count |
+//!  +--------------+----------+-------------+
+//! ```
+//!
+//! * the low `N` bits count *remaining events* (set to `num_event` by
+//!   `reset`); each completed message contributes a net `-1`;
+//! * bit `N` is the **overflow-detect bit**: if more than `num_event`
+//!   events arrive, the event field borrows into it (two's complement),
+//!   which `wait`/`reset` report as a synchronization error;
+//! * the high bits count *remaining sub-messages* when one message is
+//!   striped over `K` NICs: one sub-message carries the addend
+//!   `-1 + ((K-1) << (N+1))` and the other `K-1` carry `-(1 << (N+1))`,
+//!   so the whole group nets to `-1` and the counter reaches **exactly
+//!   zero** only when every sub-message of every expected message has
+//!   landed — regardless of arrival order across NICs.
+//!
+//! The signal **triggers** when the counter equals zero.
+//!
+//! Signals live in a [`SignalTable`]; the table index (the paper's
+//! pointer `p`) is what travels in the NIC custom bits, and
+//! [`SignalTable::apply`] is the polling thread's / level-4 NIC's
+//! `*p += a`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use unr_simnet::{ActorId, Endpoint, Ns, Sched};
+
+/// Errors reported by the bug-avoiding interfaces (paper §IV-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// `reset` found a non-zero counter: a message arrived before the
+    /// buffer was declared ready (or is still missing) — the classic
+    /// RMA pre-synchronization bug.
+    ResetWhileActive { counter: i64 },
+    /// More events arrived than `num_event` (overflow-detect bit set).
+    EventOverflow { counter: i64 },
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalError::ResetWhileActive { counter } => write!(
+                f,
+                "synchronization error: signal reset while counter = {counter} \
+                 (a message arrived earlier than expected, or is still in flight)"
+            ),
+            SignalError::EventOverflow { counter } => write!(
+                f,
+                "synchronization error: more events than num_event received \
+                 (overflow bit set, counter = {counter})"
+            ),
+        }
+    }
+}
+impl std::error::Error for SignalError {}
+
+/// Compute the striped-transfer addends for a message split into `k`
+/// sub-messages (paper §IV-B). Element 0 is the "carrier" addend; the
+/// remaining `k-1` are the per-sub-message addends.
+pub fn striped_addends(k: usize, n_bits: u32) -> Vec<i64> {
+    assert!(k >= 1);
+    assert!(n_bits < 62, "event field too wide");
+    if k == 1 {
+        return vec![-1];
+    }
+    let unit = 1i64 << (n_bits + 1);
+    let mut v = Vec::with_capacity(k);
+    v.push(-1 + (k as i64 - 1) * unit);
+    for _ in 1..k {
+        v.push(-unit);
+    }
+    v
+}
+
+pub(crate) struct SignalInner {
+    counter: AtomicI64,
+    num_event: AtomicI64,
+    /// Actor parked in `wait` (at most one waiter per signal).
+    waiter: Mutex<Option<ActorId>>,
+}
+
+impl SignalInner {
+    fn overflow_bit(&self, n_bits: u32) -> bool {
+        let c = self.counter.load(Ordering::SeqCst);
+        (c >> n_bits) & 1 == 1
+    }
+}
+
+/// Book-keeping counters for the bug-avoiding interfaces.
+#[derive(Debug, Default)]
+pub struct SignalStats {
+    /// `reset` calls that found a non-zero counter.
+    pub reset_errors: AtomicU64,
+    /// Waits that observed the overflow-detect bit.
+    pub overflow_errors: AtomicU64,
+    /// Total `apply` executions (events processed).
+    pub events_applied: AtomicU64,
+}
+
+/// The per-rank signal slab. `key` 0 is reserved as the null signal.
+pub struct SignalTable {
+    slots: Mutex<Vec<Option<Arc<SignalInner>>>>,
+    free: Mutex<Vec<u32>>,
+    n_bits: u32,
+    pub stats: SignalStats,
+}
+
+impl SignalTable {
+    /// Create a table whose signals use `n_bits` event bits (the paper's
+    /// `N`). `n_bits` bounds `num_event` at `2^N - 1`; smaller values
+    /// leave more room for the sub-message field — mandatory when the
+    /// NIC's custom bits are short (level-2 mode 2).
+    pub fn new(n_bits: u32) -> Arc<SignalTable> {
+        assert!((1..62).contains(&n_bits), "n_bits must be in 1..62");
+        Arc::new(SignalTable {
+            slots: Mutex::new(vec![None]), // slot 0 = null signal
+            free: Mutex::new(Vec::new()),
+            n_bits,
+            stats: SignalStats::default(),
+        })
+    }
+
+    /// The event-field width `N`.
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// Number of live signals (diagnostics).
+    pub fn live(&self) -> usize {
+        self.slots.lock().iter().flatten().count()
+    }
+
+    /// Allocate a signal that triggers after `num_event` events.
+    pub fn alloc(self: &Arc<Self>, num_event: i64) -> Signal {
+        assert!(num_event >= 1, "a signal needs at least one event");
+        assert!(
+            num_event < (1i64 << self.n_bits),
+            "num_event {} does not fit in {} event bits",
+            num_event,
+            self.n_bits
+        );
+        let mut slots = self.slots.lock();
+        let idx = match self.free.lock().pop() {
+            Some(i) => i as usize,
+            None => {
+                slots.push(None);
+                slots.len() - 1
+            }
+        };
+        let inner = Arc::new(SignalInner {
+            counter: AtomicI64::new(num_event),
+            num_event: AtomicI64::new(num_event),
+            waiter: Mutex::new(None),
+        });
+        slots[idx] = Some(Arc::clone(&inner));
+        drop(slots);
+        Signal {
+            inner,
+            table: Arc::clone(self),
+            key: idx as u64,
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<SignalInner>> {
+        self.slots.lock().get(key as usize)?.clone()
+    }
+
+    /// The polling agent's / level-4 NIC's `*p += a`. Must run in
+    /// scheduler context (it may wake a waiting actor). `key` 0 is the
+    /// null signal (no-op).
+    pub fn apply(&self, sched: &mut Sched, t: Ns, key: u64, addend: i64) {
+        if key == 0 {
+            return;
+        }
+        let Some(inner) = self.lookup(key) else {
+            // Signal freed with traffic still in flight: tolerated, like
+            // writes to deregistered memory.
+            return;
+        };
+        self.stats.events_applied.fetch_add(1, Ordering::Relaxed);
+        let new = inner.counter.fetch_add(addend, Ordering::SeqCst) + addend;
+        if new == 0 || (new >> self.n_bits) & 1 == 1 {
+            // Triggered (or overflowed): wake the waiter if any.
+            if let Some(w) = inner.waiter.lock().take() {
+                sched.wake(w, t);
+            }
+        }
+    }
+
+    fn release(&self, key: u64) {
+        if key == 0 {
+            return;
+        }
+        self.slots.lock()[key as usize] = None;
+        self.free.lock().push(key as u32);
+    }
+}
+
+/// A notifiable-RMA signal (the paper's `signal_t`).
+///
+/// Dropping the signal frees its table slot.
+pub struct Signal {
+    inner: Arc<SignalInner>,
+    table: Arc<SignalTable>,
+    key: u64,
+}
+
+impl Signal {
+    /// The table key (the paper's pointer `p`, as transported in custom
+    /// bits).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Current raw counter value (diagnostics, tests).
+    pub fn counter(&self) -> i64 {
+        self.inner.counter.load(Ordering::SeqCst)
+    }
+
+    /// The configured number of events.
+    pub fn num_event(&self) -> i64 {
+        self.inner.num_event.load(Ordering::SeqCst)
+    }
+
+    /// Has the signal triggered (counter == 0)?
+    pub fn test(&self) -> bool {
+        self.counter() == 0
+    }
+
+    /// Is the overflow-detect bit set?
+    pub fn overflowed(&self) -> bool {
+        self.inner.overflow_bit(self.table.n_bits)
+    }
+
+    /// Block the calling rank until the signal triggers.
+    ///
+    /// Also checks the overflow-detect bit (paper §IV-D): if more than
+    /// `num_event` events arrived, returns
+    /// [`SignalError::EventOverflow`].
+    pub fn wait(&self, ep: &Endpoint) -> Result<(), SignalError> {
+        let inner = Arc::clone(&self.inner);
+        let inner2 = Arc::clone(&self.inner);
+        let n_bits = self.table.n_bits;
+        ep.actor().wait_until(
+            move |_st| {
+                let c = inner.counter.load(Ordering::SeqCst);
+                c == 0 || (c >> n_bits) & 1 == 1
+            },
+            move |_st, me| {
+                *inner2.waiter.lock() = Some(me);
+            },
+        );
+        if self.overflowed() {
+            self.table
+                .stats
+                .overflow_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SignalError::EventOverflow {
+                counter: self.counter(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Triggered-or-overflowed check (used by multi-signal waits).
+    pub(crate) fn ready(&self, n_bits: u32) -> bool {
+        let c = self.inner.counter.load(Ordering::SeqCst);
+        c == 0 || (c >> n_bits) & 1 == 1
+    }
+
+    pub(crate) fn n_bits(&self) -> u32 {
+        self.table.n_bits
+    }
+
+    /// A cheap cloneable handle for multi-signal waits.
+    pub(crate) fn probe(&self) -> SignalProbe {
+        SignalProbe {
+            inner: Arc::clone(&self.inner),
+            n_bits: self.table.n_bits,
+        }
+    }
+
+    /// Re-arm the signal for the next epoch (`UNR_Sig_Reset`).
+    ///
+    /// **Bug-avoiding check**: must be called only after the buffers
+    /// guarded by this signal are ready for the next epoch's RMA. If the
+    /// counter is not zero — a peer's message arrived *before* this rank
+    /// was ready, or the previous epoch never completed — the reset is
+    /// still performed but the synchronization error is reported.
+    pub fn reset(&self) -> Result<(), SignalError> {
+        let num = self.num_event();
+        let old = self.inner.counter.swap(num, Ordering::SeqCst);
+        if old != 0 {
+            self.table
+                .stats
+                .reset_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SignalError::ResetWhileActive { counter: old });
+        }
+        Ok(())
+    }
+
+    /// Change the event count and re-arm (convenience for plans whose
+    /// shape changes between epochs).
+    pub fn reset_with(&self, num_event: i64) -> Result<(), SignalError> {
+        assert!(num_event >= 1 && num_event < (1i64 << self.table.n_bits));
+        self.inner.num_event.store(num_event, Ordering::SeqCst);
+        self.reset()
+    }
+}
+
+/// Cloneable ready-check + waiter-registration handle used by
+/// `Unr::sig_wait_any` (the closures it hands to the scheduler must be
+/// `'static`).
+#[derive(Clone)]
+pub(crate) struct SignalProbe {
+    inner: Arc<SignalInner>,
+    n_bits: u32,
+}
+
+impl SignalProbe {
+    pub(crate) fn ready(&self) -> bool {
+        let c = self.inner.counter.load(Ordering::SeqCst);
+        c == 0 || (c >> self.n_bits) & 1 == 1
+    }
+
+    pub(crate) fn register(&self, me: ActorId) {
+        *self.inner.waiter.lock() = Some(me);
+    }
+}
+
+impl Drop for Signal {
+    fn drop(&mut self) {
+        self.table.release(self.key);
+    }
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal")
+            .field("key", &self.key)
+            .field("counter", &self.counter())
+            .field("num_event", &self.num_event())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `apply` outside a live simulation by borrowing a scratch
+    /// scheduler.
+    fn with_sched(f: impl FnOnce(&mut Sched, &dyn Fn(&mut Sched)) + Send + 'static) {
+        let core = unr_simnet::SimCore::new(unr_simnet::SEC);
+        let h = core.register_actor("t", 0);
+        std::thread::spawn(move || {
+            h.begin();
+            h.with_sched(|st, _t| f(st, &|_| {}));
+            h.end();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn single_event_triggers_at_zero() {
+        let table = SignalTable::new(32);
+        let sig = table.alloc(1);
+        assert!(!sig.test());
+        with_sched({
+            let table = Arc::clone(&table);
+            let key = sig.key();
+            move |st, _| table.apply(st, 0, key, -1)
+        });
+        assert!(sig.test());
+        assert!(!sig.overflowed());
+    }
+
+    #[test]
+    fn multi_event_aggregation() {
+        let table = SignalTable::new(32);
+        let sig = table.alloc(3);
+        for i in 0..3 {
+            assert!(!sig.test(), "not triggered after {i} events");
+            with_sched({
+                let table = Arc::clone(&table);
+                let key = sig.key();
+                move |st, _| table.apply(st, 0, key, -1)
+            });
+        }
+        assert!(sig.test());
+    }
+
+    #[test]
+    fn striped_addends_net_to_minus_one() {
+        for n_bits in [8u32, 16, 32] {
+            for k in 1..=8usize {
+                let a = striped_addends(k, n_bits);
+                assert_eq!(a.len(), k);
+                assert_eq!(a.iter().sum::<i64>(), -1, "k={k} n_bits={n_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_arrivals_any_order_trigger_exactly_at_completion() {
+        // Figure 2 scenario: one signal expects 2 messages; message A is
+        // striped over 4 NICs, message B over 1. Try several arrival
+        // permutations of A's sub-messages.
+        let n_bits = 32;
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![1, 3, 0, 2],
+            vec![2, 0, 3, 1],
+        ];
+        for order in orders {
+            let table = SignalTable::new(n_bits);
+            let sig = table.alloc(2);
+            let a = striped_addends(4, n_bits);
+            // B arrives first.
+            with_sched({
+                let t = Arc::clone(&table);
+                let key = sig.key();
+                move |st, _| t.apply(st, 0, key, -1)
+            });
+            assert!(!sig.test());
+            for (i, &idx) in order.iter().enumerate() {
+                assert!(!sig.test(), "premature trigger before sub {i}");
+                with_sched({
+                    let t = Arc::clone(&table);
+                    let key = sig.key();
+                    let add = a[idx];
+                    move |st, _| t.apply(st, 0, key, add)
+                });
+            }
+            assert!(sig.test(), "order {order:?} must trigger at completion");
+            assert!(!sig.overflowed());
+        }
+    }
+
+    #[test]
+    fn overflow_bit_detects_extra_events() {
+        let table = SignalTable::new(8);
+        let sig = table.alloc(1);
+        for _ in 0..2 {
+            with_sched({
+                let t = Arc::clone(&table);
+                let key = sig.key();
+                move |st, _| t.apply(st, 0, key, -1)
+            });
+        }
+        assert!(sig.overflowed(), "second event must set the overflow bit");
+    }
+
+    #[test]
+    fn reset_detects_early_arrival() {
+        let table = SignalTable::new(32);
+        let sig = table.alloc(1);
+        // An event arrives before the first epoch even started — the
+        // reset must flag it.
+        with_sched({
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        assert!(sig.test());
+        assert!(sig.reset().is_ok(), "triggered -> reset is clean");
+        // Now an extra unexpected event:
+        with_sched({
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        with_sched({
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        let err = sig.reset().unwrap_err();
+        assert!(matches!(err, SignalError::ResetWhileActive { .. }));
+        assert_eq!(table.stats.reset_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reset_rearms_counter() {
+        let table = SignalTable::new(32);
+        let sig = table.alloc(2);
+        for _ in 0..2 {
+            with_sched({
+                let t = Arc::clone(&table);
+                let key = sig.key();
+                move |st, _| t.apply(st, 0, key, -1)
+            });
+        }
+        assert!(sig.test());
+        sig.reset().unwrap();
+        assert!(!sig.test());
+        assert_eq!(sig.counter(), 2);
+    }
+
+    #[test]
+    fn reset_with_changes_num_event() {
+        let table = SignalTable::new(16);
+        let sig = table.alloc(1);
+        with_sched({
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        sig.reset_with(5).unwrap();
+        assert_eq!(sig.counter(), 5);
+        assert_eq!(sig.num_event(), 5);
+    }
+
+    #[test]
+    fn null_key_is_ignored() {
+        let table = SignalTable::new(32);
+        with_sched({
+            let t = Arc::clone(&table);
+            move |st, _| t.apply(st, 0, 0, -1)
+        });
+        assert_eq!(table.stats.events_applied.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn freed_slot_is_reused() {
+        let table = SignalTable::new(32);
+        let k1 = {
+            let s = table.alloc(1);
+            s.key()
+        };
+        let s2 = table.alloc(1);
+        assert_eq!(s2.key(), k1, "slot must be recycled");
+        assert_eq!(table.live(), 1);
+    }
+
+    #[test]
+    fn apply_after_free_is_tolerated() {
+        let table = SignalTable::new(32);
+        let key = {
+            let s = table.alloc(1);
+            s.key()
+        };
+        with_sched({
+            let t = Arc::clone(&table);
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        // No panic; no event counted against a live signal.
+        assert_eq!(table.live(), 0);
+    }
+
+    #[test]
+    fn num_event_capacity_bounds() {
+        let table = SignalTable::new(4);
+        let _ok = table.alloc(15); // 2^4 - 1
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn num_event_over_capacity_panics() {
+        let table = SignalTable::new(4);
+        let _ = table.alloc(16);
+    }
+}

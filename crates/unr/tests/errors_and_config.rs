@@ -1,0 +1,253 @@
+//! Error paths and configuration knobs of the UNR engine.
+
+use unr_core::{convert, Blk, ChannelSelect, ProgressMode, Unr, UnrConfig, UnrError};
+use unr_minimpi::run_mpi_world;
+use unr_simnet::{FabricConfig, InterfaceKind, InterfaceSpec, Platform};
+
+fn fabric(iface: InterfaceKind, nodes: usize) -> FabricConfig {
+    let mut cfg = FabricConfig::test_default(nodes);
+    cfg.iface = InterfaceSpec::lookup(iface);
+    cfg
+}
+
+#[test]
+fn put_rejects_foreign_local_block() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        let mut blk = unr.blk_init(&mem, 0, 8, None);
+        blk.rank = 1 - comm.rank(); // pretend it belongs to the peer
+        matches!(unr.put(&blk, &blk), Err(UnrError::NotMyBlock { .. }))
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn put_rejects_length_mismatch() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        let a = unr.blk_init(&mem, 0, 8, None);
+        let mut b = unr.blk_init(&mem, 0, 16, None);
+        b.rank = 1 - comm.rank();
+        matches!(unr.put(&a, &b), Err(UnrError::LenMismatch { .. }))
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn put_rejects_unknown_region() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let fake = Blk {
+            rank: comm.rank(),
+            region_id: 4242,
+            region_len: 64,
+            offset: 0,
+            len: 8,
+            sig_key: 0,
+        };
+        matches!(unr.put(&fake, &fake), Err(UnrError::RegionUnknown(4242)))
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn blk_init_rejects_out_of_region_block() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 1), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = unr.blk_init(&mem, 60, 16, None);
+        }))
+        .is_err()
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn pinned_nic_is_honored() {
+    // With pin_nic = 1 on a dual-NIC node, traffic must leave NIC 1.
+    // We observe it through determinism: a pinned run differs from a
+    // round-robin run (the RR run alternates and overlaps two NICs).
+    let run = |pin: Option<usize>| -> u64 {
+        let mut cfg = Platform::th_xy().fabric_config(2, 1);
+        cfg.nic.jitter_frac = 0.0;
+        let results = run_mpi_world(cfg, move |comm| {
+            let unr = Unr::init(
+                comm.ep_shared(),
+                UnrConfig {
+                    pin_nic: pin,
+                    stripe_threshold: usize::MAX,
+                    ..UnrConfig::default()
+                },
+            );
+            let mem = unr.mem_reg(256 * 1024);
+            if comm.rank() == 0 {
+                let blk = unr.blk_init(&mem, 0, 256 * 1024, None);
+                let rmt = convert::recv_blk(comm, 1, 0);
+                // Two back-to-back puts: pinned -> same NIC (serialized),
+                // round-robin -> two NICs (overlapped).
+                unr.put(&blk, &rmt).unwrap();
+                unr.put(&blk, &rmt).unwrap();
+                comm.recv(Some(1), 1);
+                comm.ep().now()
+            } else {
+                let sig = unr.sig_init(2);
+                let blk = unr.blk_init(&mem, 0, 256 * 1024, Some(&sig));
+                convert::send_blk(comm, 0, 0, &blk);
+                unr.sig_wait(&sig).unwrap();
+                comm.send(0, 1, &[]);
+                0
+            }
+        });
+        results[0]
+    };
+    let pinned = run(Some(0));
+    let rr = run(None);
+    assert!(
+        rr < pinned,
+        "round-robin over two NICs ({rr}) must beat a pinned NIC ({pinned})"
+    );
+}
+
+#[test]
+fn user_driven_progress_handles_get() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(
+            comm.ep_shared(),
+            UnrConfig {
+                progress: Some(ProgressMode::UserDriven),
+                ..UnrConfig::default()
+            },
+        );
+        let mem = unr.mem_reg(64);
+        if comm.rank() == 0 {
+            mem.write_bytes(0, b"gotcha!!");
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, 8, Some(&sig));
+            convert::send_blk(comm, 1, 0, &blk);
+            unr.sig_wait(&sig).unwrap(); // remote GET notification
+            true
+        } else {
+            let sig = unr.sig_init(1);
+            let local = unr.blk_init(&mem, 0, 8, Some(&sig));
+            let remote = convert::recv_blk(comm, 0, 0);
+            unr.get(&local, &remote).unwrap();
+            unr.sig_wait(&sig).unwrap();
+            let mut b = [0u8; 8];
+            mem.read_bytes(0, &mut b);
+            b == *b"gotcha!!"
+        }
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn level1_signal_capacity_is_enforced() {
+    // uTofu: 8-bit keys -> at most 255 live signals can ride the wire.
+    let results = run_mpi_world(fabric(InterfaceKind::Utofu, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        // Allocate signals past the 8-bit key space; the put that tries
+        // to encode an oversized key must fail rather than truncate.
+        let sigs: Vec<_> = (0..300).map(|_| unr.sig_init(1)).collect();
+        let big = &sigs[299];
+        assert!(big.key() > 255);
+        if comm.rank() == 0 {
+            let blk = unr.blk_init(&mem, 0, 8, None);
+            let mut rmt = unr.blk_init(&mem, 0, 8, Some(big));
+            rmt.rank = 1;
+            matches!(unr.put(&blk, &rmt), Err(UnrError::Encode(_)))
+        } else {
+            true
+        }
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn mode2_striping_respects_addend_range() {
+    // Verbs mode 2 with a tiny addend field: striping must silently fall
+    // back to one sub-message rather than corrupt the counter.
+    let mut cfg = Platform::th_xy().fabric_config(2, 1);
+    cfg.iface = InterfaceSpec::lookup(InterfaceKind::Verbs);
+    let results = run_mpi_world(cfg, |comm| {
+        let unr = Unr::init(
+            comm.ep_shared(),
+            UnrConfig {
+                channel: ChannelSelect::Mode2 { key_bits: 28 }, // 4 addend bits
+                n_bits: 8,
+                stripe_threshold: 1,
+                max_stripes: 2,
+                ..UnrConfig::default()
+            },
+        );
+        let len = 1 << 20;
+        let mem = unr.mem_reg(len);
+        if comm.rank() == 0 {
+            let blk = unr.blk_init(&mem, 0, len, None);
+            let rmt = convert::recv_blk(comm, 1, 0);
+            unr.put(&blk, &rmt).unwrap();
+            comm.recv(Some(1), 1);
+            unr.stats()
+                .sub_messages
+                .load(std::sync::atomic::Ordering::Relaxed)
+        } else {
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, len, Some(&sig));
+            convert::send_blk(comm, 0, 0, &blk);
+            unr.sig_wait(&sig).unwrap();
+            assert!(!sig.overflowed());
+            comm.send(0, 1, &[]);
+            0
+        }
+    });
+    assert_eq!(
+        results[0], 1,
+        "striping addend does not fit 4 bits: must fall back to 1 sub-message"
+    );
+}
+
+#[test]
+fn fallback_overhead_is_charged() {
+    // Higher configured fallback overhead must make the same workload
+    // slower (virtual time), proving the knob is wired through.
+    let run = |overhead: u64| -> u64 {
+        let results = run_mpi_world(fabric(InterfaceKind::MpiOnly, 2), move |comm| {
+            let unr = Unr::init(
+                comm.ep_shared(),
+                UnrConfig {
+                    fallback_overhead: overhead,
+                    ..UnrConfig::default()
+                },
+            );
+            let mem = unr.mem_reg(4096);
+            let sig = unr.sig_init(1);
+            let me = comm.rank();
+            let recv_blk = unr.blk_init(&mem, 0, 4096, Some(&sig));
+            let send_blk = unr.blk_init(&mem, 0, 4096, None);
+            let remote = convert::exchange_blk(comm, 1 - me, 0, &recv_blk);
+            let t0 = comm.ep().now();
+            for _ in 0..10 {
+                if me == 0 {
+                    unr.put(&send_blk, &remote).unwrap();
+                    unr.sig_wait(&sig).unwrap();
+                    sig.reset().unwrap();
+                } else {
+                    unr.sig_wait(&sig).unwrap();
+                    sig.reset().unwrap();
+                    unr.put(&send_blk, &remote).unwrap();
+                }
+            }
+            comm.ep().now() - t0
+        });
+        results[0]
+    };
+    let cheap = run(100);
+    let pricey = run(5_000);
+    assert!(
+        pricey > cheap + 10 * 2 * 4_000,
+        "per-message fallback overhead must show up in virtual time: {cheap} vs {pricey}"
+    );
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) for the MMAS counter and the
+//! custom-bits encodings — the two pieces whose correctness everything
+//! else rests on.
+
+use proptest::prelude::*;
+
+use unr_core::{striped_addends, Encoding, Notif, SignalTable};
+use unr_simnet::{SimCore, SEC};
+
+/// Apply a sequence of addends to a fresh signal inside a scratch
+/// scheduler; returns (triggered_after_each, overflowed_at_end).
+fn drive_signal(n_bits: u32, num_event: i64, addends: Vec<i64>) -> (Vec<bool>, bool) {
+    let core = SimCore::new(SEC);
+    let h = core.register_actor("t", 0);
+    let table = SignalTable::new(n_bits);
+    let sig = table.alloc(num_event);
+    let key = sig.key();
+    let table2 = std::sync::Arc::clone(&table);
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let out2 = std::sync::Arc::clone(&out);
+    let sig = std::sync::Arc::new(sig);
+    let sig2 = std::sync::Arc::clone(&sig);
+    std::thread::spawn(move || {
+        h.begin();
+        for a in addends {
+            h.with_sched(|st, t| table2.apply(st, t, key, a));
+            out2.lock().push(sig2.test());
+        }
+        h.end();
+    })
+    .join()
+    .unwrap();
+    let states = out.lock().clone();
+    let over = sig.overflowed();
+    (states, over)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A signal expecting E messages, each striped into a random number
+    /// of sub-messages delivered in a random global order, triggers
+    /// exactly once — at the final arrival — and never overflows.
+    #[test]
+    fn mmas_triggers_exactly_at_completion(
+        n_bits in 8u32..40,
+        events in 1usize..6,
+        stripe_counts in prop::collection::vec(1usize..6, 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let events = events.min(stripe_counts.len());
+        let mut all: Vec<i64> = Vec::new();
+        for k in stripe_counts.iter().take(events) {
+            all.extend(striped_addends(*k, n_bits));
+        }
+        // Deterministic shuffle.
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        let mut s = seed | 1;
+        for i in (1..order.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let shuffled: Vec<i64> = order.iter().map(|&i| all[i]).collect();
+
+        let (states, overflowed) = drive_signal(n_bits, events as i64, shuffled);
+        // Never triggered before the last arrival:
+        for (i, &t) in states.iter().enumerate() {
+            if i + 1 < states.len() {
+                prop_assert!(!t, "premature trigger after arrival {i}");
+            }
+        }
+        prop_assert!(states.last().copied().unwrap_or(false), "must trigger at completion");
+        prop_assert!(!overflowed);
+    }
+
+    /// One extra single-stripe message beyond `num_event` must set the
+    /// overflow-detect bit.
+    #[test]
+    fn mmas_overflow_detected(
+        n_bits in 4u32..32,
+        events in 1i64..10,
+    ) {
+        let addends = vec![-1i64; events as usize + 1];
+        let (_states, overflowed) = drive_signal(n_bits, events, addends);
+        prop_assert!(overflowed);
+    }
+
+    /// Encodings round-trip every representable notification.
+    #[test]
+    fn full128_roundtrip(key in 1u64.., addend in any::<i64>()) {
+        let e = Encoding::Full128;
+        let n = Notif { key, addend };
+        prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+    }
+
+    #[test]
+    fn split64_roundtrip(key in 1u64..=u32::MAX as u64, addend in -(1i64<<31)..(1i64<<31)-1) {
+        let e = Encoding::Split64;
+        let n = Notif { key, addend };
+        prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+    }
+
+    #[test]
+    fn keyonly_roundtrip(bits in 1u16..=32, key_raw in 1u64..) {
+        let e = Encoding::KeyOnly { bits };
+        let key = 1 + key_raw % e.max_key().max(1);
+        if key <= e.max_key() {
+            let n = Notif { key, addend: -1 };
+            prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+        }
+    }
+
+    #[test]
+    fn mode2_roundtrip(
+        key_bits in 4u16..=28,
+        key_raw in 1u64..,
+        addend in any::<i64>(),
+    ) {
+        let e = Encoding::Mode2 { bits: 32, key_bits };
+        let key = 1 + key_raw % e.max_key();
+        let a_bits = 32 - key_bits;
+        let min = -(1i64 << (a_bits - 1));
+        let max = (1i64 << (a_bits - 1)) - 1;
+        let a = min + (addend.rem_euclid(max - min + 1));
+        if a != 0 {
+            let n = Notif { key, addend: a };
+            prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+        }
+    }
+
+    /// Out-of-range inputs are rejected, never silently truncated.
+    #[test]
+    fn mode2_rejects_out_of_range_addends(
+        key_bits in 4u16..=28,
+        extra in 1i64..1000,
+    ) {
+        let e = Encoding::Mode2 { bits: 32, key_bits };
+        let a_bits = 32 - key_bits;
+        let max = (1i64 << (a_bits - 1)) - 1;
+        let n = Notif { key: 1, addend: max + extra };
+        prop_assert!(e.encode(n).is_err());
+    }
+
+    /// BLK wire codec round-trips.
+    #[test]
+    fn blk_roundtrip(
+        rank in 0usize..1_000_000,
+        region_id in any::<u32>(),
+        region_len in 0usize..(1 << 40),
+        offset in 0usize..(1 << 40),
+        len in 0usize..(1 << 40),
+        sig_key in any::<u64>(),
+    ) {
+        let b = unr_core::Blk { rank, region_id, region_len, offset, len, sig_key };
+        prop_assert_eq!(unr_core::Blk::from_bytes(&b.to_bytes()), Some(b));
+    }
+
+    /// Striped addends always sum to exactly -1 and the carrier is the
+    /// only positive-biased entry.
+    #[test]
+    fn striped_addends_invariants(k in 1usize..64, n_bits in 1u32..50) {
+        let a = striped_addends(k, n_bits);
+        prop_assert_eq!(a.len(), k);
+        prop_assert_eq!(a.iter().sum::<i64>(), -1);
+        for &x in &a[1..] {
+            prop_assert_eq!(x, -(1i64 << (n_bits + 1)));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart — the paper's Code 1 → Code 2 transformation.
+//!
+//! A two-rank program first runs classic two-sided send/recv, then the
+//! UNR-optimized version: memory registration, signals, BLK exchange,
+//! notified PUT, and the bug-avoiding `reset` discipline.
+//!
+//! Run with: `cargo run -p unr-examples --example quickstart`
+
+use unr_core::{convert, Unr, UnrConfig};
+use unr_minimpi::run_mpi_world;
+use unr_simnet::{to_us, FabricConfig};
+
+const ITERS: usize = 20;
+const SIZE: usize = 4096;
+
+fn main() {
+    let results = run_mpi_world(FabricConfig::test_default(2), |comm| {
+        let me = comm.rank();
+
+        // ---- Code 1: plain two-sided communication -----------------
+        let t0 = comm.ep().now();
+        for it in 0..ITERS {
+            if me == 0 {
+                let payload = vec![it as u8; SIZE];
+                comm.send(1, 0, &payload); // MPI_Send(send_buf + f(x))
+                comm.recv(Some(1), 1); // wait for consume-ack
+            } else {
+                let msg = comm.recv(Some(0), 0); // MPI_Recv(recv_buf + g(y))
+                assert!(msg.data.iter().all(|&b| b == it as u8));
+                comm.send(0, 1, &[]);
+            }
+        }
+        let two_sided = comm.ep().now() - t0;
+
+        // ---- Code 2: the same loop over UNR -------------------------
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let buf = unr.mem_reg(SIZE * 2);
+        let t1 = comm.ep().now();
+        let elapsed_unr = if me == 0 {
+            // sender
+            let send_sig = unr.sig_init(1); // trigger after 1 event
+            let send_blk = unr.blk_init(&buf, 0, SIZE, Some(&send_sig));
+            let rmt_blk = convert::recv_blk(comm, 1, 7); // get remote address
+            for it in 0..ITERS {
+                buf.write_bytes(0, &vec![it as u8; SIZE]);
+                unr.put(&send_blk, &rmt_blk).unwrap();
+                unr.sig_wait(&send_sig).unwrap(); // source reusable
+                send_sig.reset().unwrap();
+                // Implicit pre-synchronization for the next epoch: the
+                // receiver's ack tells us its buffer is ready again.
+                comm.recv(Some(1), 8);
+            }
+            comm.ep().now() - t1
+        } else {
+            // receiver
+            let recv_sig = unr.sig_init(1);
+            let recv_blk = unr.blk_init(&buf, SIZE, SIZE, Some(&recv_sig));
+            convert::send_blk(comm, 0, 7, &recv_blk); // publish address
+            for it in 0..ITERS {
+                unr.sig_wait(&recv_sig).unwrap(); // data fully arrived
+                let mut got = vec![0u8; SIZE];
+                buf.read_bytes(SIZE, &mut got);
+                assert!(got.iter().all(|&b| b == it as u8));
+                recv_sig.reset().unwrap(); // buffer ready again
+                comm.send(0, 8, &[]);
+            }
+            comm.ep().now() - t1
+        };
+        (two_sided, elapsed_unr)
+    });
+
+    let (two_sided, unr) = results[0];
+    println!("quickstart: {ITERS} iterations of a {SIZE}-byte producer/consumer exchange");
+    println!(
+        "  two-sided send/recv : {:>8.1} us ({:.2} us/iter)",
+        to_us(two_sided),
+        to_us(two_sided) / ITERS as f64
+    );
+    println!(
+        "  UNR notified put    : {:>8.1} us ({:.2} us/iter)",
+        to_us(unr),
+        to_us(unr) / ITERS as f64
+    );
+    println!(
+        "  speedup             : {:.2}x",
+        two_sided as f64 / unr as f64
+    );
+}

@@ -1,0 +1,1 @@
+//! Example binaries live under the `examples/` targets of this crate.

@@ -1,0 +1,1 @@
+//! Workspace-wide integration tests live in `tests/tests/`.
