@@ -25,7 +25,7 @@
 //! sequence — MPI's non-overtaking rule holds even over an adaptively
 //! routed fabric.
 
-use parking_lot::Mutex;
+use unr_simnet::sync::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;

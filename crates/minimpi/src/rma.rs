@@ -23,7 +23,7 @@
 //! data (and it fits: the paper notes foMPI/dCUDA split those bits into
 //! rank+tag).
 
-use parking_lot::Mutex;
+use unr_simnet::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 

@@ -12,9 +12,8 @@
 //!   completion (with the custom bits truncated to the interface's
 //!   width), and delivers any order-preserving companion datagram.
 
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -109,7 +108,7 @@ pub struct FabricStats {
 struct FabricInner {
     nodes: Vec<NodeState>,
     ranks: Vec<RankState>,
-    rng: SmallRng,
+    rng: SimRng,
 }
 
 /// The shared fabric object.
@@ -226,7 +225,7 @@ impl Fabric {
             inner: Mutex::new(FabricInner {
                 nodes,
                 ranks,
-                rng: SmallRng::seed_from_u64(seed),
+                rng: SimRng::seed_from_u64(seed),
             }),
             stats: FabricStats::default(),
             tracer,
@@ -419,7 +418,7 @@ impl Endpoint {
         if max == 0 {
             0
         } else {
-            inner.rng.gen_range(0..=max)
+            inner.rng.gen_inclusive(max)
         }
     }
 

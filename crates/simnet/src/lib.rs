@@ -45,7 +45,9 @@ pub mod mem;
 pub mod nic;
 pub mod platform;
 pub mod queues;
+pub mod rng;
 pub mod sched;
+pub mod sync;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -57,7 +59,9 @@ pub use mem::{MemRegion, OutOfBounds, Pod, RKey};
 pub use nic::{CustomBits, InterfaceKind, InterfaceSpec, NicModel};
 pub use platform::Platform;
 pub use queues::{Completion, CompletionKind, CompletionQueue, Dgram, Port};
+pub use rng::SimRng;
 pub use sched::{ActorHandle, ActorId, Sched, SimCore};
+pub use sync::{Condvar, Mutex, MutexGuard};
 pub use time::{to_ms, to_sec, to_us, us, Bandwidth, Ns, MS, SEC, US};
 pub use trace::{TraceEvent, TraceRecorder};
 pub use world::{run_on_fabric, run_world};

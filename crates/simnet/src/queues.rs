@@ -14,7 +14,7 @@
 //! waker lists race-free; their own mutexes are just interior
 //! mutability.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::VecDeque;
 
 use crate::sched::{ActorId, Sched};

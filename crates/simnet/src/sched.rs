@@ -18,7 +18,7 @@
 //! scheduler state borrowed mutably; they perform fabric effects (memory
 //! writes, queue pushes) and wake blocked actors.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -283,9 +283,15 @@ impl SimCore {
 
     /// Become the scheduled (minimum-time) entity. Returns with the lock
     /// held and `current == me`.
-    fn acquire(&self, me: ActorId) -> parking_lot::MutexGuard<'_, Sched> {
-        self.check_poison();
+    fn acquire(&self, me: ActorId) -> MutexGuard<'_, Sched> {
         let mut st = self.state.lock();
+        // Checked under the lock: poison() stores the flag before taking
+        // the lock, so we either see it here or are parked (atomically
+        // with the lock release) when its notify_all arrives. A check
+        // outside the lock can miss the notify and park forever — a
+        // panicked rank never yields currency, so no later dispatch would
+        // ever pick us.
+        self.check_poison();
         debug_assert!(
             st.actors[me.0].state == ActorState::Running || st.current != Some(me.0),
             "re-entrant acquire"
@@ -299,14 +305,14 @@ impl SimCore {
         st.dispatch();
         while st.current != Some(me.0) {
             self.cv.notify_all();
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st);
             self.check_poison();
         }
         st
     }
 
     /// Release the scheduler after an op; pick the next entity.
-    fn release(&self, mut st: parking_lot::MutexGuard<'_, Sched>, me: ActorId) {
+    fn release(&self, mut st: MutexGuard<'_, Sched>, me: ActorId) {
         debug_assert_eq!(st.current, Some(me.0));
         // Stay "current": the next acquire() by this actor is then a
         // no-op fast path. Other actors steal currency via acquire()'s
@@ -367,13 +373,17 @@ impl ActorHandle {
     pub fn begin(&self) {
         let core = &self.core;
         let mut st = core.state.lock();
+        // Same contract as acquire(): must be checked under the lock, or
+        // a rank whose sibling panicked before our thread got here parks
+        // with no wakeup ever coming.
+        core.check_poison();
         let t = st.actors[self.id.0].t;
         st.actors[self.id.0].state = ActorState::Ready;
         st.ready.push(Reverse((t, self.id.0)));
         st.dispatch();
         while st.current != Some(self.id.0) {
             core.cv.notify_all();
-            core.cv.wait(&mut st);
+            st = core.cv.wait(st);
             core.check_poison();
         }
         drop(st);
@@ -456,7 +466,7 @@ impl ActorHandle {
             st.dispatch();
             core.cv.notify_all();
             while st.current != Some(self.id.0) {
-                core.cv.wait(&mut st);
+                st = core.cv.wait(st);
                 core.check_poison();
             }
         }
@@ -487,6 +497,13 @@ impl ActorHandle {
     /// world runner so sibling actors do not hang forever).
     pub fn poison(&self) {
         self.core.poisoned.store(true, Ordering::Relaxed);
+        // Serialize with waiters that have checked their wake condition
+        // but not yet parked: they hold the state lock until the park is
+        // atomic with its release, so acquiring it here guarantees every
+        // such waiter is parked before we notify — the wakeup cannot be
+        // lost. Threads not yet in the scheduler hit check_poison() on
+        // their next acquire() instead.
+        drop(self.core.state.lock());
         self.core.cv.notify_all();
     }
 }

@@ -9,7 +9,7 @@
 //! of the protocol, which makes it a powerful way to *see* overlap,
 //! striping and synchronization stalls.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::time::Ns;
 

@@ -111,6 +111,37 @@ mod tests {
         assert_eq!(got, vec![0, 10, 20]);
     }
 
+    /// Regression test for a lost-wakeup hang: `poison()` must serialize
+    /// with waiters about to park, or a sibling rank that checked its
+    /// wake condition just before the notify sleeps forever. One shot
+    /// rarely hits the window, so hammer it.
+    #[test]
+    fn rank_panic_never_strands_siblings() {
+        for round in 0..100 {
+            let r = std::panic::catch_unwind(|| {
+                run_world(FabricConfig::test_default(4), |ep| {
+                    if ep.rank() == 1 {
+                        panic!("intentional");
+                    }
+                    let port = ep.open_port(1);
+                    let _ = ep.recv_dgram(&port);
+                });
+            });
+            let msg = match &r {
+                Ok(()) => panic!("round {round}: world returned without panicking"),
+                Err(p) => p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_default(),
+            };
+            assert!(
+                msg.contains("intentional"),
+                "round {round}: wrong panic propagated: {msg:?}"
+            );
+        }
+    }
+
     #[test]
     #[should_panic(expected = "intentional")]
     fn rank_panic_propagates() {

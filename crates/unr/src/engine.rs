@@ -1,7 +1,7 @@
 //! The UNR context: registration, notifiable PUT/GET with multi-NIC
 //! striping, the progress engine and the polling agent (paper §IV).
 
-use parking_lot::Mutex;
+use unr_simnet::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -28,7 +28,7 @@
 //! [`SignalTable::apply`] is the polling thread's / level-4 NIC's
 //! `*p += a`.
 
-use parking_lot::Mutex;
+use unr_simnet::sync::Mutex;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -461,6 +461,78 @@ mod tests {
             });
         }
         assert!(sig.overflowed(), "second event must set the overflow bit");
+    }
+
+    #[test]
+    fn overflow_wait_reports_error_and_counts_it() {
+        // num_event + 1 arrivals: the overflow-detect bit must be set and
+        // a wait() observing it must return EventOverflow and bump
+        // SignalStats::overflow_errors.
+        let fabric = unr_simnet::Fabric::new(unr_simnet::FabricConfig::test_default(1));
+        let ep = fabric.attach(0, "rank0");
+        let table = SignalTable::new(8);
+        let sig = table.alloc(1);
+        std::thread::spawn(move || {
+            ep.actor().begin();
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            ep.actor().with_sched(|st, t_now| {
+                t.apply(st, t_now, key, -1);
+                t.apply(st, t_now, key, -1); // the extra event
+            });
+            assert!(sig.overflowed());
+            let err = sig.wait(&ep).unwrap_err();
+            assert!(matches!(err, SignalError::EventOverflow { .. }));
+            assert_eq!(table.stats.overflow_errors.load(Ordering::Relaxed), 1);
+            ep.actor().end();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn clean_wait_leaves_overflow_stats_untouched() {
+        let fabric = unr_simnet::Fabric::new(unr_simnet::FabricConfig::test_default(1));
+        let ep = fabric.attach(0, "rank0");
+        let table = SignalTable::new(8);
+        let sig = table.alloc(2);
+        std::thread::spawn(move || {
+            ep.actor().begin();
+            let t = Arc::clone(&table);
+            let key = sig.key();
+            ep.actor().with_sched(|st, t_now| {
+                t.apply(st, t_now, key, -1);
+                t.apply(st, t_now, key, -1);
+            });
+            sig.wait(&ep).unwrap();
+            assert_eq!(table.stats.overflow_errors.load(Ordering::Relaxed), 0);
+            ep.actor().end();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn striped_addends_exact_for_every_nic_count() {
+        // Satellite spec: the sum of addends is exactly -1 for k in 1..=8
+        // at every realistic event-field width, and the group reaches
+        // zero only at the final sub-message regardless of order.
+        for n_bits in 1..=40u32 {
+            for k in 1..=8usize {
+                let a = striped_addends(k, n_bits);
+                assert_eq!(a.iter().sum::<i64>(), -1, "k={k} n_bits={n_bits}");
+                // Partial sums starting from num_event=1 never hit zero
+                // before the end (forward order).
+                let mut c = 1i64;
+                for (i, &x) in a.iter().enumerate() {
+                    c += x;
+                    if i + 1 < k {
+                        assert_ne!(c, 0, "premature zero at {i} (k={k})");
+                    }
+                }
+                assert_eq!(c, 0);
+            }
+        }
     }
 
     #[test]

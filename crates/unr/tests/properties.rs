@@ -1,10 +1,9 @@
-//! Property-based tests (proptest) for the MMAS counter and the
-//! custom-bits encodings — the two pieces whose correctness everything
-//! else rests on.
-
-use proptest::prelude::*;
+//! Property-based tests (seeded-case harness from `unr-integration`)
+//! for the MMAS counter and the custom-bits encodings — the two pieces
+//! whose correctness everything else rests on.
 
 use unr_core::{striped_addends, Encoding, Notif, SignalTable};
+use unr_integration::{run_cases, Gen};
 use unr_simnet::{SimCore, SEC};
 
 /// Apply a sequence of addends to a fresh signal inside a scratch
@@ -16,7 +15,7 @@ fn drive_signal(n_bits: u32, num_event: i64, addends: Vec<i64>) -> (Vec<bool>, b
     let sig = table.alloc(num_event);
     let key = sig.key();
     let table2 = std::sync::Arc::clone(&table);
-    let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let out = std::sync::Arc::new(unr_simnet::Mutex::new(Vec::new()));
     let out2 = std::sync::Arc::clone(&out);
     let sig = std::sync::Arc::new(sig);
     let sig2 = std::sync::Arc::clone(&sig);
@@ -35,87 +34,93 @@ fn drive_signal(n_bits: u32, num_event: i64, addends: Vec<i64>) -> (Vec<bool>, b
     (states, over)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A signal expecting E messages, each striped into a random number
-    /// of sub-messages delivered in a random global order, triggers
-    /// exactly once — at the final arrival — and never overflows.
-    #[test]
-    fn mmas_triggers_exactly_at_completion(
-        n_bits in 8u32..40,
-        events in 1usize..6,
-        stripe_counts in prop::collection::vec(1usize..6, 1..6),
-        seed in 0u64..u64::MAX,
-    ) {
+/// A signal expecting E messages, each striped into a random number of
+/// sub-messages delivered in a random global order, triggers exactly
+/// once — at the final arrival — and never overflows.
+#[test]
+fn mmas_triggers_exactly_at_completion() {
+    run_cases("mmas_triggers_exactly_at_completion", 64, |g: &mut Gen| {
+        let n_bits = g.u32_in(8, 40);
+        let events = g.usize_in(1, 6);
+        let stripe_counts = g.vec(1..6, |g| g.usize_in(1, 6));
         let events = events.min(stripe_counts.len());
         let mut all: Vec<i64> = Vec::new();
         for k in stripe_counts.iter().take(events) {
             all.extend(striped_addends(*k, n_bits));
         }
-        // Deterministic shuffle.
-        let mut order: Vec<usize> = (0..all.len()).collect();
-        let mut s = seed | 1;
-        for i in (1..order.len()).rev() {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            order.swap(i, (s as usize) % (i + 1));
-        }
-        let shuffled: Vec<i64> = order.iter().map(|&i| all[i]).collect();
+        g.shuffle(&mut all);
 
-        let (states, overflowed) = drive_signal(n_bits, events as i64, shuffled);
+        let (states, overflowed) = drive_signal(n_bits, events as i64, all);
         // Never triggered before the last arrival:
         for (i, &t) in states.iter().enumerate() {
             if i + 1 < states.len() {
-                prop_assert!(!t, "premature trigger after arrival {i}");
+                assert!(!t, "premature trigger after arrival {i}");
             }
         }
-        prop_assert!(states.last().copied().unwrap_or(false), "must trigger at completion");
-        prop_assert!(!overflowed);
-    }
+        assert!(
+            states.last().copied().unwrap_or(false),
+            "must trigger at completion"
+        );
+        assert!(!overflowed);
+    });
+}
 
-    /// One extra single-stripe message beyond `num_event` must set the
-    /// overflow-detect bit.
-    #[test]
-    fn mmas_overflow_detected(
-        n_bits in 4u32..32,
-        events in 1i64..10,
-    ) {
+/// One extra single-stripe message beyond `num_event` must set the
+/// overflow-detect bit.
+#[test]
+fn mmas_overflow_detected() {
+    run_cases("mmas_overflow_detected", 64, |g| {
+        let n_bits = g.u32_in(4, 32);
+        let events = g.i64_in(1, 10);
         let addends = vec![-1i64; events as usize + 1];
         let (_states, overflowed) = drive_signal(n_bits, events, addends);
-        prop_assert!(overflowed);
-    }
+        assert!(overflowed);
+    });
+}
 
-    /// Encodings round-trip every representable notification.
-    #[test]
-    fn full128_roundtrip(key in 1u64.., addend in any::<i64>()) {
+/// Encodings round-trip every representable notification.
+#[test]
+fn full128_roundtrip() {
+    run_cases("full128_roundtrip", 64, |g| {
+        let key = g.u64_in_incl(1, u64::MAX);
+        let addend = g.i64();
         let e = Encoding::Full128;
         let n = Notif { key, addend };
-        prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
-    }
+        assert_eq!(e.decode(e.encode(n).unwrap()), n);
+    });
+}
 
-    #[test]
-    fn split64_roundtrip(key in 1u64..=u32::MAX as u64, addend in -(1i64<<31)..(1i64<<31)-1) {
+#[test]
+fn split64_roundtrip() {
+    run_cases("split64_roundtrip", 64, |g| {
+        let key = g.u64_in_incl(1, u32::MAX as u64);
+        let addend = g.i64_in(-(1i64 << 31), (1i64 << 31) - 1);
         let e = Encoding::Split64;
         let n = Notif { key, addend };
-        prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
-    }
+        assert_eq!(e.decode(e.encode(n).unwrap()), n);
+    });
+}
 
-    #[test]
-    fn keyonly_roundtrip(bits in 1u16..=32, key_raw in 1u64..) {
+#[test]
+fn keyonly_roundtrip() {
+    run_cases("keyonly_roundtrip", 64, |g| {
+        let bits = g.u16_in_incl(1, 32);
+        let key_raw = g.u64_in_incl(1, u64::MAX);
         let e = Encoding::KeyOnly { bits };
         let key = 1 + key_raw % e.max_key().max(1);
         if key <= e.max_key() {
             let n = Notif { key, addend: -1 };
-            prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+            assert_eq!(e.decode(e.encode(n).unwrap()), n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mode2_roundtrip(
-        key_bits in 4u16..=28,
-        key_raw in 1u64..,
-        addend in any::<i64>(),
-    ) {
+#[test]
+fn mode2_roundtrip() {
+    run_cases("mode2_roundtrip", 64, |g| {
+        let key_bits = g.u16_in_incl(4, 28);
+        let key_raw = g.u64_in_incl(1, u64::MAX);
+        let addend = g.i64();
         let e = Encoding::Mode2 { bits: 32, key_bits };
         let key = 1 + key_raw % e.max_key();
         let a_bits = 32 - key_bits;
@@ -124,46 +129,56 @@ proptest! {
         let a = min + (addend.rem_euclid(max - min + 1));
         if a != 0 {
             let n = Notif { key, addend: a };
-            prop_assert_eq!(e.decode(e.encode(n).unwrap()), n);
+            assert_eq!(e.decode(e.encode(n).unwrap()), n);
         }
-    }
+    });
+}
 
-    /// Out-of-range inputs are rejected, never silently truncated.
-    #[test]
-    fn mode2_rejects_out_of_range_addends(
-        key_bits in 4u16..=28,
-        extra in 1i64..1000,
-    ) {
+/// Out-of-range inputs are rejected, never silently truncated.
+#[test]
+fn mode2_rejects_out_of_range_addends() {
+    run_cases("mode2_rejects_out_of_range_addends", 64, |g| {
+        let key_bits = g.u16_in_incl(4, 28);
+        let extra = g.i64_in(1, 1000);
         let e = Encoding::Mode2 { bits: 32, key_bits };
         let a_bits = 32 - key_bits;
         let max = (1i64 << (a_bits - 1)) - 1;
-        let n = Notif { key: 1, addend: max + extra };
-        prop_assert!(e.encode(n).is_err());
-    }
+        let n = Notif {
+            key: 1,
+            addend: max + extra,
+        };
+        assert!(e.encode(n).is_err());
+    });
+}
 
-    /// BLK wire codec round-trips.
-    #[test]
-    fn blk_roundtrip(
-        rank in 0usize..1_000_000,
-        region_id in any::<u32>(),
-        region_len in 0usize..(1 << 40),
-        offset in 0usize..(1 << 40),
-        len in 0usize..(1 << 40),
-        sig_key in any::<u64>(),
-    ) {
-        let b = unr_core::Blk { rank, region_id, region_len, offset, len, sig_key };
-        prop_assert_eq!(unr_core::Blk::from_bytes(&b.to_bytes()), Some(b));
-    }
+/// BLK wire codec round-trips.
+#[test]
+fn blk_roundtrip() {
+    run_cases("blk_roundtrip", 64, |g| {
+        let b = unr_core::Blk {
+            rank: g.usize_in(0, 1_000_000),
+            region_id: g.u64() as u32,
+            region_len: g.usize_in(0, 1 << 40),
+            offset: g.usize_in(0, 1 << 40),
+            len: g.usize_in(0, 1 << 40),
+            sig_key: g.u64(),
+        };
+        assert_eq!(unr_core::Blk::from_bytes(&b.to_bytes()), Some(b));
+    });
+}
 
-    /// Striped addends always sum to exactly -1 and the carrier is the
-    /// only positive-biased entry.
-    #[test]
-    fn striped_addends_invariants(k in 1usize..64, n_bits in 1u32..50) {
+/// Striped addends always sum to exactly -1 and the carrier is the
+/// only positive-biased entry.
+#[test]
+fn striped_addends_invariants() {
+    run_cases("striped_addends_invariants", 64, |g| {
+        let k = g.usize_in(1, 64);
+        let n_bits = g.u32_in(1, 50);
         let a = striped_addends(k, n_bits);
-        prop_assert_eq!(a.len(), k);
-        prop_assert_eq!(a.iter().sum::<i64>(), -1);
+        assert_eq!(a.len(), k);
+        assert_eq!(a.iter().sum::<i64>(), -1);
         for &x in &a[1..] {
-            prop_assert_eq!(x, -(1i64 << (n_bits + 1)));
+            assert_eq!(x, -(1i64 << (n_bits + 1)));
         }
-    }
+    });
 }

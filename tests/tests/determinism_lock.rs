@@ -1,0 +1,63 @@
+//! Locks the determinism contract the full-stack suite (and every
+//! benchmark figure) relies on: the in-tree PRNG stream is fixed, and
+//! jittered fabric runs on the paper's TH-XY platform preset are
+//! bit-identical across repeats.
+
+use unr_simnet::{run_world, NicSel, Platform, SimRng};
+
+/// Two generators with the same seed produce identical streams — the
+/// foundation of the fabric's reproducible jitter.
+#[test]
+fn prng_same_seed_identical_streams() {
+    for seed in [0u64, 1, 42, 0x5eed, u64::MAX] {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let sa: Vec<u64> = (0..4096).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..4096).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb, "seed {seed}: streams diverged");
+    }
+}
+
+/// A jittered all-to-neighbour exchange on the TH-XY preset. Returns
+/// per-rank (final time, bytes received) — the full observable outcome.
+fn th_xy_run(seed: u64) -> Vec<(u64, u64)> {
+    let mut cfg = Platform::th_xy().fabric_config(2, 2);
+    cfg.seed = seed;
+    run_world(cfg, |ep| {
+        let me = ep.rank();
+        let n = ep.world_size();
+        let port = ep.open_port(3);
+        for round in 0..4u64 {
+            ep.advance(100 + 37 * round);
+            let len = 64 << (round % 3);
+            ep.send_dgram((me + 1) % n, 3, vec![me as u8; len], NicSel::Auto);
+        }
+        let mut bytes = 0u64;
+        for _ in 0..4 {
+            bytes += ep.recv_dgram(&port).bytes.len() as u64;
+        }
+        (ep.now(), bytes)
+    })
+}
+
+/// TH-XY has jitter_frac = 0.15, so every arrival consults the PRNG;
+/// three consecutive runs must still be bit-identical.
+#[test]
+fn th_xy_fabric_runs_bit_identical_across_repeats() {
+    let first = th_xy_run(777);
+    for rep in 0..2 {
+        assert_eq!(th_xy_run(777), first, "repeat {rep} diverged");
+    }
+    // And the jitter stream actually matters: a different seed shifts
+    // timings (bytes stay the same — payloads are seed-independent).
+    let other = th_xy_run(778);
+    assert_eq!(
+        first.iter().map(|&(_, b)| b).collect::<Vec<_>>(),
+        other.iter().map(|&(_, b)| b).collect::<Vec<_>>(),
+    );
+    assert_ne!(
+        first.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+        other.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+        "jitter must depend on the fabric seed"
+    );
+}
