@@ -16,9 +16,9 @@
 //!   inflation` plus the notification delay of a periodic poller.
 
 
-use unr_bench::print_table;
+use unr_bench::{emit_metrics, print_table};
 use unr_core::{ChannelSelect, ProgressMode, Unr, UnrConfig};
-use unr_minimpi::{run_mpi_world_cfg, MpiConfig};
+use unr_minimpi::{run_mpi_on_fabric, MpiConfig};
 use unr_powerllel::{Backend, Solver, SolverConfig, Timers};
 use unr_simnet::{to_ms, Platform, US};
 
@@ -102,7 +102,7 @@ fn grid_for(p: &Platform) -> SolverConfig {
     cfg
 }
 
-fn run_variant(p: &Platform, v: Variant) -> (Timers, f64) {
+fn run_variant(p: &Platform, v: Variant) -> (Timers, f64, unr_obs::Snapshot) {
     let mut fabric = p.fabric_config(4, 2);
     if v.hardware {
         fabric.iface = fabric.iface.with_hardware_atomic_add();
@@ -123,7 +123,8 @@ fn run_variant(p: &Platform, v: Variant) -> (Timers, f64) {
     }
     let mpi_cfg = mpi_tuning(p);
     let p_abbrev = p.abbrev.to_string();
-    let timers = run_mpi_world_cfg(fabric, mpi_cfg, move |comm| {
+    let fab = unr_simnet::Fabric::new(fabric);
+    let timers = run_mpi_on_fabric(&fab, mpi_cfg, move |comm| {
         let fallback_overhead = mpi_tuning_overhead(&p_abbrev);
         let fallback_copy = if p_abbrev == "TH-2A" { 5.0 } else { 12.0 };
         let backend = if v.unr {
@@ -163,7 +164,7 @@ fn run_variant(p: &Platform, v: Variant) -> (Timers, f64) {
     });
     // All ranks advance in lockstep; report rank 0's breakdown.
     let t = timers[0];
-    (t, to_ms(t.total) / STEPS as f64)
+    (t, to_ms(t.total) / STEPS as f64, fab.obs.metrics.snapshot())
 }
 
 fn main() {
@@ -209,8 +210,12 @@ fn main() {
         }
         let base = run_variant(&p, MPI_BASE).1;
         let mut rows = Vec::new();
+        let mut unr_snap = None;
         for v in &variants {
-            let (t, per_step) = run_variant(&p, *v);
+            let (t, per_step, snap) = run_variant(&p, *v);
+            if v.unr && unr_snap.is_none() {
+                unr_snap = Some(snap);
+            }
             rows.push(vec![
                 v.name.to_string(),
                 format!("{:.2}", to_ms(t.velocity_update()) / STEPS as f64),
@@ -239,5 +244,8 @@ fn main() {
             ],
             &rows,
         );
+        if let Some(snap) = unr_snap {
+            emit_metrics(&format!("{} UNR run", p.abbrev), &snap);
+        }
     }
 }

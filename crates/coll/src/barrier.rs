@@ -17,9 +17,9 @@ use crate::TAG_BASE;
 pub struct NotifiedBarrier {
     unr: Arc<Unr>,
     rounds: usize,
-    /// [parity][round] arrival signals.
+    /// `[parity][round]` arrival signals.
     sigs: [Vec<Signal>; 2],
-    /// [parity][round] put targets at rank `me + 2^round`.
+    /// `[parity][round]` put targets at rank `me + 2^round`.
     targets: [Vec<Blk>; 2],
     token_mem: UnrMem,
     epoch: u64,

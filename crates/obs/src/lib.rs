@@ -1,0 +1,71 @@
+//! # unr-obs — observability for the UNR workspace
+//!
+//! Metrics and structured tracing for every layer of the stack, from
+//! the simulated NICs up to the PowerLLEL solver phases. The crate is
+//! **std-only with zero dependencies** so it can sit *below*
+//! `unr-simnet` in the dependency graph: every other crate instruments
+//! itself through the same handles.
+//!
+//! Two independent facilities share one root object, [`Obs`]:
+//!
+//! * **Metrics** — a [`Registry`] of named, lock-free instruments:
+//!   [`Counter`] (monotonic), [`Gauge`] (level + high watermark) and
+//!   [`Histogram`] (log2-bucketed distribution of `u64` samples,
+//!   typically latencies in nanoseconds). Instruments are created once
+//!   (one short-lived lock on the registry) and updated with single
+//!   relaxed atomic operations — cheap enough for hot paths.
+//!   [`Registry::snapshot`] produces a deterministic, name-sorted
+//!   [`Snapshot`] that renders as a human-readable table
+//!   ([`Snapshot::render_table`]) or JSON ([`Snapshot::to_json`]).
+//!
+//! * **Spans** — a [`SpanLog`] of [`SpanEvent`]s: named intervals on a
+//!   `(pid, tid)` row (by convention: rank, lane) with virtual-time
+//!   `ts`/`dur` in nanoseconds. Disabled span logs cost one relaxed
+//!   atomic load per record. [`chrome_trace_json`] exports any slice of
+//!   events — deterministically ordered — as Chrome `trace_event` JSON
+//!   for `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+//!
+//! ## Example
+//!
+//! ```
+//! use unr_obs::Obs;
+//!
+//! let obs = Obs::new();
+//! let puts = obs.metrics.counter("unr.puts");
+//! let lat = obs.metrics.histogram("nic.delivery_ns");
+//! puts.inc();
+//! lat.record(1_300);
+//! let snap = obs.metrics.snapshot();
+//! assert_eq!(snap.counter("unr.puts"), Some(1));
+//! assert!(snap.render_table().contains("nic.delivery_ns"));
+//! ```
+//!
+//! Metric naming, the bucket layout and the span model are documented
+//! in `OBSERVABILITY.md` at the workspace root.
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::chrome_trace_json;
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, HIST_BUCKETS};
+pub use span::{SpanEvent, SpanLog};
+
+/// The root observability object: one metrics registry plus one span
+/// log. Shared as `Arc<Obs>` by everything attached to one fabric.
+#[derive(Default)]
+pub struct Obs {
+    /// Named counters, gauges and histograms.
+    pub metrics: Registry,
+    /// Structured span events (off until [`SpanLog::enable`]).
+    pub spans: SpanLog,
+}
+
+impl Obs {
+    /// A fresh registry and a *disabled* span log.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+}

@@ -1,0 +1,219 @@
+//! Structured span tracing.
+//!
+//! A [`SpanEvent`] is a named interval on a `(pid, tid)` row; in this
+//! workspace `pid` is conventionally the MPI rank (or simulated node)
+//! and `tid` a lane within it (solver phase lane, NIC index, ...).
+//! Timestamps are *virtual* nanoseconds from the simnet scheduler, so
+//! traces from seeded runs are exactly reproducible.
+//!
+//! A [`SpanLog`] starts disabled: recording into a disabled log is one
+//! relaxed atomic load and nothing else, so instrumentation can stay
+//! unconditionally compiled into hot paths.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One completed interval (Chrome `trace_event` "X" phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Human-readable span name (e.g. `halo_exchange`, `nic.service`).
+    pub name: String,
+    /// Category tag used for filtering in trace viewers.
+    pub cat: &'static str,
+    /// Process row — by convention the rank or node id.
+    pub pid: u32,
+    /// Thread row within `pid` — by convention a lane (phase, NIC, ...).
+    pub tid: u32,
+    /// Start time in virtual nanoseconds.
+    pub ts_ns: u64,
+    /// Duration in virtual nanoseconds.
+    pub dur_ns: u64,
+    /// Small key/value payload shown in the viewer's detail pane.
+    pub args: Vec<(&'static str, u64)>,
+    /// Global record sequence number, assigned even while other fields
+    /// tie — makes sort order (and therefore export) fully total.
+    pub seq: u64,
+}
+
+/// An append-only log of [`SpanEvent`]s, disabled by default.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl SpanLog {
+    /// A fresh, disabled log.
+    pub fn new() -> SpanLog {
+        SpanLog::default()
+    }
+
+    /// Turn recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn recording off (already-recorded events are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether [`record`](Self::record) currently stores events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<SpanEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record one completed span. No-op (one atomic load) when the log
+    /// is disabled. The event's `seq` field is overwritten with the
+    /// next global sequence number.
+    pub fn record(&self, mut ev: SpanEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        ev.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.lock().push(ev);
+    }
+
+    /// Convenience: record a span from its parts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        name: &str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(SpanEvent {
+            name: name.to_string(),
+            cat,
+            pid,
+            tid,
+            ts_ns,
+            dur_ns,
+            args,
+            seq: 0,
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all events in deterministic order: sorted by
+    /// `(ts_ns, pid, tid, dur_ns, name, seq)`. Virtual timestamps and
+    /// the tie-breaking fields make this total regardless of the OS
+    /// thread interleaving that produced the log — including events
+    /// recorded while another rank was poisoning the scheduler.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut evs = self.lock().clone();
+        evs.sort_by(|a, b| {
+            (a.ts_ns, a.pid, a.tid, a.dur_ns, &a.name, a.seq)
+                .cmp(&(b.ts_ns, b.pid, b.tid, b.dur_ns, &b.name, b.seq))
+        });
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, pid: u32, ts: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            cat: "test",
+            pid,
+            tid: 0,
+            ts_ns: ts,
+            dur_ns: 10,
+            args: vec![],
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = SpanLog::new();
+        log.record(ev("a", 0, 1));
+        log.span("b", "test", 0, 0, 2, 3, vec![]);
+        assert!(log.is_empty());
+        log.enable();
+        log.record(ev("a", 0, 1));
+        assert_eq!(log.len(), 1);
+        log.disable();
+        log.record(ev("c", 0, 5));
+        assert_eq!(log.len(), 1, "events kept, recording stopped");
+    }
+
+    #[test]
+    fn events_come_back_time_sorted() {
+        let log = SpanLog::new();
+        log.enable();
+        log.record(ev("late", 1, 300));
+        log.record(ev("early", 0, 100));
+        log.record(ev("mid", 2, 200));
+        let evs = log.events();
+        let names: Vec<_> = evs.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn ties_break_on_pid_then_seq() {
+        let log = SpanLog::new();
+        log.enable();
+        log.record(ev("x", 3, 100));
+        log.record(ev("x", 1, 100));
+        log.record(ev("x", 1, 100));
+        let evs = log.events();
+        assert_eq!(evs[0].pid, 1);
+        assert_eq!(evs[1].pid, 1);
+        assert_eq!(evs[2].pid, 3);
+        // The two pid-1 events keep their record order via seq.
+        assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn order_is_independent_of_thread_interleaving() {
+        // Record the same virtual-time events from racing OS threads;
+        // the exported order must not depend on who won the lock.
+        let collect = || {
+            let log = std::sync::Arc::new(SpanLog::new());
+            log.enable();
+            let hs: Vec<_> = (0..4u32)
+                .map(|pid| {
+                    let log = std::sync::Arc::clone(&log);
+                    std::thread::spawn(move || {
+                        for i in 0..50u64 {
+                            log.span("work", "t", pid, 0, i * 10, 5, vec![]);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            log.events()
+                .into_iter()
+                .map(|e| (e.ts_ns, e.pid))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -17,7 +17,7 @@ use crate::transpose::TransposeOp;
 use crate::decomp::Decomp;
 use crate::fft::{fd_eigenvalue, C64, Fft};
 use crate::field::Field3;
-use crate::timing::Timers;
+use crate::timing::{Phase, PhaseObs, Timers};
 use crate::tridiag::{pdd_correct, pdd_interface, pdd_local, thomas};
 
 pub struct PoissonSolver {
@@ -46,6 +46,7 @@ pub struct PoissonSolver {
     yp: Vec<f64>,
     /// Virtual-time cost per grid point per pass.
     flop_ns: f64,
+    pobs: PhaseObs,
 }
 
 impl PoissonSolver {
@@ -73,6 +74,10 @@ impl PoissonSolver {
             xp: vec![0.0; 2 * d.nx * d.ly * d.lz],
             yp: vec![0.0; 2 * d.lx_t * d.ny * d.lz],
             flop_ns,
+            pobs: PhaseObs::new(
+                std::sync::Arc::clone(&d.world.ep().fabric().obs),
+                d.world.rank(),
+            ),
         }
     }
 
@@ -101,10 +106,10 @@ impl PoissonSolver {
                 let t = now();
                 self.fftx_fwd_slab(rhs, k0, k1);
                 self.charge(comm.ep(), nx * ly * (k1 - k0));
-                timers.fft += now() - t;
+                self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
                 let t = now();
                 self.transpose.fwd_send_slab(s, &self.xp.clone());
-                timers.transpose += now() - t;
+                self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
             }
             // Consume slabs as they arrive (multi-rail jitter reorders
             // them); each slab's y-FFT runs as soon as its MMAS signal
@@ -118,35 +123,35 @@ impl PoissonSolver {
                 let mut yp = std::mem::take(&mut self.yp);
                 self.transpose.fwd_recv_slab(s, &mut yp);
                 self.yp = yp;
-                timers.transpose += now() - t;
+                self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
                 let (k0, k1) = self.transpose.slab_range(s);
                 let t = now();
                 self.ffty_slab(k0, k1, false);
                 self.charge(comm.ep(), self.lx_t * self.ny * (k1 - k0));
-                timers.fft += now() - t;
+                self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
             }
             let t = now();
             self.transpose.fwd_complete();
-            timers.transpose += now() - t;
+            self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
         } else {
             let t = now();
             self.fftx_fwd_slab(rhs, 0, lz);
             self.charge(comm.ep(), nx * ly * lz);
-            timers.fft += now() - t;
+            self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
             let t = now();
             self.transpose.forward(&self.xp.clone(), &mut self.yp);
-            timers.transpose += now() - t;
+            self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
             let t = now();
             self.ffty_slab(0, lz, false);
             self.charge(comm.ep(), self.lx_t * self.ny * lz);
-            timers.fft += now() - t;
+            self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
         }
 
         // ---- tridiagonal solves in z (PDD) -----------------------------
         let t3 = now();
         self.solve_z();
         self.charge(comm.ep(), self.lx_t * self.ny * lz * 3);
-        timers.pdd += now() - t3;
+        self.pobs.acc(Phase::Pdd, t3, now(), &mut timers.pdd);
 
         // ---- backward: FFT y (+ pipelined transpose + inverse FFT x) ---
         if pipelined {
@@ -155,10 +160,10 @@ impl PoissonSolver {
                 let t = now();
                 self.ffty_slab(k0, k1, true);
                 self.charge(comm.ep(), self.lx_t * self.ny * (k1 - k0));
-                timers.fft += now() - t;
+                self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
                 let t = now();
                 self.transpose.bwd_send_slab(s, &self.yp.clone());
-                timers.transpose += now() - t;
+                self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
             }
             let mut pending = vec![true; slabs];
             for _ in 0..slabs {
@@ -168,28 +173,28 @@ impl PoissonSolver {
                 let mut xp = std::mem::take(&mut self.xp);
                 self.transpose.bwd_recv_slab(s, &mut xp);
                 self.xp = xp;
-                timers.transpose += now() - t;
+                self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
                 let (k0, k1) = self.transpose.slab_range(s);
                 let t = now();
                 self.fftx_inv_slab(p, k0, k1);
                 self.charge(comm.ep(), nx * ly * (k1 - k0));
-                timers.fft += now() - t;
+                self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
             }
             let t = now();
             self.transpose.bwd_complete();
-            timers.transpose += now() - t;
+            self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
         } else {
             let t = now();
             self.ffty_slab(0, lz, true);
             self.charge(comm.ep(), self.lx_t * self.ny * lz);
-            timers.fft += now() - t;
+            self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
             let t = now();
             self.transpose.backward(&self.yp.clone(), &mut self.xp);
-            timers.transpose += now() - t;
+            self.pobs.acc(Phase::Transpose, t, now(), &mut timers.transpose);
             let t = now();
             self.fftx_inv_slab(p, 0, lz);
             self.charge(comm.ep(), nx * ly * lz);
-            timers.fft += now() - t;
+            self.pobs.acc(Phase::Fft, t, now(), &mut timers.fft);
         }
     }
 

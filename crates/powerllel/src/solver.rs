@@ -16,7 +16,7 @@ use crate::halo::HaloOp;
 use crate::decomp::Decomp;
 use crate::field::Field3;
 use crate::poisson::PoissonSolver;
-use crate::timing::Timers;
+use crate::timing::{Phase, PhaseObs, Timers};
 
 /// Solver configuration (identical on all ranks).
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +96,7 @@ pub struct Solver {
     poisson: PoissonSolver,
     overlap: bool,
     pub timers: Timers,
+    pobs: PhaseObs,
     steps_done: usize,
 }
 
@@ -112,6 +113,10 @@ impl Solver {
         let halo_p = HaloOp::new(backend, &d, 1, 1, 2);
         let poisson = PoissonSolver::new(backend, &d, cfg.hx(), cfg.hy(), cfg.hz(), cfg.flop_ns);
         let overlap = cfg.overlap.unwrap_or(matches!(backend, Backend::Unr(_)));
+        let pobs = PhaseObs::new(
+            std::sync::Arc::clone(&comm.ep().fabric().obs),
+            comm.rank(),
+        );
         Solver {
             cfg,
             overlap,
@@ -132,6 +137,7 @@ impl Solver {
             halo_p,
             poisson,
             timers: Timers::default(),
+            pobs,
             steps_done: 0,
             d,
         }
@@ -348,6 +354,7 @@ impl Solver {
                 &mut self.ws,
                 ep_d,
                 &mut self.timers,
+                &self.pobs,
                 units,
             );
         } else {
@@ -365,6 +372,7 @@ impl Solver {
                 &mut self.fw,
                 ep_d,
                 &mut self.timers,
+                &self.pobs,
                 units,
             );
         }
@@ -385,6 +393,7 @@ impl Solver {
         dw: &mut Field3,
         d: &Decomp,
         timers: &mut Timers,
+        pobs: &PhaseObs,
         units: usize,
     ) {
         let ep = d.world.ep();
@@ -394,18 +403,18 @@ impl Solver {
             // Post transfers, compute the interior, then the shells.
             let t = ep.now();
             halo.start(&mut [u, v, w]);
-            timers.halo += ep.now() - t;
+            pobs.acc(Phase::Halo, t, ep.now(), &mut timers.halo);
 
             let t = ep.now();
             Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (1, ly - 1), (1, lz - 1));
             let interior = cfg.nx * (ly as usize - 2) * (lz as usize - 2);
             charge(interior);
-            timers.rk_compute += ep.now() - t;
+            pobs.acc(Phase::Rk, t, ep.now(), &mut timers.rk_compute);
 
             let t = ep.now();
             halo.finish(&mut [u, v, w]);
             Self::z_wall_bc(u, v, w, bottom, top);
-            timers.halo += ep.now() - t;
+            pobs.acc(Phase::Halo, t, ep.now(), &mut timers.halo);
 
             let t = ep.now();
             Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, ly), (0, 1));
@@ -414,17 +423,17 @@ impl Solver {
             Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (ly - 1, ly), (1, lz - 1));
             let shell = cfg.nx * d.ly * d.lz - interior;
             charge(shell);
-            timers.rk_compute += ep.now() - t;
+            pobs.acc(Phase::Rk, t, ep.now(), &mut timers.rk_compute);
         } else {
             let t = ep.now();
             halo.exchange(&mut [u, v, w]);
             Self::z_wall_bc(u, v, w, bottom, top);
-            timers.halo += ep.now() - t;
+            pobs.acc(Phase::Halo, t, ep.now(), &mut timers.halo);
 
             let t = ep.now();
             Self::momentum_rhs(cfg, u, v, w, du, dv, dw, (0, ly), (0, lz));
             charge(cfg.nx * d.ly * d.lz);
-            timers.rk_compute += ep.now() - t;
+            pobs.acc(Phase::Rk, t, ep.now(), &mut timers.rk_compute);
         }
     }
 
@@ -480,7 +489,8 @@ impl Solver {
         }
         self.enforce_ws_walls();
         self.charge_compute(self.cells() * 3);
-        self.timers.rk_compute += self.now() - t1;
+        self.pobs
+            .acc(Phase::Rk, t1, self.now(), &mut self.timers.rk_compute);
 
         // ---- RK substep 2: u = 0.5 (u + us + dt F(us)) ------------------
         self.rhs_with_halo(1);
@@ -500,13 +510,15 @@ impl Solver {
         }
         self.enforce_w_walls();
         self.charge_compute(self.cells() * 5);
-        self.timers.rk_compute += self.now() - t3;
+        self.pobs
+            .acc(Phase::Rk, t3, self.now(), &mut self.timers.rk_compute);
 
         // ---- projection -------------------------------------------------
         self.project();
 
         self.steps_done += 1;
-        self.timers.total += self.now() - t_start;
+        self.pobs
+            .acc(Phase::Step, t_start, self.now(), &mut self.timers.total);
     }
 
     fn enforce_ws_walls(&mut self) {
@@ -539,7 +551,8 @@ impl Solver {
             bottom,
             top,
         );
-        self.timers.halo += self.now() - t0;
+        self.pobs
+            .acc(Phase::Halo, t0, self.now(), &mut self.timers.halo);
 
         let t1 = self.now();
         for k in 0..self.d.lz as isize {
@@ -554,7 +567,8 @@ impl Solver {
             }
         }
         self.charge_compute(cells * 8);
-        self.timers.correct += self.now() - t1;
+        self.pobs
+            .acc(Phase::Correct, t1, self.now(), &mut self.timers.correct);
 
         // ---- PPE solve --------------------------------------------------
         self.poisson.solve(&self.rhs, &mut self.p, &mut self.timers);
@@ -578,7 +592,8 @@ impl Solver {
         }
         self.enforce_w_walls();
         self.charge_compute(cells * 10);
-        self.timers.correct += self.now() - t2;
+        self.pobs
+            .acc(Phase::Correct, t2, self.now(), &mut self.timers.correct);
     }
 
     /// Max |div u| over the local interior (call `global_div_max` for

@@ -111,6 +111,41 @@ struct FabricInner {
     rng: SimRng,
 }
 
+/// Pre-resolved instrument handles for the fabric's hot paths, so
+/// posting an operation never touches the registry lock.
+pub(crate) struct FabricMetrics {
+    puts: Arc<unr_obs::Counter>,
+    gets: Arc<unr_obs::Counter>,
+    dgrams: Arc<unr_obs::Counter>,
+    bytes_put: Arc<unr_obs::Counter>,
+    bytes_get: Arc<unr_obs::Counter>,
+    lost_writes: Arc<unr_obs::Counter>,
+    /// Post → NIC-drained time (local injection latency).
+    inject_ns: Arc<unr_obs::Histogram>,
+    /// Post → remote-arrival time (end-to-end delivery latency).
+    deliver_ns: Arc<unr_obs::Histogram>,
+    pub(crate) cq_depth: Arc<unr_obs::Gauge>,
+    pub(crate) cq_dropped: Arc<unr_obs::Counter>,
+}
+
+impl FabricMetrics {
+    fn new(obs: &unr_obs::Obs) -> FabricMetrics {
+        let m = &obs.metrics;
+        FabricMetrics {
+            puts: m.counter("simnet.fabric.puts"),
+            gets: m.counter("simnet.fabric.gets"),
+            dgrams: m.counter("simnet.fabric.dgrams"),
+            bytes_put: m.counter("simnet.fabric.bytes_put"),
+            bytes_get: m.counter("simnet.fabric.bytes_get"),
+            lost_writes: m.counter("simnet.fabric.lost_writes"),
+            inject_ns: m.histogram("simnet.nic.inject_ns"),
+            deliver_ns: m.histogram("simnet.nic.deliver_ns"),
+            cq_depth: m.gauge("simnet.cq.depth"),
+            cq_dropped: m.counter("simnet.cq.dropped"),
+        }
+    }
+}
+
 /// The shared fabric object.
 pub struct Fabric {
     pub cfg: FabricConfig,
@@ -119,6 +154,10 @@ pub struct Fabric {
     pub stats: FabricStats,
     /// Present when `cfg.trace` is set.
     pub tracer: Option<crate::trace::TraceRecorder>,
+    /// Observability root shared by everything attached to this fabric
+    /// (always present; its span log is enabled iff `cfg.trace`).
+    pub obs: Arc<unr_obs::Obs>,
+    pub(crate) metrics: FabricMetrics,
 }
 
 /// NIC selection for an operation.
@@ -219,6 +258,11 @@ impl Fabric {
             .collect();
         let seed = cfg.seed;
         let tracer = cfg.trace.then(crate::trace::TraceRecorder::default);
+        let obs = Arc::new(unr_obs::Obs::new());
+        if cfg.trace {
+            obs.spans.enable();
+        }
+        let metrics = FabricMetrics::new(&obs);
         Arc::new(Fabric {
             cfg,
             core,
@@ -229,6 +273,8 @@ impl Fabric {
             }),
             stats: FabricStats::default(),
             tracer,
+            obs,
+            metrics,
         })
     }
 
@@ -339,9 +385,14 @@ impl Endpoint {
 
     // ---- resources ------------------------------------------------------
 
-    /// Create a completion queue.
+    /// Create a completion queue. Its depth feeds the fabric-wide
+    /// `simnet.cq.depth` gauge and drops feed `simnet.cq.dropped`.
     pub fn create_cq(&self) -> Arc<CompletionQueue> {
-        Arc::new(CompletionQueue::new(self.fabric.cfg.cq_capacity))
+        Arc::new(CompletionQueue::with_obs(
+            self.fabric.cfg.cq_capacity,
+            Some(Arc::clone(&self.fabric.metrics.cq_depth)),
+            Some(Arc::clone(&self.fabric.metrics.cq_dropped)),
+        ))
     }
 
     /// Register a memory region of `len` bytes; remote completions for
@@ -467,6 +518,8 @@ impl Endpoint {
 
         fabric.stats.puts.fetch_add(1, Ordering::Relaxed);
         fabric.stats.bytes_put.fetch_add(len as u64, Ordering::Relaxed);
+        fabric.metrics.puts.inc();
+        fabric.metrics.bytes_put.add(len as u64);
 
         self.actor.with_sched(move |st, t_post| {
             let mut inner = fabric.inner.lock();
@@ -479,6 +532,8 @@ impl Endpoint {
             };
             let arrival = end + model.latency + Self::jitter(&mut inner, &model);
             drop(inner);
+            fabric.metrics.inject_ns.record(end - t_post);
+            fabric.metrics.deliver_ns.record(arrival - t_post);
             if let Some(tr) = &fabric.tracer {
                 tr.record(crate::trace::TraceEvent {
                     kind: "put",
@@ -530,6 +585,7 @@ impl Endpoint {
                     Some((region, remote_cq)) => {
                         if region.write_bytes(dst_offset, &data).is_err() {
                             f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                            f2.metrics.lost_writes.inc();
                         } else if notify_remote {
                             if spec.hardware_atomic_add {
                                 if let Some(sink) = sink {
@@ -550,6 +606,7 @@ impl Endpoint {
                     }
                     None => {
                         f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                        f2.metrics.lost_writes.inc();
                     }
                 }
                 if let (Some(port), Some((_, bytes))) = (comp_port, companion) {
@@ -616,6 +673,8 @@ impl Endpoint {
 
         fabric.stats.gets.fetch_add(1, Ordering::Relaxed);
         fabric.stats.bytes_get.fetch_add(len as u64, Ordering::Relaxed);
+        fabric.metrics.gets.inc();
+        fabric.metrics.bytes_get.add(len as u64);
 
         self.actor.with_sched(move |st, t_post| {
             let mut inner = fabric.inner.lock();
@@ -634,11 +693,13 @@ impl Endpoint {
                         Ok(d) => (Some(d), Some(cq)),
                         Err(_) => {
                             f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                            f2.metrics.lost_writes.inc();
                             (None, None)
                         }
                     },
                     None => {
                         f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                        f2.metrics.lost_writes.inc();
                         (None, None)
                     }
                 };
@@ -652,6 +713,8 @@ impl Endpoint {
                 let j2 = Self::jitter(&mut inner, &model);
                 drop(inner);
                 let t_back = end + model.latency + j2;
+                f2.metrics.inject_ns.record(end - t_req);
+                f2.metrics.deliver_ns.record(t_back - t_req);
                 if let Some(tr) = &f2.tracer {
                     tr.record(crate::trace::TraceEvent {
                         kind: "get",
@@ -688,6 +751,7 @@ impl Endpoint {
                     st2.schedule_at(t_back, move |st3| {
                         if dst_region.write_bytes(dst_offset, &data).is_err() {
                             f3.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                            f3.metrics.lost_writes.inc();
                             return;
                         }
                         if spec.hardware_atomic_add {
@@ -724,6 +788,7 @@ impl Endpoint {
         let intra = cfg.node_of(src_rank) == cfg.node_of(dst);
         let model = if intra { cfg.intra } else { cfg.nic };
         fabric.stats.dgrams.fetch_add(1, Ordering::Relaxed);
+        fabric.metrics.dgrams.inc();
 
         self.actor.with_sched(move |st, t_post| {
             let mut inner = fabric.inner.lock();
@@ -737,6 +802,8 @@ impl Endpoint {
             };
             let arrival = end + model.latency + Self::jitter(&mut inner, &model);
             drop(inner);
+            fabric.metrics.inject_ns.record(end - t_post);
+            fabric.metrics.deliver_ns.record(arrival - t_post);
             if let Some(tr) = &fabric.tracer {
                 tr.record(crate::trace::TraceEvent {
                     kind: "dgram",

@@ -16,6 +16,7 @@
 
 use crate::sync::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::sched::{ActorId, Sched};
 use crate::time::Ns;
@@ -56,10 +57,25 @@ struct CqInner {
 /// A bounded completion queue.
 pub struct CompletionQueue {
     inner: Mutex<CqInner>,
+    /// Depth gauge (high watermark = deepest the CQ ever got).
+    depth: Option<Arc<unr_obs::Gauge>>,
+    /// Counts events dropped on overflow.
+    dropped_ctr: Option<Arc<unr_obs::Counter>>,
 }
 
 impl CompletionQueue {
     pub fn new(capacity: usize) -> Self {
+        Self::with_obs(capacity, None, None)
+    }
+
+    /// Like [`new`](Self::new), with optional observability handles:
+    /// `depth` tracks the instantaneous queue depth (its high watermark
+    /// is the interesting number), `dropped_ctr` counts overflow drops.
+    pub fn with_obs(
+        capacity: usize,
+        depth: Option<Arc<unr_obs::Gauge>>,
+        dropped_ctr: Option<Arc<unr_obs::Counter>>,
+    ) -> Self {
         assert!(capacity > 0);
         CompletionQueue {
             inner: Mutex::new(CqInner {
@@ -69,6 +85,8 @@ impl CompletionQueue {
                 overflowed: false,
                 waiters: Vec::new(),
             }),
+            depth,
+            dropped_ctr,
         }
     }
 
@@ -79,9 +97,15 @@ impl CompletionQueue {
         let ok = if q.events.len() >= q.capacity {
             q.dropped += 1;
             q.overflowed = true;
+            if let Some(d) = &self.dropped_ctr {
+                d.inc();
+            }
             false
         } else {
             q.events.push_back(c);
+            if let Some(g) = &self.depth {
+                g.add(1);
+            }
             true
         };
         let t = c.t;
@@ -93,7 +117,13 @@ impl CompletionQueue {
 
     /// Pop one event if present (scheduler context).
     pub fn try_pop(&self) -> Option<Completion> {
-        self.inner.lock().events.pop_front()
+        let c = self.inner.lock().events.pop_front();
+        if c.is_some() {
+            if let Some(g) = &self.depth {
+                g.add(-1);
+            }
+        }
+        c
     }
 
     /// Drain up to `max` events (scheduler context).
@@ -101,6 +131,11 @@ impl CompletionQueue {
         let mut q = self.inner.lock();
         let n = max.min(q.events.len());
         out.extend(q.events.drain(..n));
+        if n > 0 {
+            if let Some(g) = &self.depth {
+                g.add(-(n as i64));
+            }
+        }
         n
     }
 

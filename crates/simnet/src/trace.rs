@@ -8,6 +8,22 @@
 //! virtual and deterministic, a trace is an exact, reproducible record
 //! of the protocol, which makes it a powerful way to *see* overlap,
 //! striping and synchronization stalls.
+//!
+//! ## Ordering
+//!
+//! Events are *recorded* in OS lock-acquisition order, which is only
+//! deterministic while every rank runs under the conservative
+//! scheduler. When a rank panics and poisons the scheduler, a sibling
+//! mid-operation can complete its `record` call in a racy position, so
+//! [`TraceRecorder::events`] and the exporters sort by the total key
+//! `(t_post, t_service_start, t_arrival, src, dst, nic, kind, bytes)`
+//! before returning anything — the observable order depends only on
+//! virtual time, never on which thread won the lock.
+//!
+//! The Chrome export itself is delegated to
+//! [`unr_obs::chrome_trace_json`] via [`TraceRecorder::to_span_events`],
+//! so fabric-level transfer events and higher-level spans (solver
+//! phases, engine ops) can be merged into a single timeline file.
 
 use crate::sync::Mutex;
 
@@ -35,6 +51,23 @@ pub struct TraceEvent {
     pub t_arrival: Ns,
 }
 
+impl TraceEvent {
+    /// The deterministic total sort key: virtual times first, then the
+    /// endpoint/NIC/shape fields to break exact ties.
+    fn sort_key(&self) -> (Ns, Ns, Ns, usize, usize, usize, &'static str, usize) {
+        (
+            self.t_post,
+            self.t_service_start,
+            self.t_arrival,
+            self.src,
+            self.dst,
+            self.nic,
+            self.kind,
+            self.bytes,
+        )
+    }
+}
+
 /// A recorder shared by the fabric.
 #[derive(Default)]
 pub struct TraceRecorder {
@@ -55,52 +88,55 @@ impl TraceRecorder {
         self.len() == 0
     }
 
-    /// Snapshot of the recorded events (post order).
+    /// Snapshot of the recorded events in deterministic virtual-time
+    /// order (see the module docs: raw record order is not stable when
+    /// a rank poisons the scheduler mid-run).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        let mut evs = self.events.lock().clone();
+        evs.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        evs
     }
 
-    /// Export as Chrome trace-event JSON. Each transfer renders as two
-    /// complete ("X") events: the NIC service window on the source
-    /// rank's row, and the in-flight window ending at arrival on the
-    /// destination rank's row. Timestamps are microseconds (fractional).
-    pub fn to_chrome_json(&self) -> String {
-        let events = self.events.lock();
-        let mut out = String::from("[\n");
-        let us = |ns: Ns| ns as f64 / 1000.0;
-        for (i, e) in events.iter().enumerate() {
-            let service_dur = us(e.t_service_end.saturating_sub(e.t_service_start)).max(0.001);
-            let flight_dur = us(e.t_arrival.saturating_sub(e.t_service_end)).max(0.001);
-            out.push_str(&format!(
-                "  {{\"name\": \"{} {}B -> r{}\", \"cat\": \"nic\", \"ph\": \"X\", \
-                 \"pid\": {}, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \
-                 \"args\": {{\"bytes\": {}, \"post\": {:.3}}}}},\n",
-                e.kind,
-                e.bytes,
-                e.dst,
-                e.src,
-                e.nic,
-                us(e.t_service_start),
-                service_dur,
-                e.bytes,
-                us(e.t_post),
-            ));
-            out.push_str(&format!(
-                "  {{\"name\": \"{} {}B <- r{}\", \"cat\": \"wire\", \"ph\": \"X\", \
-                 \"pid\": {}, \"tid\": 99, \"ts\": {:.3}, \"dur\": {:.3}, \
-                 \"args\": {{\"bytes\": {}}}}}{}\n",
-                e.kind,
-                e.bytes,
-                e.src,
-                e.dst,
-                us(e.t_service_end),
-                flight_dur,
-                e.bytes,
-                if i + 1 == events.len() { "" } else { "," },
-            ));
+    /// Convert to [`unr_obs::SpanEvent`]s: each transfer renders as two
+    /// spans — the NIC service window on the source rank's row (`tid` =
+    /// NIC index, category `nic`) and the in-flight window ending at
+    /// arrival on the destination rank's row (`tid` 99, category
+    /// `wire`). Suitable for merging with other span sources before
+    /// [`unr_obs::chrome_trace_json`].
+    pub fn to_span_events(&self) -> Vec<unr_obs::SpanEvent> {
+        let mut out = Vec::with_capacity(self.len() * 2);
+        for (i, e) in self.events().iter().enumerate() {
+            out.push(unr_obs::SpanEvent {
+                name: format!("{} {}B -> r{}", e.kind, e.bytes, e.dst),
+                cat: "nic",
+                pid: e.src as u32,
+                tid: e.nic as u32,
+                ts_ns: e.t_service_start,
+                dur_ns: e.t_service_end.saturating_sub(e.t_service_start),
+                args: vec![("bytes", e.bytes as u64), ("post_ns", e.t_post)],
+                seq: (i * 2) as u64,
+            });
+            out.push(unr_obs::SpanEvent {
+                name: format!("{} {}B <- r{}", e.kind, e.bytes, e.src),
+                cat: "wire",
+                pid: e.dst as u32,
+                tid: 99,
+                ts_ns: e.t_service_end,
+                dur_ns: e.t_arrival.saturating_sub(e.t_service_end),
+                args: vec![("bytes", e.bytes as u64)],
+                seq: (i * 2 + 1) as u64,
+            });
         }
-        out.push_str("]\n");
         out
+    }
+
+    /// Export as Chrome trace-event JSON (see [`to_span_events`] for
+    /// the row layout). Deterministic: identical seeded runs produce
+    /// byte-identical output, poisoned or not.
+    ///
+    /// [`to_span_events`]: Self::to_span_events
+    pub fn to_chrome_json(&self) -> String {
+        unr_obs::chrome_trace_json(&self.to_span_events())
     }
 }
 
@@ -155,5 +191,41 @@ mod tests {
         let r = TraceRecorder::default();
         assert_eq!(r.to_chrome_json().trim(), "[\n]".trim());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn events_sort_by_virtual_time_not_record_order() {
+        // Simulate the poison-path race: the same virtual-time history
+        // recorded in two different lock-acquisition orders must yield
+        // identical event lists and identical Chrome JSON.
+        let scrambled = TraceRecorder::default();
+        scrambled.record(ev(1, 300));
+        scrambled.record(ev(0, 100));
+        scrambled.record(ev(0, 300)); // exact time tie with (1, 300)
+        let orderly = TraceRecorder::default();
+        orderly.record(ev(0, 100));
+        orderly.record(ev(0, 300));
+        orderly.record(ev(1, 300));
+        assert_eq!(scrambled.events(), orderly.events());
+        assert_eq!(scrambled.to_chrome_json(), orderly.to_chrome_json());
+        let es = scrambled.events();
+        assert_eq!((es[0].t_post, es[0].src), (100, 0));
+        assert_eq!((es[1].t_post, es[1].src), (300, 0), "tie broken by src");
+        assert_eq!((es[2].t_post, es[2].src), (300, 1));
+    }
+
+    #[test]
+    fn span_conversion_keeps_both_rows() {
+        let r = TraceRecorder::default();
+        r.record(ev(0, 100));
+        let spans = r.to_span_events();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].cat, "nic");
+        assert_eq!(spans[0].pid, 0);
+        assert_eq!(spans[0].dur_ns, 10);
+        assert_eq!(spans[1].cat, "wire");
+        assert_eq!(spans[1].pid, 1);
+        assert_eq!(spans[1].ts_ns, 110);
+        assert_eq!(spans[1].dur_ns, 1190);
     }
 }

@@ -142,6 +142,53 @@ mod tests {
         }
     }
 
+    /// Trace ordering must be stable across the poison/recovery path:
+    /// events recorded by ranks racing a sibling's panic land in racy
+    /// Vec positions, but the exported order is sorted by virtual time,
+    /// so two identical seeded runs must export identical traces even
+    /// though a rank poisons the scheduler mid-run.
+    #[test]
+    fn poisoned_run_trace_is_stable() {
+        let run_once = || {
+            let mut cfg = FabricConfig::test_default(4);
+            cfg.trace = true;
+            let fabric = crate::fabric::Fabric::new(cfg);
+            let fb = Arc::clone(&fabric);
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_on_fabric(&fb, |ep| {
+                    let n = ep.world_size();
+                    let me = ep.rank();
+                    // Concurrent posts at the same virtual time land in
+                    // the trace Vec in racy lock order. Rank 1 panics
+                    // only after *receiving* everyone's dgram, so every
+                    // traced post is causally complete before the poison
+                    // — the event set is fixed, only its raw order races.
+                    if me == 1 {
+                        for dst in [0usize, 2, 3] {
+                            ep.send_dgram(dst, 2, vec![1], NicSel::Auto);
+                        }
+                        let port = ep.open_port(1);
+                        for _ in 0..n - 1 {
+                            let _ = ep.recv_dgram(&port);
+                        }
+                        panic!("intentional");
+                    }
+                    ep.send_dgram(1, 1, vec![me as u8], NicSel::Auto);
+                    let port = ep.open_port(2);
+                    let _ = ep.recv_dgram(&port);
+                    // Never satisfied: waits here until poisoned.
+                    let _ = ep.recv_dgram(&port);
+                });
+            }));
+            assert!(r.is_err(), "run must propagate the panic");
+            fabric.tracer.as_ref().unwrap().to_chrome_json()
+        };
+        let a = run_once();
+        for round in 0..20 {
+            assert_eq!(a, run_once(), "trace diverged on round {round}");
+        }
+    }
+
     #[test]
     #[should_panic(expected = "intentional")]
     fn rank_panic_propagates() {

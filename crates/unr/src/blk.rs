@@ -97,14 +97,18 @@ pub struct UnrMem {
 }
 
 impl UnrMem {
+    /// The underlying registered fabric memory region.
     pub fn region(&self) -> &MemRegion {
         &self.region
     }
 
+    /// Registered size in bytes.
     pub fn len(&self) -> usize {
         self.region.len()
     }
 
+    /// Always `false`: zero-length registrations are rejected at
+    /// [`Unr::mem_reg`](crate::Unr::mem_reg) time.
     pub fn is_empty(&self) -> bool {
         false
     }

@@ -20,8 +20,11 @@ use crate::level::{Encoding, SupportLevel};
 /// Per-direction encodings for an RMA channel.
 #[derive(Debug, Clone, Copy)]
 pub struct DirEncodings {
+    /// Encoding of the custom bits in local PUT completions.
     pub put_local: Encoding,
+    /// Encoding of the custom bits in remote PUT completions.
     pub put_remote: Encoding,
+    /// Encoding of the custom bits in local GET completions.
     pub get_local: Encoding,
     /// `None`: the NIC generates no remote completion for GET (Verbs).
     pub get_remote: Option<Encoding>,
@@ -30,16 +33,25 @@ pub struct DirEncodings {
 /// Data/notification transport mechanism.
 #[derive(Debug, Clone, Copy)]
 pub enum Mechanism {
+    /// Native notifiable RMA: the NIC delivers `(p, a)` in completion
+    /// custom bits, per-direction encodings attached.
     Rma(DirEncodings),
+    /// Level-0: RMA moves the data, an order-preserving companion
+    /// message carries the notification behind it.
     RmaCompanion,
+    /// Two-sided fallback: data and notification ride one datagram.
     Dgram,
 }
 
 /// A configured UNR transport channel.
 #[derive(Debug, Clone, Copy)]
 pub struct Channel {
+    /// Short channel name (`"glex"`, `"verbs-mode2"`, ... — also used
+    /// in the `unr.channel.<name>.msgs` metric).
     pub name: &'static str,
+    /// The channel's support level (Table I).
     pub level: SupportLevel,
+    /// How data and notifications travel.
     pub mech: Mechanism,
     /// Level 4: the fabric applies `*p += a`; no polling needed.
     pub hardware: bool,
@@ -59,7 +71,10 @@ pub enum ChannelSelect {
     ForceLevel0,
     /// Level-2 mode 2: split the 32 custom bits into `key_bits` of key
     /// and `32 - key_bits` of addend (enables limited multi-channel).
-    Mode2 { key_bits: u16 },
+    Mode2 {
+        /// How many of the 32 custom bits carry the signal key.
+        key_bits: u16,
+    },
 }
 
 impl Channel {

@@ -51,6 +51,18 @@ impl SupportLevel {
         matches!(self, SupportLevel::Level3 | SupportLevel::Level4)
     }
 
+    /// The numeric level, 0–4 (used in metric names like
+    /// `unr.level.3.msgs`).
+    pub fn as_index(&self) -> u8 {
+        match self {
+            SupportLevel::Level0 => 0,
+            SupportLevel::Level1 => 1,
+            SupportLevel::Level2 => 2,
+            SupportLevel::Level3 => 3,
+            SupportLevel::Level4 => 4,
+        }
+    }
+
     /// Paper Table I "suggestion for users" text.
     pub fn suggestion(&self) -> &'static str {
         match self {
@@ -80,10 +92,25 @@ impl SupportLevel {
 /// Encoding errors: the requested notification does not fit the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EncodeError {
-    KeyTooLarge { key: u64, bits: u16 },
-    AddendOutOfRange { addend: i64, bits: u16 },
+    /// The signal key exceeds the custom bits available for it.
+    KeyTooLarge {
+        /// The offending key.
+        key: u64,
+        /// Key bits available on the wire.
+        bits: u16,
+    },
+    /// The addend does not fit its two's-complement field.
+    AddendOutOfRange {
+        /// The offending addend.
+        addend: i64,
+        /// Addend bits available on the wire.
+        bits: u16,
+    },
     /// The level cannot express a non-(-1) addend at all.
-    AddendNotSupported { addend: i64 },
+    AddendNotSupported {
+        /// The offending addend.
+        addend: i64,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -107,13 +134,17 @@ impl std::error::Error for EncodeError {}
 /// A notification to be carried in custom bits: signal key + addend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Notif {
+    /// Signal key (`p` in the paper); 0 means "no signal".
     pub key: u64,
+    /// Counter addend (`a` in the paper; usually negative).
     pub addend: i64,
 }
 
 impl Notif {
+    /// The no-op notification (key 0): nothing to apply.
     pub const NULL: Notif = Notif { key: 0, addend: 0 };
 
+    /// Whether this is the no-op notification.
     pub fn is_null(&self) -> bool {
         self.key == 0
     }
@@ -128,10 +159,18 @@ pub enum Encoding {
     /// 64-bit NICs).
     Split64,
     /// Key only in `bits` bits; addend fixed at -1 (levels 1, 2 mode 1).
-    KeyOnly { bits: u16 },
+    KeyOnly {
+        /// Total custom bits, all carrying the key.
+        bits: u16,
+    },
     /// `key_bits` of key + `bits - key_bits` of two's-complement addend
     /// (level 2 mode 2).
-    Mode2 { bits: u16, key_bits: u16 },
+    Mode2 {
+        /// Total custom bits on the wire.
+        bits: u16,
+        /// How many of them carry the key.
+        key_bits: u16,
+    },
 }
 
 impl Encoding {

@@ -14,16 +14,24 @@ use crate::engine::{Unr, UnrError};
 pub enum PlanOp {
     /// `UNR_Put(local, remote)` with explicit signal keys.
     Put {
+        /// Source block on the issuing rank.
         local: Blk,
+        /// Destination block on the peer rank.
         remote: Blk,
+        /// Signal key triggered on the issuing rank at local completion.
         local_sig: u64,
+        /// Signal key triggered on the peer at delivery.
         remote_sig: u64,
     },
     /// `UNR_Get(local, remote)` with explicit signal keys.
     Get {
+        /// Destination block on the issuing rank.
         local: Blk,
+        /// Source block on the peer rank.
         remote: Blk,
+        /// Signal key triggered on the issuing rank when data lands.
         local_sig: u64,
+        /// Signal key triggered on the peer (if the channel supports it).
         remote_sig: u64,
     },
 }
@@ -89,6 +97,7 @@ impl RmaPlan {
         self.ops.len()
     }
 
+    /// Whether the plan has no recorded operations.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
@@ -100,6 +109,8 @@ impl RmaPlan {
 
     /// `UNR_Plan_Start`: issue every recorded operation.
     pub fn start(&self, unr: &Unr) -> Result<(), UnrError> {
+        unr.met().plan_starts.inc();
+        unr.met().plan_ops.add(self.ops.len() as u64);
         for op in &self.ops {
             match *op {
                 PlanOp::Put {

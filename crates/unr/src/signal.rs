@@ -40,9 +40,15 @@ pub enum SignalError {
     /// `reset` found a non-zero counter: a message arrived before the
     /// buffer was declared ready (or is still missing) — the classic
     /// RMA pre-synchronization bug.
-    ResetWhileActive { counter: i64 },
+    ResetWhileActive {
+        /// Raw counter value the reset observed.
+        counter: i64,
+    },
     /// More events arrived than `num_event` (overflow-detect bit set).
-    EventOverflow { counter: i64 },
+    EventOverflow {
+        /// Raw counter value, overflow bit included.
+        counter: i64,
+    },
 }
 
 impl std::fmt::Display for SignalError {
@@ -111,6 +117,7 @@ pub struct SignalTable {
     slots: Mutex<Vec<Option<Arc<SignalInner>>>>,
     free: Mutex<Vec<u32>>,
     n_bits: u32,
+    /// Counters for the bug-avoiding interfaces (reset/overflow errors).
     pub stats: SignalStats,
 }
 

@@ -1,11 +1,21 @@
 //! Export a Chrome-trace timeline of one mini-PowerLLEL time step.
 //!
-//! Enables the fabric tracer, runs one step on each backend, and writes
-//! `target/trace_mpi.json` / `target/trace_unr.json` — open them in
-//! `chrome://tracing` or https://ui.perfetto.dev to *see* the
-//! difference: the MPI step's transfers serialize against the compute
-//! phases, while the UNR step's puts overlap the interior computation
-//! and the transpose slabs pipeline.
+//! Enables the fabric tracer *and* the `unr-obs` span log, runs one
+//! step on each backend, and writes `target/trace_mpi.json` /
+//! `target/trace_unr.json` — open them in `chrome://tracing` or
+//! https://ui.perfetto.dev to *see* the difference: the MPI step's
+//! transfers serialize against the compute phases, while the UNR
+//! step's puts overlap the interior computation and the transpose
+//! slabs pipeline. The timeline merges two sources onto one time axis:
+//!
+//! * NIC transfers from the fabric tracer (rows `pid = src rank`,
+//!   lanes `tid = NIC`, plus a wire lane per destination);
+//! * solver-phase spans (`rk`, `halo`, `fft`, `transpose`, `pdd`,
+//!   `correct`, `step`) recorded by `unr-powerllel`'s `PhaseObs`.
+//!
+//! It also dumps the fabric-wide metrics registry (engine counters,
+//! NIC-queue histograms, solver-phase latency histograms) — the same
+//! snapshot the bench binaries print. See `OBSERVABILITY.md`.
 //!
 //! Run with: `cargo run --release -p unr-examples --example trace_timeline`
 
@@ -14,7 +24,7 @@ use unr_minimpi::{run_mpi_on_fabric, MpiConfig};
 use unr_powerllel::{Backend, Solver, SolverConfig};
 use unr_simnet::{Fabric, Platform};
 
-fn run(unr: bool) -> (String, usize) {
+fn run(unr: bool) -> (String, usize, unr_obs::Snapshot) {
     let mut cfg = Platform::th_xy().fabric_config(2, 2);
     cfg.trace = true;
     cfg.seed = 4;
@@ -30,18 +40,37 @@ fn run(unr: bool) -> (String, usize) {
         s.step();
     });
     let tracer = fabric.tracer.as_ref().expect("tracing enabled");
-    (tracer.to_chrome_json(), tracer.len())
+    // One merged timeline: fabric transfers + solver-phase spans.
+    let mut events = tracer.to_span_events();
+    events.extend(fabric.obs.spans.events());
+    let n = events.len();
+    (
+        unr_obs::chrome_trace_json(&events),
+        n,
+        fabric.obs.metrics.snapshot(),
+    )
 }
 
 fn main() {
     std::fs::create_dir_all("target").expect("target dir");
     for (name, unr) in [("mpi", false), ("unr", true)] {
-        let (json, n) = run(unr);
+        let (json, n, snap) = run(unr);
         let path = format!("target/trace_{name}.json");
         std::fs::write(&path, &json).expect("write trace");
-        println!("{path}: {n} transfers recorded ({} bytes of JSON)", json.len());
+        println!("{path}: {n} spans recorded ({} bytes of JSON)", json.len());
+        if unr {
+            println!("\n## Metrics — UNR backend, one seeded step\n");
+            print!("{}", snap.render_table());
+            for prefix in ["unr.", "simnet.", "powerllel."] {
+                assert!(
+                    snap.with_prefix(prefix).next().is_some(),
+                    "expected {prefix}* metrics in the snapshot"
+                );
+            }
+        }
     }
     println!("\nOpen the files in chrome://tracing or https://ui.perfetto.dev;");
-    println!("rows are ranks, lanes are NICs, and every put/get/dgram shows its");
-    println!("NIC-service window and wire flight at exact virtual timestamps.");
+    println!("rows are ranks, lanes are NICs and solver phases; every put/get/");
+    println!("dgram shows its NIC-service window and wire flight, and the solver");
+    println!("phases line up with the transfers they overlap.");
 }
