@@ -82,7 +82,7 @@ fn bench_blk_codec() {
         region_len: 1 << 20,
         offset: 4096,
         len: 65536,
-        sig_key: 42,
+        sig_key: unr_core::SigKey::from_raw(42),
     };
     bench("blk", "to_bytes", || black_box(blk).to_bytes());
     let wire = blk.to_bytes();

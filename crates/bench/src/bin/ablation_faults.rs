@@ -1,0 +1,114 @@
+//! Ablation — goodput and latency of the self-healing transport under
+//! seeded packet loss.
+//!
+//! Sweeps the per-delivery drop probability and reports how the
+//! ack/replay protocol converts loss into latency: at 0% the reliable
+//! path costs only its acks; at a few percent the retransmit timeout
+//! dominates the tail while delivery stays exact.
+
+use unr_bench::{fmt_size, print_table};
+use unr_core::{convert, Unr, UnrConfig, UNR_PORT};
+use unr_minimpi::{run_mpi_on_fabric, MpiConfig};
+use unr_simnet::{to_us, Fabric, FaultConfig, Platform};
+
+struct Point {
+    time_ns: u64,
+    retransmits: u64,
+    dropped: u64,
+    acks: u64,
+}
+
+/// `iters` reliable round-trips of `size` bytes at drop rate `p`.
+fn lossy_pingpong(size: usize, iters: usize, p: f64, seed: u64) -> Point {
+    let mut cfg = Platform::th_xy().fabric_config(2, 1);
+    cfg.faults = FaultConfig {
+        seed,
+        // Scope to the UNR protocol: the rendezvous runs out of band.
+        dgram_ports: Some(vec![UNR_PORT]),
+        ..FaultConfig::drops(p)
+    };
+    let fabric = Fabric::new(cfg);
+    let results = run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(size * iters);
+        if comm.rank() == 0 {
+            let full_rmt = convert::recv_blk(comm, 1, 0);
+            let t0 = comm.ep().now();
+            for it in 0..iters {
+                let blk = unr.blk_init(&mem, it * size, size, None);
+                let mut rmt = full_rmt;
+                rmt.offset = it * size;
+                rmt.len = size;
+                unr.put(&blk, &rmt).unwrap();
+                comm.recv(Some(1), 7);
+            }
+            let dt = comm.ep().now() - t0;
+            while unr.retries_in_flight() > 0 {
+                unr.ep().sleep(unr_simnet::us(50.0));
+            }
+            comm.send(1, 8, &[]);
+            dt
+        } else {
+            let sig = unr.sig_init(1);
+            let recv_blk = unr.blk_init(&mem, 0, size * iters, Some(&sig));
+            convert::send_blk(comm, 0, 0, &recv_blk);
+            for _ in 0..iters {
+                unr.sig_wait(&sig).unwrap();
+                sig.reset().unwrap();
+                comm.send(0, 7, &[]);
+            }
+            comm.recv(Some(0), 8);
+            0
+        }
+    });
+    let snap = fabric.obs.metrics.snapshot();
+    Point {
+        time_ns: results[0],
+        retransmits: snap.counter("unr.retry.retransmits").unwrap_or(0),
+        dropped: snap.counter("simnet.fault.dropped").unwrap_or(0),
+        acks: snap.counter("unr.retry.acks").unwrap_or(0),
+    }
+}
+
+fn main() {
+    let size = 64 << 10;
+    let iters = 40;
+    let goodput = |ns: u64| (size * iters) as f64 / ns as f64; // GiB-ish/s scale
+    let mut rows = Vec::new();
+    for &p in &[0.0, 0.01, 0.05] {
+        let a = lossy_pingpong(size, iters, p, 1);
+        let b = lossy_pingpong(size, iters, p, 2);
+        rows.push(vec![
+            format!("{:.0}%", p * 100.0),
+            format!("{:.1}", to_us(a.time_ns)),
+            format!("{:.1}", to_us(b.time_ns)),
+            format!("{}", a.dropped + b.dropped),
+            format!("{}", a.retransmits + b.retransmits),
+            format!("{}", a.acks + b.acks),
+            format!("{:.2}", goodput(a.time_ns)),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Ablation — {} x {} reliable puts vs seeded drop rate (TH-XY)",
+            iters,
+            fmt_size(size)
+        ),
+        &[
+            "drop",
+            "time s1 (us)",
+            "time s2 (us)",
+            "dropped",
+            "retransmits",
+            "acks",
+            "goodput (B/ns)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nEvery byte and every signal still lands at every drop rate; loss is\n\
+         paid purely in retransmit latency. The 0% row is the fault-free\n\
+         baseline: the fault layer is inert and reliability auto-disables, so\n\
+         there is no ack traffic at all."
+    );
+}

@@ -126,7 +126,7 @@ impl NotifiedAllgather {
             let src = self.mem.blk(
                 owner * self.block,
                 self.block,
-                self.send_sig.as_ref().map(|s| s.key()).unwrap_or(0),
+                self.send_sig.as_ref().map(|s| s.key()).unwrap_or(unr_core::SigKey::NULL),
             );
             self.unr.put(&src, &self.round_targets[t])?;
             // Wait for this round's arrival before the next round (its

@@ -65,7 +65,7 @@ impl NotifiedBarrier {
     /// Synchronize: no rank returns before every rank has entered.
     pub fn wait(&mut self) -> Result<(), unr_core::UnrError> {
         let parity = (self.epoch % 2) as usize;
-        let token = self.token_mem.blk(0, 1, 0);
+        let token = self.token_mem.blk(0, 1, unr_core::SigKey::NULL);
         for k in 0..self.rounds {
             self.unr.put(&token, &self.targets[parity][k])?;
             self.unr.sig_wait(&self.sigs[parity][k])?;

@@ -12,6 +12,7 @@
 //!   completion (with the custom bits truncated to the interface's
 //!   width), and delivers any order-preserving companion datagram.
 
+use crate::faults::{FaultAction, FaultConfig, FaultState};
 use crate::rng::SimRng;
 use crate::sync::Mutex;
 use std::collections::HashMap;
@@ -52,6 +53,9 @@ pub struct FabricConfig {
     pub virtual_time_cap: Ns,
     /// Record a timeline of every transfer (see [`crate::trace`]).
     pub trace: bool,
+    /// Fault injection (drop/duplicate/delay/reorder, NIC flaps,
+    /// CQ pressure). Disabled by default; see [`crate::faults`].
+    pub faults: FaultConfig,
 }
 
 impl FabricConfig {
@@ -69,6 +73,7 @@ impl FabricConfig {
             seed: 0x5eed,
             virtual_time_cap: 3_600 * SEC,
             trace: false,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -109,6 +114,9 @@ struct FabricInner {
     nodes: Vec<NodeState>,
     ranks: Vec<RankState>,
     rng: SimRng,
+    /// Dedicated fault RNG stream; `Some` iff `cfg.faults.enabled()`,
+    /// so fault-free runs draw nothing extra and stay byte-identical.
+    faults: Option<FaultState>,
 }
 
 /// Pre-resolved instrument handles for the fabric's hot paths, so
@@ -126,10 +134,21 @@ pub(crate) struct FabricMetrics {
     deliver_ns: Arc<unr_obs::Histogram>,
     pub(crate) cq_depth: Arc<unr_obs::Gauge>,
     pub(crate) cq_dropped: Arc<unr_obs::Counter>,
+    /// Registered only when fault injection is enabled, so fault-free
+    /// snapshots carry no `simnet.fault.*` series at all.
+    faults: Option<FaultInjectionMetrics>,
+}
+
+/// Counters for injected faults (`simnet.fault.*`).
+struct FaultInjectionMetrics {
+    dropped: Arc<unr_obs::Counter>,
+    duplicated: Arc<unr_obs::Counter>,
+    delayed: Arc<unr_obs::Counter>,
+    flap_dropped: Arc<unr_obs::Counter>,
 }
 
 impl FabricMetrics {
-    fn new(obs: &unr_obs::Obs) -> FabricMetrics {
+    fn new(obs: &unr_obs::Obs, faults_on: bool) -> FabricMetrics {
         let m = &obs.metrics;
         FabricMetrics {
             puts: m.counter("simnet.fabric.puts"),
@@ -142,6 +161,32 @@ impl FabricMetrics {
             deliver_ns: m.histogram("simnet.nic.deliver_ns"),
             cq_depth: m.gauge("simnet.cq.depth"),
             cq_dropped: m.counter("simnet.cq.dropped"),
+            faults: faults_on.then(|| FaultInjectionMetrics {
+                dropped: m.counter("simnet.fault.dropped"),
+                duplicated: m.counter("simnet.fault.duplicated"),
+                delayed: m.counter("simnet.fault.delayed"),
+                flap_dropped: m.counter("simnet.fault.flap_dropped"),
+            }),
+        }
+    }
+
+    /// Count one fault decision (no-op on the clean path).
+    fn count_fault(&self, action: &FaultAction) {
+        let Some(fm) = &self.faults else { return };
+        match action {
+            FaultAction::Drop { flapped: true } => fm.flap_dropped.inc(),
+            FaultAction::Drop { flapped: false } => fm.dropped.inc(),
+            FaultAction::Deliver {
+                extra_delay,
+                duplicate,
+            } => {
+                if *extra_delay > 0 {
+                    fm.delayed.inc();
+                }
+                if duplicate.is_some() {
+                    fm.duplicated.inc();
+                }
+            }
         }
     }
 }
@@ -262,7 +307,8 @@ impl Fabric {
         if cfg.trace {
             obs.spans.enable();
         }
-        let metrics = FabricMetrics::new(&obs);
+        let metrics = FabricMetrics::new(&obs, cfg.faults.enabled());
+        let faults = cfg.faults.enabled().then(|| FaultState::new(&cfg.faults));
         Arc::new(Fabric {
             cfg,
             core,
@@ -270,6 +316,7 @@ impl Fabric {
                 nodes,
                 ranks,
                 rng: SimRng::seed_from_u64(seed),
+                faults,
             }),
             stats: FabricStats::default(),
             tracer,
@@ -323,6 +370,77 @@ impl Fabric {
             .regions
             .get(&key.id)
             .map(|(m, c)| (m.clone(), Arc::clone(c)))
+    }
+
+    /// Schedule the remote-delivery event of one PUT sub-message at
+    /// `arrival`: write the target region, post the remote completion
+    /// (or hardware atomic add), and push the order-preserving
+    /// companion datagram. Kept as one event so fault injection treats
+    /// data + notification + companion as a unit.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_put_delivery(
+        fabric: &Arc<Fabric>,
+        st: &mut Sched,
+        arrival: Ns,
+        dst: RKey,
+        dst_offset: usize,
+        data: Vec<u8>,
+        spec: InterfaceSpec,
+        notify_remote: bool,
+        custom_remote: u128,
+        raw_custom_remote: u128,
+        nic_idx: usize,
+        src_rank: usize,
+        companion: Option<(u32, Vec<u8>)>,
+    ) {
+        let f2 = Arc::clone(fabric);
+        st.schedule_at(arrival, move |st2| {
+            let inner = f2.inner.lock();
+            let target = Fabric::lookup_region(&inner, dst);
+            let sink = inner.ranks[dst.rank].sink.clone();
+            let comp_port = companion
+                .as_ref()
+                .and_then(|(p, _)| inner.ranks[dst.rank].ports.get(p).cloned());
+            drop(inner);
+            match target {
+                Some((region, remote_cq)) => {
+                    if region.write_bytes(dst_offset, &data).is_err() {
+                        f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                        f2.metrics.lost_writes.inc();
+                    } else if notify_remote {
+                        if spec.hardware_atomic_add {
+                            if let Some(sink) = sink {
+                                sink.apply(st2, arrival, raw_custom_remote);
+                            }
+                        } else {
+                            remote_cq.push(
+                                st2,
+                                Completion {
+                                    kind: CompletionKind::PutRemote,
+                                    custom: custom_remote,
+                                    nic: nic_idx,
+                                    t: arrival,
+                                },
+                            );
+                        }
+                    }
+                }
+                None => {
+                    f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
+                    f2.metrics.lost_writes.inc();
+                }
+            }
+            if let (Some(port), Some((_, bytes))) = (comp_port, companion) {
+                port.push(
+                    st2,
+                    Dgram {
+                        src: src_rank,
+                        t: arrival,
+                        bytes,
+                    },
+                );
+            }
+        });
     }
 }
 
@@ -387,9 +505,12 @@ impl Endpoint {
 
     /// Create a completion queue. Its depth feeds the fabric-wide
     /// `simnet.cq.depth` gauge and drops feed `simnet.cq.dropped`.
+    /// A `faults.cq_capacity` override (CQ-overflow pressure) takes
+    /// precedence over the configured capacity.
     pub fn create_cq(&self) -> Arc<CompletionQueue> {
+        let cfg = &self.fabric.cfg;
         Arc::new(CompletionQueue::with_obs(
-            self.fabric.cfg.cq_capacity,
+            cfg.faults.cq_capacity.unwrap_or(cfg.cq_capacity),
             Some(Arc::clone(&self.fabric.metrics.cq_depth)),
             Some(Arc::clone(&self.fabric.metrics.cq_dropped)),
         ))
@@ -530,10 +651,26 @@ impl Endpoint {
             } else {
                 inner.nodes[node].nics[nic_idx].reserve(t_post, len, &model)
             };
-            let arrival = end + model.latency + Self::jitter(&mut inner, &model);
+            let mut arrival = end + model.latency + Self::jitter(&mut inner, &model);
+            // Fate of this sub-message (data + notification + companion
+            // as one unit). `None` fault state short-circuits to the
+            // clean path with zero RNG draws.
+            let action = match inner.faults.as_mut() {
+                Some(fs) => fs.decide(
+                    &cfg.faults,
+                    (!intra).then_some((node, nic_idx)),
+                    start,
+                    model.latency,
+                ),
+                None => FaultAction::CLEAN,
+            };
             drop(inner);
+            fabric.metrics.count_fault(&action);
             fabric.metrics.inject_ns.record(end - t_post);
-            fabric.metrics.deliver_ns.record(arrival - t_post);
+            if let FaultAction::Deliver { extra_delay, .. } = action {
+                arrival += extra_delay;
+                fabric.metrics.deliver_ns.record(arrival - t_post);
+            }
             if let Some(tr) = &fabric.tracer {
                 tr.record(crate::trace::TraceEvent {
                     kind: "put",
@@ -549,6 +686,7 @@ impl Endpoint {
             }
 
             // Local completion: buffer reusable once the NIC drained it.
+            // Never faulted — the source-side DMA engine did drain it.
             if spec.hardware_atomic_add {
                 let f2 = Arc::clone(&fabric);
                 st.schedule_at(end, move |st2| {
@@ -572,54 +710,158 @@ impl Endpoint {
             }
 
             // Remote delivery: write memory, notify, companion dgram.
-            let f2 = Arc::clone(&fabric);
-            st.schedule_at(arrival, move |st2| {
-                let inner = f2.inner.lock();
-                let target = Fabric::lookup_region(&inner, dst);
-                let sink = inner.ranks[dst.rank].sink.clone();
-                let comp_port = companion
-                    .as_ref()
-                    .and_then(|(p, _)| inner.ranks[dst.rank].ports.get(p).cloned());
-                drop(inner);
-                match target {
-                    Some((region, remote_cq)) => {
-                        if region.write_bytes(dst_offset, &data).is_err() {
-                            f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
-                            f2.metrics.lost_writes.inc();
-                        } else if notify_remote {
-                            if spec.hardware_atomic_add {
-                                if let Some(sink) = sink {
-                                    sink.apply(st2, arrival, raw_custom_remote);
-                                }
-                            } else {
-                                remote_cq.push(
-                                    st2,
-                                    Completion {
-                                        kind: CompletionKind::PutRemote,
-                                        custom: custom_remote,
-                                        nic: nic_idx,
-                                        t: arrival,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    None => {
-                        f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
-                        f2.metrics.lost_writes.inc();
-                    }
-                }
-                if let (Some(port), Some((_, bytes))) = (comp_port, companion) {
-                    port.push(
-                        st2,
-                        Dgram {
-                            src: src_rank,
-                            t: arrival,
-                            bytes,
-                        },
+            // A dropped sub-message schedules nothing — data,
+            // completion and companion are lost together.
+            if let FaultAction::Deliver { duplicate, .. } = action {
+                if let Some(dt) = duplicate {
+                    Fabric::schedule_put_delivery(
+                        &fabric,
+                        st,
+                        arrival + dt,
+                        dst,
+                        dst_offset,
+                        data.clone(),
+                        spec,
+                        notify_remote,
+                        custom_remote,
+                        raw_custom_remote,
+                        nic_idx,
+                        src_rank,
+                        companion.clone(),
                     );
                 }
-            });
+                Fabric::schedule_put_delivery(
+                    &fabric,
+                    st,
+                    arrival,
+                    dst,
+                    dst_offset,
+                    data,
+                    spec,
+                    notify_remote,
+                    custom_remote,
+                    raw_custom_remote,
+                    nic_idx,
+                    src_rank,
+                    companion,
+                );
+            }
+        });
+        self.actor.advance(model.post_overhead);
+        Ok(())
+    }
+
+    /// Post a PUT from an owned byte buffer, with no local or remote
+    /// completion — the retransmission primitive of reliable
+    /// transports: the payload was captured at the original post and
+    /// is resent verbatim, with notification riding the optional
+    /// companion datagram. Subject to the same NIC serialization,
+    /// jitter and fault injection as [`Endpoint::put`].
+    pub fn put_bytes(
+        &self,
+        data: Vec<u8>,
+        dst: RKey,
+        dst_offset: usize,
+        nic: NicSel,
+        companion: Option<(u32, Vec<u8>)>,
+    ) -> Result<(), FabricError> {
+        let fabric = Arc::clone(&self.fabric);
+        let cfg = fabric.cfg.clone();
+        let src_rank = self.rank;
+        if dst.rank >= cfg.total_ranks() {
+            return Err(FabricError::BadRank(dst.rank));
+        }
+        if let NicSel::Index(i) = nic {
+            if i >= cfg.nics_per_node {
+                return Err(FabricError::BadNic(i));
+            }
+        }
+        let intra = cfg.node_of(src_rank) == cfg.node_of(dst.rank);
+        let model = if intra { cfg.intra } else { cfg.nic };
+        let spec = cfg.iface;
+        if !spec.rma_capable {
+            return Err(FabricError::RmaUnsupported);
+        }
+        let len = data.len();
+
+        fabric.stats.puts.fetch_add(1, Ordering::Relaxed);
+        fabric.stats.bytes_put.fetch_add(len as u64, Ordering::Relaxed);
+        fabric.metrics.puts.inc();
+        fabric.metrics.bytes_put.add(len as u64);
+
+        self.actor.with_sched(move |st, t_post| {
+            let mut inner = fabric.inner.lock();
+            let nic_idx = Self::pick_nic(&mut inner, &cfg, src_rank, nic);
+            let node = cfg.node_of(src_rank);
+            let (start, end) = if intra {
+                inner.nodes[node].loopback.reserve(t_post, len, &model)
+            } else {
+                inner.nodes[node].nics[nic_idx].reserve(t_post, len, &model)
+            };
+            let mut arrival = end + model.latency + Self::jitter(&mut inner, &model);
+            let action = match inner.faults.as_mut() {
+                Some(fs) => fs.decide(
+                    &cfg.faults,
+                    (!intra).then_some((node, nic_idx)),
+                    start,
+                    model.latency,
+                ),
+                None => FaultAction::CLEAN,
+            };
+            drop(inner);
+            fabric.metrics.count_fault(&action);
+            fabric.metrics.inject_ns.record(end - t_post);
+            if let FaultAction::Deliver { extra_delay, .. } = action {
+                arrival += extra_delay;
+                fabric.metrics.deliver_ns.record(arrival - t_post);
+            }
+            if let Some(tr) = &fabric.tracer {
+                tr.record(crate::trace::TraceEvent {
+                    kind: "put",
+                    src: src_rank,
+                    dst: dst.rank,
+                    nic: nic_idx,
+                    bytes: len,
+                    t_post,
+                    t_service_start: start,
+                    t_service_end: end,
+                    t_arrival: arrival,
+                });
+            }
+            if let FaultAction::Deliver { duplicate, .. } = action {
+                if let Some(dt) = duplicate {
+                    Fabric::schedule_put_delivery(
+                        &fabric,
+                        st,
+                        arrival + dt,
+                        dst,
+                        dst_offset,
+                        data.clone(),
+                        spec,
+                        false,
+                        0,
+                        0,
+                        nic_idx,
+                        src_rank,
+                        companion.clone(),
+                    );
+                }
+                Fabric::schedule_put_delivery(
+                    &fabric,
+                    st,
+                    arrival,
+                    dst,
+                    dst_offset,
+                    data,
+                    spec,
+                    false,
+                    0,
+                    0,
+                    nic_idx,
+                    src_rank,
+                    companion,
+                );
+            }
         });
         self.actor.advance(model.post_overhead);
         Ok(())
@@ -800,10 +1042,26 @@ impl Endpoint {
             } else {
                 inner.nodes[node].nics[nic_idx].reserve(t_post, len, &model)
             };
-            let arrival = end + model.latency + Self::jitter(&mut inner, &model);
+            let mut arrival = end + model.latency + Self::jitter(&mut inner, &model);
+            // Datagram faults can be scoped to a port list so one
+            // protocol's control traffic is lossy while another's
+            // (e.g. the bootstrap runtime) stays reliable.
+            let action = match inner.faults.as_mut() {
+                Some(fs) if cfg.faults.port_in_scope(port) => fs.decide(
+                    &cfg.faults,
+                    (!intra).then_some((node, nic_idx)),
+                    start,
+                    model.latency,
+                ),
+                _ => FaultAction::CLEAN,
+            };
             drop(inner);
+            fabric.metrics.count_fault(&action);
             fabric.metrics.inject_ns.record(end - t_post);
-            fabric.metrics.deliver_ns.record(arrival - t_post);
+            if let FaultAction::Deliver { extra_delay, .. } = action {
+                arrival += extra_delay;
+                fabric.metrics.deliver_ns.record(arrival - t_post);
+            }
             if let Some(tr) = &fabric.tracer {
                 tr.record(crate::trace::TraceEvent {
                     kind: "dgram",
@@ -817,26 +1075,36 @@ impl Endpoint {
                     t_arrival: arrival,
                 });
             }
-            let f2 = Arc::clone(&fabric);
-            st.schedule_at(arrival, move |st2| {
-                let port_arc = {
-                    let mut inner = f2.inner.lock();
-                    Arc::clone(
-                        inner.ranks[dst]
-                            .ports
-                            .entry(port)
-                            .or_insert_with(|| Arc::new(Port::new())),
-                    )
+            if let FaultAction::Deliver { duplicate, .. } = action {
+                let deliver = |f2: Arc<Fabric>, bytes: Vec<u8>, at: Ns| {
+                    move |st2: &mut Sched| {
+                        let port_arc = {
+                            let mut inner = f2.inner.lock();
+                            Arc::clone(
+                                inner.ranks[dst]
+                                    .ports
+                                    .entry(port)
+                                    .or_insert_with(|| Arc::new(Port::new())),
+                            )
+                        };
+                        port_arc.push(
+                            st2,
+                            Dgram {
+                                src: src_rank,
+                                t: at,
+                                bytes,
+                            },
+                        );
+                    }
                 };
-                port_arc.push(
-                    st2,
-                    Dgram {
-                        src: src_rank,
-                        t: arrival,
-                        bytes,
-                    },
-                );
-            });
+                if let Some(dt) = duplicate {
+                    st.schedule_at(
+                        arrival + dt,
+                        deliver(Arc::clone(&fabric), bytes.clone(), arrival + dt),
+                    );
+                }
+                st.schedule_at(arrival, deliver(Arc::clone(&fabric), bytes, arrival));
+            }
         });
         self.actor.advance(model.post_overhead);
     }

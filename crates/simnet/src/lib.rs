@@ -41,6 +41,7 @@
 //! ```
 
 pub mod fabric;
+pub mod faults;
 pub mod mem;
 pub mod nic;
 pub mod platform;
@@ -55,6 +56,7 @@ pub mod world;
 pub use fabric::{
     AtomicAddSink, Endpoint, Fabric, FabricConfig, FabricError, GetOp, NicSel, PutOp,
 };
+pub use faults::{FaultConfig, FlapConfig};
 pub use mem::{MemRegion, OutOfBounds, Pod, RKey};
 pub use nic::{CustomBits, InterfaceKind, InterfaceSpec, NicModel};
 pub use platform::Platform;

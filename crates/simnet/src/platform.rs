@@ -135,6 +135,7 @@ impl Platform {
             seed: 0xC0FFEE ^ (nodes as u64) << 8 ^ ranks_per_node as u64,
             virtual_time_cap: 24 * 3_600 * SEC,
             trace: false,
+            faults: crate::faults::FaultConfig::none(),
         }
     }
 }

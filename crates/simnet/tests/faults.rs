@@ -1,0 +1,188 @@
+//! Fabric-level fault injection: drops, duplicates, port scoping and
+//! CQ-overflow pressure, all seeded and replayable.
+
+use std::sync::Arc;
+
+use unr_simnet::{Fabric, FabricConfig, FaultConfig, NicSel, PutOp, RKey};
+
+/// Spawn rank threads over a fresh fabric, collecting results.
+fn world<R: Send + 'static>(
+    cfg: FabricConfig,
+    f: impl Fn(&unr_simnet::Endpoint) -> R + Send + Sync + 'static,
+) -> (Vec<R>, Arc<Fabric>) {
+    let fabric = Fabric::new(cfg);
+    let out = unr_simnet::run_on_fabric(&fabric, f);
+    (out, fabric)
+}
+
+/// A two-rank exchange: rank 1 registers a region and mails its rkey to
+/// rank 0, which issues `n_puts` notifiable puts into it. Returns
+/// (local completions seen by 0, remote completions seen by 1).
+fn put_exchange(cfg: FabricConfig, n_puts: usize) -> ((usize, usize), Arc<Fabric>) {
+    let (results, fabric) = world(cfg, move |ep| {
+        let cq = ep.create_cq();
+        let mine = ep.register(64, &cq);
+        let port = ep.open_port(1);
+        if ep.rank() == 0 {
+            let d = ep.recv_dgram(&port);
+            let id = u32::from_le_bytes(d.bytes[..4].try_into().unwrap());
+            for _ in 0..n_puts {
+                ep.put(PutOp {
+                    src: &mine,
+                    src_offset: 0,
+                    len: 64,
+                    dst: RKey {
+                        rank: 1,
+                        id,
+                        len: 64,
+                    },
+                    dst_offset: 0,
+                    nic: NicSel::Auto,
+                    custom_local: 1,
+                    custom_remote: 2,
+                    local_cq: Some(Arc::clone(&cq)),
+                    notify_remote: true,
+                    companion: None,
+                })
+                .unwrap();
+            }
+            ep.sleep(unr_simnet::us(500.0));
+            let mut local = 0;
+            while cq.try_pop().is_some() {
+                local += 1;
+            }
+            (local, 0)
+        } else {
+            ep.send_dgram(0, 1, mine.rkey.id.to_le_bytes().to_vec(), NicSel::Auto);
+            ep.sleep(unr_simnet::us(600.0));
+            let mut remote = 0;
+            while cq.try_pop().is_some() {
+                remote += 1;
+            }
+            (0, remote)
+        }
+    });
+    ((results[0].0, results[1].1), fabric)
+}
+
+#[test]
+fn fault_drop_all_loses_delivery_but_not_local_completion() {
+    let mut cfg = FabricConfig::test_default(2);
+    cfg.faults = FaultConfig {
+        // Keep the rkey handshake dgram out of scope; PUT deliveries
+        // are always in scope.
+        dgram_ports: Some(vec![]),
+        ..FaultConfig::drops(1.0)
+    };
+    let ((local, remote), fabric) = put_exchange(cfg, 3);
+    assert_eq!(local, 3, "source-side completions are never faulted");
+    assert_eq!(remote, 0, "every remote delivery must be dropped");
+    let snap = fabric.obs.metrics.snapshot();
+    assert_eq!(snap.counter("simnet.fault.dropped"), Some(3));
+}
+
+#[test]
+fn fault_dup_delivers_remote_completion_twice() {
+    let mut cfg = FabricConfig::test_default(2);
+    cfg.faults = FaultConfig {
+        dup_prob: 1.0,
+        dgram_ports: Some(vec![]),
+        ..FaultConfig::none()
+    };
+    let ((local, remote), fabric) = put_exchange(cfg, 2);
+    assert_eq!(local, 2);
+    assert_eq!(remote, 4, "each delivery must arrive twice");
+    let snap = fabric.obs.metrics.snapshot();
+    assert_eq!(snap.counter("simnet.fault.duplicated"), Some(2));
+}
+
+#[test]
+fn fault_port_scoping_spares_out_of_scope_dgrams() {
+    // Faults scoped to port 9: the rkey handshake on port 1 and its
+    // replies must get through even at drop 1.0; port-9 traffic dies.
+    let mut cfg = FabricConfig::test_default(2);
+    cfg.faults = FaultConfig {
+        dgram_ports: Some(vec![9]),
+        ..FaultConfig::drops(1.0)
+    };
+    let (results, fabric) = world(cfg, |ep| {
+        let clear = ep.open_port(1);
+        let lossy = ep.open_port(9);
+        if ep.rank() == 0 {
+            ep.send_dgram(1, 1, b"clear".to_vec(), NicSel::Auto);
+            ep.send_dgram(1, 9, b"lossy".to_vec(), NicSel::Auto);
+            ep.sleep(unr_simnet::us(200.0));
+            (0, 0)
+        } else {
+            let d = ep.recv_dgram(&clear);
+            ep.sleep(unr_simnet::us(300.0));
+            (d.bytes.len(), lossy.len())
+        }
+    });
+    let (clear_len, lossy_len) = results[1];
+    assert_eq!(clear_len, 5, "out-of-scope port must be untouched");
+    assert_eq!(lossy_len, 0, "in-scope port must lose everything");
+    let snap = fabric.obs.metrics.snapshot();
+    assert_eq!(snap.counter("simnet.fault.dropped"), Some(1));
+}
+
+#[test]
+fn fault_cq_capacity_override_creates_overflow_pressure() {
+    let mut cfg = FabricConfig::test_default(2);
+    assert!(cfg.cq_capacity >= 10);
+    cfg.faults = FaultConfig {
+        cq_capacity: Some(2),
+        ..FaultConfig::none()
+    };
+    let (results, _fabric) = world(cfg, |ep| {
+        let cq = ep.create_cq();
+        let src = ep.register(8, &cq);
+        if ep.rank() == 0 {
+            // 10 local completions into a CQ squeezed to 2 slots.
+            for i in 0..10u128 {
+                ep.put(PutOp {
+                    src: &src,
+                    src_offset: 0,
+                    len: 8,
+                    dst: src.rkey,
+                    dst_offset: 0,
+                    nic: NicSel::Auto,
+                    custom_local: i,
+                    custom_remote: 0,
+                    local_cq: Some(Arc::clone(&cq)),
+                    notify_remote: false,
+                    companion: None,
+                })
+                .unwrap();
+            }
+            ep.sleep(unr_simnet::us(100.0));
+            (cq.len(), cq.dropped(), cq.overflowed())
+        } else {
+            ep.sleep(unr_simnet::us(150.0));
+            (0, 0, false)
+        }
+    });
+    let (len, dropped, overflowed) = results[0];
+    assert_eq!(len, 2, "override must take precedence over cfg.cq_capacity");
+    assert_eq!(dropped, 8);
+    assert!(overflowed);
+}
+
+#[test]
+fn fault_trace_is_seed_replayable() {
+    let run = |fault_seed: u64| -> (usize, usize) {
+        let mut cfg = FabricConfig::test_default(2);
+        cfg.faults = FaultConfig {
+            seed: fault_seed,
+            dgram_ports: Some(vec![]),
+            ..FaultConfig::drops(0.5)
+        };
+        put_exchange(cfg, 20).0
+    };
+    assert_eq!(run(7), run(7), "same fault seed, same outcome");
+    assert_ne!(
+        run(7).1,
+        run(1234).1,
+        "different fault seeds must drop different deliveries"
+    );
+}

@@ -8,6 +8,7 @@
 //! class of bugs the paper's authors spent months debugging in the
 //! hand-written RMA version of PowerLLEL.
 
+use crate::signal::SigKey;
 use unr_simnet::{MemRegion, RKey};
 
 /// Serialized size of a [`Blk`] on the wire.
@@ -26,10 +27,10 @@ pub struct Blk {
     pub offset: usize,
     /// Block length in bytes.
     pub len: usize,
-    /// Key of the signal bound to this block (0 = none). The signal
-    /// lives on the owner rank and is triggered when a transfer
-    /// involving the block completes there.
-    pub sig_key: u64,
+    /// Key of the signal bound to this block ([`SigKey::NULL`] = none).
+    /// The signal lives on the owner rank and is triggered when a
+    /// transfer involving the block completes there.
+    pub sig_key: SigKey,
 }
 
 impl Blk {
@@ -50,7 +51,7 @@ impl Blk {
         b[12..20].copy_from_slice(&(self.region_len as u64).to_le_bytes());
         b[20..28].copy_from_slice(&(self.offset as u64).to_le_bytes());
         b[28..36].copy_from_slice(&(self.len as u64).to_le_bytes());
-        b[36..44].copy_from_slice(&self.sig_key.to_le_bytes());
+        b[36..44].copy_from_slice(&self.sig_key.raw().to_le_bytes());
         b
     }
 
@@ -65,7 +66,7 @@ impl Blk {
             region_len: u64::from_le_bytes(b[12..20].try_into().ok()?) as usize,
             offset: u64::from_le_bytes(b[20..28].try_into().ok()?) as usize,
             len: u64::from_le_bytes(b[28..36].try_into().ok()?) as usize,
-            sig_key: u64::from_le_bytes(b[36..44].try_into().ok()?),
+            sig_key: SigKey::from_raw(u64::from_le_bytes(b[36..44].try_into().ok()?)),
         })
     }
 
@@ -116,7 +117,7 @@ impl UnrMem {
     /// Describe a block of this region with an optional bound signal.
     /// (The free function form of `UNR_Blk_Init`; `Unr::blk_init` is the
     /// usual entry point.)
-    pub fn blk(&self, offset: usize, len: usize, sig_key: u64) -> Blk {
+    pub fn blk(&self, offset: usize, len: usize, sig_key: SigKey) -> Blk {
         assert!(
             offset + len <= self.region.len(),
             "block [{offset}, {}) exceeds region of {} bytes",
@@ -181,7 +182,7 @@ mod tests {
             region_len: 4096,
             offset: 128,
             len: 512,
-            sig_key: 42,
+            sig_key: SigKey::from_raw(42),
         }
     }
 
@@ -203,7 +204,7 @@ mod tests {
         let s = b.slice(64, 128);
         assert_eq!(s.offset, 192);
         assert_eq!(s.len, 128);
-        assert_eq!(s.sig_key, 42);
+        assert_eq!(s.sig_key, SigKey::from_raw(42));
         assert_eq!(s.rank, 3);
     }
 

@@ -14,15 +14,28 @@ use unr_simnet::{
 use crate::blk::{Blk, UnrMem};
 use crate::channel::{Channel, ChannelSelect, DirEncodings, Mechanism};
 use crate::level::{EncodeError, Encoding, Notif, SupportLevel};
-use crate::signal::{striped_addends, Signal, SignalError, SignalTable};
+use crate::retry::{
+    PendingSub, Reliability, Resend, RetryPolicy, RetryState, Route,
+};
+use crate::signal::{striped_addends, SigKey, Signal, SignalError, SignalTable};
 
 /// Fabric port carrying UNR control traffic (fallback data, level-0
-/// companion messages, fallback GET requests).
+/// companion messages, fallback GET requests, and the self-healing
+/// transport's sequenced sub-messages and acks).
 pub const UNR_PORT: u32 = 0x554E; // "UN"
 
 const MSG_FALLBACK_DATA: u8 = 1;
 const MSG_FALLBACK_GET: u8 = 2;
 const MSG_COMPANION: u8 = 3;
+/// Sequenced fallback data: `seq u64, region u32, offset u64, key u64,
+/// addend i64, payload` — the reliable transport's datagram route.
+const MSG_SEQ_DATA: u8 = 4;
+/// Sequenced delivery notification riding an RMA put as its companion:
+/// `seq u64, key u64, addend i64`. Receipt implies the RMA payload of
+/// the same fabric delivery landed; it drives dedup + ack.
+const MSG_SEQ_NOTIF: u8 = 5;
+/// Receiver ack of a sequenced sub-message: `seq u64`.
+const MSG_ACK: u8 = 6;
 
 /// How notification events are progressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +87,20 @@ pub struct UnrConfig {
     /// Per-message software overhead of the fallback channel (models
     /// the underlying MPI stack's per-call cost; charged at both ends).
     pub fallback_overhead: Ns,
+    /// Whether PUT sub-messages run the ack/replay protocol
+    /// ([`Reliability::Auto`]: yes iff the fabric injects faults).
+    pub reliability: Reliability,
+    /// Base retransmit timeout of the reliable transport (scaled by
+    /// message size and backed off exponentially per attempt).
+    pub retry_timeout: Ns,
+    /// Cap on the exponentially backed-off retransmit timeout.
+    pub retry_max_backoff: Ns,
+    /// Retransmissions per sub-message before the channel is declared
+    /// down ([`UnrError::RetryExhausted`] / [`UnrError::ChannelDown`]).
+    pub max_retries: u32,
+    /// Attempt number from which retransmissions abandon the RMA path
+    /// and reroute through the datagram fallback channel.
+    pub fallback_after: u32,
 }
 
 impl Default for UnrConfig {
@@ -89,11 +116,151 @@ impl Default for UnrConfig {
             copy_bw_gibps: 12.0,
             pin_nic: None,
             fallback_overhead: 150,
+            reliability: Reliability::Auto,
+            retry_timeout: 20_000,
+            retry_max_backoff: 2_000_000,
+            max_retries: 10,
+            fallback_after: 3,
         }
     }
 }
 
+/// Validating builder for [`UnrConfig`] — the supported way to deviate
+/// from the defaults:
+///
+/// ```
+/// use unr_core::UnrConfig;
+/// let cfg = UnrConfig::builder()
+///     .timeout(50_000)
+///     .max_retries(6)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_retries, 6);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnrConfigBuilder {
+    cfg: UnrConfig,
+}
+
+impl UnrConfigBuilder {
+    /// Force a transport channel instead of auto-selection.
+    pub fn channel(mut self, v: ChannelSelect) -> Self {
+        self.cfg.channel = v;
+        self
+    }
+
+    /// Force a progress mode instead of auto-selection.
+    pub fn progress(mut self, v: ProgressMode) -> Self {
+        self.cfg.progress = Some(v);
+        self
+    }
+
+    /// Event-field width `N` of the MMAS counters (1..=62).
+    pub fn n_bits(mut self, v: u32) -> Self {
+        self.cfg.n_bits = v;
+        self
+    }
+
+    /// Striping threshold in bytes.
+    pub fn stripe_threshold(mut self, v: usize) -> Self {
+        self.cfg.stripe_threshold = v;
+        self
+    }
+
+    /// Cap on sub-messages per message.
+    pub fn max_stripes(mut self, v: usize) -> Self {
+        self.cfg.max_stripes = v;
+        self
+    }
+
+    /// Modeled memcpy bandwidth of the fallback channel.
+    pub fn copy_bw_gibps(mut self, v: f64) -> Self {
+        self.cfg.copy_bw_gibps = v;
+        self
+    }
+
+    /// Pin single-message traffic to one NIC.
+    pub fn pin_nic(mut self, v: usize) -> Self {
+        self.cfg.pin_nic = Some(v);
+        self
+    }
+
+    /// Reliability policy of the PUT path.
+    pub fn reliability(mut self, v: Reliability) -> Self {
+        self.cfg.reliability = v;
+        self
+    }
+
+    /// Base retransmit timeout of the reliable transport.
+    pub fn timeout(mut self, ns: Ns) -> Self {
+        self.cfg.retry_timeout = ns;
+        self
+    }
+
+    /// Cap on the backed-off retransmit timeout.
+    pub fn max_backoff(mut self, ns: Ns) -> Self {
+        self.cfg.retry_max_backoff = ns;
+        self
+    }
+
+    /// Retransmissions per sub-message before giving up.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = n;
+        self
+    }
+
+    /// Attempt number from which retransmits use the fallback channel.
+    pub fn fallback_after(mut self, n: u32) -> Self {
+        self.cfg.fallback_after = n;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<UnrConfig, UnrError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl UnrConfig {
+    /// Start building a validated configuration from the defaults.
+    pub fn builder() -> UnrConfigBuilder {
+        UnrConfigBuilder::default()
+    }
+
+    /// Check the invariants the engine relies on; [`UnrConfigBuilder`]
+    /// runs this at `build` time.
+    pub fn validate(&self) -> Result<(), UnrError> {
+        if !(1..=62).contains(&self.n_bits) {
+            return Err(UnrError::InvalidConfig(format!(
+                "n_bits must be in 1..=62, got {}",
+                self.n_bits
+            )));
+        }
+        if self.copy_bw_gibps.is_nan() || self.copy_bw_gibps <= 0.0 {
+            return Err(UnrError::InvalidConfig(format!(
+                "copy_bw_gibps must be positive, got {}",
+                self.copy_bw_gibps
+            )));
+        }
+        if self.retry_timeout == 0 {
+            return Err(UnrError::InvalidConfig(
+                "retry_timeout must be positive".into(),
+            ));
+        }
+        if self.retry_max_backoff < self.retry_timeout {
+            return Err(UnrError::InvalidConfig(format!(
+                "retry_max_backoff ({}) must be >= retry_timeout ({})",
+                self.retry_max_backoff, self.retry_timeout
+            )));
+        }
+        if self.fallback_after == 0 {
+            return Err(UnrError::InvalidConfig(
+                "fallback_after must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
     /// The compute-time inflation factor modeling a co-located polling
     /// thread stealing cycles (paper §VI-C): every `interval` the agent
     /// burns roughly one loop pass on a core shared with computation.
@@ -134,6 +301,26 @@ pub enum UnrError {
     RegionUnknown(u32),
     /// A signal-layer synchronization error (overflow, racy reset).
     Signal(SignalError),
+    /// A bounded wait (`sig_wait_timeout`) expired before the signal
+    /// triggered.
+    Timeout {
+        /// How long the caller waited, in virtual nanoseconds.
+        waited: Ns,
+    },
+    /// The reliable transport already declared this context's channel
+    /// down (a previous sub-message exhausted its retries); further
+    /// operations are refused.
+    ChannelDown,
+    /// A sub-message exhausted its retransmission budget even after NIC
+    /// rotation and fallback rerouting — the destination is unreachable.
+    RetryExhausted {
+        /// Destination rank of the abandoned sub-message.
+        dst: usize,
+        /// Retransmissions attempted before giving up.
+        attempts: u32,
+    },
+    /// A configuration rejected by [`UnrConfig::validate`].
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for UnrError {
@@ -153,6 +340,17 @@ impl std::fmt::Display for UnrError {
             }
             UnrError::RegionUnknown(id) => write!(f, "unknown region id {id}"),
             UnrError::Signal(e) => write!(f, "{e}"),
+            UnrError::Timeout { waited } => {
+                write!(f, "signal wait timed out after {waited} ns")
+            }
+            UnrError::ChannelDown => {
+                write!(f, "channel is down: a sub-message exhausted its retries")
+            }
+            UnrError::RetryExhausted { dst, attempts } => write!(
+                f,
+                "sub-message to rank {dst} abandoned after {attempts} retransmissions"
+            ),
+            UnrError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
         }
     }
 }
@@ -246,6 +444,44 @@ impl UnrMetrics {
     }
 }
 
+/// Pre-resolved instruments of the self-healing transport, registered
+/// only when reliability is active so fault-free runs keep a
+/// byte-identical metrics snapshot.
+pub(crate) struct RetryMetrics {
+    /// Sub-message deadlines that expired (retransmit or abandon).
+    timeouts: Arc<unr_obs::Counter>,
+    /// Retransmissions posted.
+    retransmits: Arc<unr_obs::Counter>,
+    /// Acks that cleared a pending sub-message.
+    acks: Arc<unr_obs::Counter>,
+    /// Duplicate sequenced deliveries suppressed by the dedup window.
+    dup_suppressed: Arc<unr_obs::Counter>,
+    /// Sub-messages abandoned after `max_retries`.
+    exhausted: Arc<unr_obs::Counter>,
+    /// Post-to-ack latency of acked sub-messages.
+    ack_latency: Arc<unr_obs::Histogram>,
+    /// Retransmissions that rotated to another NIC.
+    nic_rotations: Arc<unr_obs::Counter>,
+    /// Retransmissions rerouted through the datagram fallback channel.
+    fallback_msgs: Arc<unr_obs::Counter>,
+}
+
+impl RetryMetrics {
+    fn new(obs: &unr_obs::Obs) -> RetryMetrics {
+        let m = &obs.metrics;
+        RetryMetrics {
+            timeouts: m.counter("unr.retry.timeouts"),
+            retransmits: m.counter("unr.retry.retransmits"),
+            acks: m.counter("unr.retry.acks"),
+            dup_suppressed: m.counter("unr.retry.dup_suppressed"),
+            exhausted: m.counter("unr.retry.exhausted"),
+            ack_latency: m.histogram("unr.retry.ack_latency_ns"),
+            nic_rotations: m.counter("unr.failover.nic_rotations"),
+            fallback_msgs: m.counter("unr.failover.fallback_msgs"),
+        }
+    }
+}
+
 /// State shared between the application rank and the polling agent.
 pub(crate) struct UnrCore {
     pub channel: Channel,
@@ -257,11 +493,25 @@ pub(crate) struct UnrCore {
     pub cfg: UnrConfig,
     pub copy_bw: Bandwidth,
     pub met: UnrMetrics,
+    /// Ack/replay state — `Some` iff reliability is active.
+    pub retry: Option<Arc<RetryState>>,
+    pub rmet: Option<RetryMetrics>,
 }
 
 /// A deferred reply computed inside scheduler context and sent after.
 enum Reply {
-    Dgram { dst: usize, bytes: Vec<u8> },
+    Dgram {
+        dst: usize,
+        bytes: Vec<u8>,
+    },
+    /// Retransmission of a buffered RMA sub-message.
+    RmaPut {
+        payload: Vec<u8>,
+        dst_rkey: unr_simnet::RKey,
+        dst_offset: usize,
+        nic: usize,
+        companion: Vec<u8>,
+    },
 }
 
 impl UnrCore {
@@ -306,15 +556,98 @@ impl UnrCore {
         }
         while let Some(d) = self.port.try_pop() {
             n += 1;
-            if d.bytes[0] == MSG_FALLBACK_DATA || d.bytes[0] == MSG_FALLBACK_GET {
+            if matches!(d.bytes[0], MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA) {
                 fb_bytes += d.bytes.len();
                 fb_msgs += 1;
             }
             self.handle_ctrl(sched, t, d.src, &d.bytes, replies);
         }
+        self.sweep_retries(sched, t, replies);
         self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
         self.met.events_progressed.add(n as u64);
         (n, fb_bytes, fb_msgs)
+    }
+
+    /// Retransmit expired sub-messages (scheduler context): escalate
+    /// NIC rotation / fallback rerouting, re-arm deadline wake-ups and
+    /// wake waiters when the channel goes down. The actual (re)posts
+    /// ride `replies` out of scheduler context.
+    fn sweep_retries(&self, sched: &mut Sched, t: Ns, replies: &mut Vec<Reply>) {
+        let Some(retry) = &self.retry else { return };
+        if !retry.is_due() {
+            return;
+        }
+        let out = retry.sweep(t, Self::build_seq_data, Self::build_seq_notif);
+        if let Some(rm) = &self.rmet {
+            rm.timeouts.add(out.resends.len() as u64 + out.exhausted);
+            rm.retransmits.add(out.resends.len() as u64);
+            rm.exhausted.add(out.exhausted);
+            rm.nic_rotations.add(out.nic_rotations);
+            rm.fallback_msgs.add(out.fallback_reroutes);
+        }
+        for d in out.new_deadlines {
+            let r = Arc::clone(retry);
+            sched.schedule_at(d, move |st2| {
+                r.set_due();
+                for w in r.take_waiters() {
+                    st2.wake(w, d);
+                }
+            });
+        }
+        if out.exhausted > 0 {
+            for w in retry.take_waiters() {
+                sched.wake(w, t);
+            }
+        }
+        for rs in out.resends {
+            replies.push(match rs {
+                Resend::Rma {
+                    payload,
+                    dst_rkey,
+                    dst_offset,
+                    nic,
+                    companion,
+                } => Reply::RmaPut {
+                    payload,
+                    dst_rkey,
+                    dst_offset,
+                    nic,
+                    companion,
+                },
+                Resend::Dgram { dst, bytes } => Reply::Dgram { dst, bytes },
+            });
+        }
+    }
+
+    /// `MSG_SEQ_DATA` image of a buffered sub-message (fallback route
+    /// and retransmissions over it).
+    fn build_seq_data(p: &PendingSub) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(37 + p.payload.len());
+        msg.push(MSG_SEQ_DATA);
+        msg.extend_from_slice(&p.seq.to_le_bytes());
+        msg.extend_from_slice(&p.dst_rkey.id.to_le_bytes());
+        msg.extend_from_slice(&(p.dst_offset as u64).to_le_bytes());
+        msg.extend_from_slice(&p.remote_key.to_le_bytes());
+        msg.extend_from_slice(&p.addend.to_le_bytes());
+        msg.extend_from_slice(&p.payload);
+        msg
+    }
+
+    /// `MSG_SEQ_NOTIF` companion of a buffered RMA sub-message.
+    fn build_seq_notif(p: &PendingSub) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(25);
+        msg.push(MSG_SEQ_NOTIF);
+        msg.extend_from_slice(&p.seq.to_le_bytes());
+        msg.extend_from_slice(&p.remote_key.to_le_bytes());
+        msg.extend_from_slice(&p.addend.to_le_bytes());
+        msg
+    }
+
+    fn ack_msg(seq: u64) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(9);
+        msg.push(MSG_ACK);
+        msg.extend_from_slice(&seq.to_le_bytes());
+        msg
     }
 
     fn handle_ctrl(
@@ -385,6 +718,73 @@ impl UnrCore {
                     replies.push(Reply::Dgram { dst: src, bytes: msg });
                 }
             }
+            MSG_SEQ_DATA => {
+                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("seq"));
+                let region_id = u32::from_le_bytes(bytes[9..13].try_into().expect("seq region"));
+                let offset =
+                    u64::from_le_bytes(bytes[13..21].try_into().expect("seq offset")) as usize;
+                let key = u64::from_le_bytes(bytes[21..29].try_into().expect("seq key"));
+                let addend = i64::from_le_bytes(bytes[29..37].try_into().expect("seq addend"));
+                let payload = &bytes[37..];
+                let retry = self
+                    .retry
+                    .as_ref()
+                    .expect("sequenced data on a rank without reliability (SPMD config skew)");
+                if retry.accept(src, seq) {
+                    let region = self.regions.lock().get(&region_id).cloned();
+                    if let Some(r) = region {
+                        r.write_bytes(offset, payload).expect("seq write in bounds");
+                        self.table.apply(sched, t, key, addend);
+                        if key != 0 {
+                            self.met.sig_adds.inc();
+                        }
+                    }
+                } else if let Some(rm) = &self.rmet {
+                    rm.dup_suppressed.inc();
+                }
+                // Always ack — the sender may be replaying because our
+                // previous ack was lost.
+                replies.push(Reply::Dgram {
+                    dst: src,
+                    bytes: Self::ack_msg(seq),
+                });
+            }
+            MSG_SEQ_NOTIF => {
+                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("notif seq"));
+                let key = u64::from_le_bytes(bytes[9..17].try_into().expect("notif key"));
+                let addend = i64::from_le_bytes(bytes[17..25].try_into().expect("notif addend"));
+                let retry = self
+                    .retry
+                    .as_ref()
+                    .expect("sequenced notif on a rank without reliability (SPMD config skew)");
+                if retry.accept(src, seq) {
+                    self.table.apply(sched, t, key, addend);
+                    if key != 0 {
+                        self.met.sig_adds.inc();
+                    }
+                } else if let Some(rm) = &self.rmet {
+                    rm.dup_suppressed.inc();
+                }
+                replies.push(Reply::Dgram {
+                    dst: src,
+                    bytes: Self::ack_msg(seq),
+                });
+            }
+            MSG_ACK => {
+                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("ack seq"));
+                if let Some(retry) = &self.retry {
+                    if let Some(first_post) = retry.ack(src, seq) {
+                        if let Some(rm) = &self.rmet {
+                            rm.acks.inc();
+                            // first_post == 0 means the ack beat `arm`;
+                            // there is no meaningful post time to sample.
+                            if first_post > 0 {
+                                rm.ack_latency.record(t.saturating_sub(first_post));
+                            }
+                        }
+                    }
+                }
+            }
             other => panic!("unknown UNR control message kind {other}"),
         }
     }
@@ -416,6 +816,25 @@ impl Unr {
         let cq = ep.create_cq();
         let port = ep.open_port(UNR_PORT);
         let met = UnrMetrics::new(&ep.fabric().obs, &channel);
+        let reliable = match cfg.reliability {
+            Reliability::On => true,
+            Reliability::Off => false,
+            Reliability::Auto => ep.fabric().cfg.faults.enabled(),
+        };
+        let retry = reliable.then(|| {
+            let nic = &ep.fabric().cfg.nic;
+            // Approximate wire cost per byte for deadline scaling.
+            let ns_per_byte = nic.bandwidth.transfer_time(4096) as f64 / 4096.0;
+            Arc::new(RetryState::new(RetryPolicy {
+                timeout: cfg.retry_timeout,
+                max_backoff: cfg.retry_max_backoff,
+                max_retries: cfg.max_retries,
+                fallback_after: cfg.fallback_after,
+                nics: ep.fabric().cfg.nics_per_node,
+                ns_per_byte,
+            }))
+        });
+        let rmet = reliable.then(|| RetryMetrics::new(&ep.fabric().obs));
         let core = Arc::new(UnrCore {
             channel,
             table,
@@ -426,13 +845,23 @@ impl Unr {
             cfg,
             copy_bw: Bandwidth::gibps(cfg.copy_bw_gibps),
             met,
+            retry,
+            rmet,
         });
-        let progress_mode = cfg.progress.unwrap_or(if channel.hardware {
+        let progress_mode = cfg.progress.unwrap_or(if channel.hardware && !reliable {
             ProgressMode::Hardware
         } else {
-            // Default: dedicated busy-polling thread (interval 0).
+            // Default: dedicated busy-polling thread (interval 0). The
+            // reliable transport always needs software progress — its
+            // acks, retransmissions and sequenced companions flow
+            // through the control port, which hardware never drains.
             ProgressMode::PollingAgent { interval: 0 }
         });
+        assert!(
+            !(reliable && progress_mode == ProgressMode::Hardware),
+            "reliable transport needs software progress (ack/replay): \
+             use PollingAgent or UserDriven"
+        );
         let unr = Arc::new(Unr {
             ep,
             core,
@@ -504,6 +933,17 @@ impl Unr {
         self.progress_mode
     }
 
+    /// Whether the self-healing (ack/replay) transport is active.
+    pub fn reliable(&self) -> bool {
+        self.core.retry.is_some()
+    }
+
+    /// Unacked reliable sub-messages currently buffered for replay
+    /// (always 0 on an unreliable context).
+    pub fn retries_in_flight(&self) -> usize {
+        self.core.retry.as_ref().map_or(0, |r| r.in_flight())
+    }
+
     // ---- resources -------------------------------------------------------
 
     /// `UNR_Mem_Reg`: register `len` bytes for RMA.
@@ -525,7 +965,7 @@ impl Unr {
     /// `UNR_Blk_Init`: describe a block of a registered region, bound to
     /// an optional signal.
     pub fn blk_init(&self, mem: &UnrMem, offset: usize, len: usize, sig: Option<&Signal>) -> Blk {
-        mem.blk(offset, len, sig.map(Signal::key).unwrap_or(0))
+        mem.blk(offset, len, sig.map(Signal::key).unwrap_or(SigKey::NULL))
     }
 
     // ---- data movement ----------------------------------------------------
@@ -535,18 +975,40 @@ impl Unr {
     /// buffer is reusable and the remote block's signal when the data
     /// has fully arrived (aggregated across sub-messages).
     pub fn put(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
-        self.put_with(local, remote, local.sig_key, remote.sig_key)
+        self.put_keyed(local, remote, local.sig_key, remote.sig_key)
     }
 
-    /// `UNR_Put` with explicit signal keys (paper §IV-D: the signal can
-    /// be specified at call time instead of bound to the BLK).
+    /// `UNR_Put` with the signals chosen at call time instead of bound
+    /// to the BLKs (paper §IV-D). The local side hands in its own
+    /// [`Signal`]; the remote side's signal — which lives on the peer —
+    /// is named by the [`SigKey`] carried in its serialized `Blk`.
     pub fn put_with(
         &self,
         local: &Blk,
         remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
+        local_sig: Option<&Signal>,
+        remote_sig: SigKey,
     ) -> Result<(), UnrError> {
+        self.put_keyed(
+            local,
+            remote,
+            local_sig.map(Signal::key).unwrap_or(SigKey::NULL),
+            remote_sig,
+        )
+    }
+
+    /// `UNR_Put` with both signals given as raw [`SigKey`]s (the
+    /// key-level surface used by [`RmaPlan`](crate::RmaPlan) replay).
+    pub fn put_keyed(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        let local_sig = local_sig.raw();
+        let remote_sig = remote_sig.raw();
+        self.check_channel_up()?;
         let my_rank = self.ep.rank();
         if local.rank != my_rank {
             return Err(UnrError::NotMyBlock {
@@ -568,6 +1030,14 @@ impl Unr {
             .cloned()
             .ok_or(UnrError::RegionUnknown(local.region_id))?;
         let len = local.len;
+        if local.offset + local.len > region.len() {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "local block [{}, {}) exceeds its region of {} bytes",
+                local.offset,
+                local.offset + local.len,
+                region.len()
+            ))));
+        }
         if remote.offset + remote.len > remote.region_len {
             return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
                 "remote block [{}, {}) exceeds its region of {} bytes",
@@ -585,6 +1055,11 @@ impl Unr {
         self.core.met.bytes_put.add(len as u64);
         self.core.met.channel_msgs.inc();
         self.core.met.level_msgs.inc();
+
+        if let Some(retry) = &self.core.retry {
+            let retry = Arc::clone(retry);
+            return self.put_reliable(&region, local, remote, local_sig, remote_sig, len, &retry);
+        }
 
         match self.core.channel.mech {
             Mechanism::Dgram => {
@@ -712,23 +1187,216 @@ impl Unr {
         Ok(())
     }
 
-    /// `UNR_Get(local_blk, remote_blk)`: read the remote block into the
-    /// local block. The local signal triggers when the data has landed;
-    /// the remote signal (if any) triggers at the exposer when its
-    /// memory has been read — unsupported on channels without remote
-    /// GET custom bits (Verbs).
-    pub fn get(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
-        self.get_with(local, remote, local.sig_key, remote.sig_key)
+    /// `UNR_Put` through the self-healing transport: every sub-message
+    /// carries a per-destination sequence number, is buffered until the
+    /// receiver's ack and retransmitted on timeout (NIC rotation, then
+    /// datagram fallback). Notifications ride sequenced control
+    /// messages so the receiver's dedup window keeps the MMAS addend
+    /// accounting exact under duplicates and replays; the local signal
+    /// is applied once at post time (buffered-send semantics — the
+    /// source buffer is snapshotted and immediately reusable).
+    #[allow(clippy::too_many_arguments)]
+    fn put_reliable(
+        &self,
+        region: &MemRegion,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+        len: usize,
+        retry: &Arc<RetryState>,
+    ) -> Result<(), UnrError> {
+        let dst = remote.rank;
+        let mut entries: Vec<(usize, u64)> = Vec::new();
+        match self.core.channel.mech {
+            Mechanism::Dgram => {
+                self.core.stats.fallback_msgs.fetch_add(1, Ordering::Relaxed);
+                self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+                self.core.met.fallback_msgs.inc();
+                self.core.met.sub_messages.inc();
+                self.core.met.stripe_fanout.record(1);
+                let data = region
+                    .snapshot(local.offset, len)
+                    .expect("local block in bounds");
+                self.ep.advance(
+                    self.core.copy_bw.transfer_time(len) + self.core.cfg.fallback_overhead,
+                );
+                let seq = retry.alloc_seq(dst);
+                let sub = PendingSub {
+                    dst_rank: dst,
+                    seq,
+                    payload: data,
+                    dst_rkey: remote.rkey(),
+                    dst_offset: remote.offset,
+                    remote_key: remote_sig,
+                    addend: -1,
+                    route: Route::Dgram,
+                    attempts: 0,
+                    nic: retry.first_nic(self.core.cfg.pin_nic),
+                    first_post: 0,
+                    deadline: 0,
+                };
+                let msg = UnrCore::build_seq_data(&sub);
+                retry.register(sub);
+                entries.push((dst, seq));
+                self.ep.send_dgram(dst, UNR_PORT, msg, self.default_nic());
+            }
+            Mechanism::RmaCompanion | Mechanism::Rma(_) => {
+                let k = self.stripes_for_reliable(len);
+                self.core.met.stripe_fanout.record(k as u64);
+                let remote_adds = striped_addends(k, self.core.table.n_bits());
+                let chunk = len / k;
+                let rem = len % k;
+                let mut off = 0usize;
+                for (i, &stripe_add) in remote_adds.iter().enumerate() {
+                    let this = chunk + usize::from(i < rem);
+                    let seq = retry.alloc_seq(dst);
+                    let payload = region
+                        .snapshot(local.offset + off, this)
+                        .expect("local block in bounds");
+                    let nic = if k == 1 {
+                        retry.first_nic(self.core.cfg.pin_nic)
+                    } else {
+                        i % self.nics()
+                    };
+                    let sub = PendingSub {
+                        dst_rank: dst,
+                        seq,
+                        payload,
+                        dst_rkey: remote.rkey(),
+                        dst_offset: remote.offset + off,
+                        remote_key: remote_sig,
+                        addend: if remote_sig == 0 { 0 } else { stripe_add },
+                        route: Route::Rma,
+                        attempts: 0,
+                        nic,
+                        first_post: 0,
+                        deadline: 0,
+                    };
+                    let companion = UnrCore::build_seq_notif(&sub);
+                    let payload = sub.payload.clone();
+                    // Register before posting: the polling agent sweeps
+                    // this state concurrently, and the ack must never be
+                    // able to outrun the registration it settles.
+                    retry.register(sub);
+                    if let Err(e) = self.ep.put_bytes(
+                        payload,
+                        remote.rkey(),
+                        remote.offset + off,
+                        NicSel::Index(nic),
+                        Some((UNR_PORT, companion)),
+                    ) {
+                        retry.unregister(dst, seq);
+                        return Err(e.into());
+                    }
+                    entries.push((dst, seq));
+                    off += this;
+                    self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+                    self.core.met.sub_messages.inc();
+                }
+            }
+        }
+        // Stamp post times and arm one deadline wake-up per sub-message
+        // — without these events a lost message would leave the virtual
+        // clock with nothing to run and the world would deadlock.
+        let retry2 = Arc::clone(retry);
+        self.ep.actor().with_sched(move |st, t| {
+            for d in retry2.arm(t, &entries) {
+                let r = Arc::clone(&retry2);
+                st.schedule_at(d, move |st2| {
+                    r.set_due();
+                    for w in r.take_waiters() {
+                        st2.wake(w, d);
+                    }
+                });
+            }
+        });
+        self.apply_local_now(local_sig, -1);
+        Ok(())
     }
 
-    /// `UNR_Get` with explicit signal keys.
-    pub fn get_with(
+    /// Raw-`u64`-keyed `UNR_Put` kept for source compatibility.
+    #[deprecated(note = "use `put_with` (typed signals) or `put_keyed` (`SigKey`)")]
+    pub fn put_with_keys(
         &self,
         local: &Blk,
         remote: &Blk,
         local_sig: u64,
         remote_sig: u64,
     ) -> Result<(), UnrError> {
+        self.put_keyed(
+            local,
+            remote,
+            SigKey::from_raw(local_sig),
+            SigKey::from_raw(remote_sig),
+        )
+    }
+
+    /// Refuse new work once the reliable transport has declared the
+    /// channel down.
+    fn check_channel_up(&self) -> Result<(), UnrError> {
+        match &self.core.retry {
+            Some(r) if r.failed() => Err(UnrError::ChannelDown),
+            _ => Ok(()),
+        }
+    }
+
+    /// `UNR_Get(local_blk, remote_blk)`: read the remote block into the
+    /// local block. The local signal triggers when the data has landed;
+    /// the remote signal (if any) triggers at the exposer when its
+    /// memory has been read — unsupported on channels without remote
+    /// GET custom bits (Verbs).
+    pub fn get(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
+        self.get_keyed(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// `UNR_Get` with the signals chosen at call time (see
+    /// [`Unr::put_with`] for the local-`Signal` / remote-`SigKey`
+    /// split). GETs bypass the self-healing transport: their data path
+    /// is pull-driven and is not subject to injected faults.
+    pub fn get_with(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: Option<&Signal>,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        self.get_keyed(
+            local,
+            remote,
+            local_sig.map(Signal::key).unwrap_or(SigKey::NULL),
+            remote_sig,
+        )
+    }
+
+    /// Raw-`u64`-keyed `UNR_Get` kept for source compatibility.
+    #[deprecated(note = "use `get_with` (typed signals) or `get_keyed` (`SigKey`)")]
+    pub fn get_with_keys(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+    ) -> Result<(), UnrError> {
+        self.get_keyed(
+            local,
+            remote,
+            SigKey::from_raw(local_sig),
+            SigKey::from_raw(remote_sig),
+        )
+    }
+
+    /// `UNR_Get` with both signals given as raw [`SigKey`]s.
+    pub fn get_keyed(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        let local_sig = local_sig.raw();
+        let remote_sig = remote_sig.raw();
+        self.check_channel_up()?;
         let my_rank = self.ep.rank();
         if local.rank != my_rank {
             return Err(UnrError::NotMyBlock {
@@ -750,6 +1418,14 @@ impl Unr {
             .cloned()
             .ok_or(UnrError::RegionUnknown(local.region_id))?;
         let len = local.len;
+        if local.offset + local.len > region.len() {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "local block [{}, {}) exceeds its region of {} bytes",
+                local.offset,
+                local.offset + local.len,
+                region.len()
+            ))));
+        }
         if remote.offset + remote.len > remote.region_len {
             return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
                 "remote block [{}, {}) exceeds its region of {} bytes",
@@ -892,6 +1568,22 @@ impl Unr {
         k
     }
 
+    /// Striping fan-out of the reliable path: same gating as
+    /// [`Unr::stripes_for`] minus the custom-bits encode probe — the
+    /// reliable transport carries notifications in sequenced control
+    /// messages, so the channel's addend width never constrains it.
+    fn stripes_for_reliable(&self, len: usize) -> usize {
+        let cfg = &self.core.cfg;
+        if !self.core.channel.multi_channel
+            || cfg.max_stripes <= 1
+            || len < cfg.stripe_threshold
+            || self.nics() <= 1
+        {
+            return 1;
+        }
+        self.nics().min(cfg.max_stripes).min(len).max(1)
+    }
+
     fn nics(&self) -> usize {
         self.ep.fabric().cfg.nics_per_node
     }
@@ -944,6 +1636,22 @@ impl Unr {
         for r in replies {
             match r {
                 Reply::Dgram { dst, bytes } => ep.send_dgram(dst, UNR_PORT, bytes, NicSel::Auto),
+                Reply::RmaPut {
+                    payload,
+                    dst_rkey,
+                    dst_offset,
+                    nic,
+                    companion,
+                } => {
+                    ep.put_bytes(
+                        payload,
+                        dst_rkey,
+                        dst_offset,
+                        NicSel::Index(nic),
+                        Some((UNR_PORT, companion)),
+                    )
+                    .expect("retransmit targets a validated region");
+                }
             }
         }
         n
@@ -951,43 +1659,154 @@ impl Unr {
 
     /// `UNR_Sig_Wait`: block until the signal triggers, driving progress
     /// if no polling agent exists. Reports overflow synchronization
-    /// errors (paper §IV-D).
+    /// errors (paper §IV-D). On a reliable context the wait also ends —
+    /// with [`UnrError::RetryExhausted`] — when the transport declares
+    /// the channel down, so a permanently lost message cannot hang the
+    /// rank.
     pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
+        let n_bits = sig.n_bits();
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
-                sig.wait(&self.ep).map_err(|e| {
-                    self.core.met.overflow_trips.inc();
-                    UnrError::Signal(e)
-                })
+                match &self.core.retry {
+                    None => {
+                        return sig.wait(&self.ep).map_err(|e| {
+                            self.core.met.overflow_trips.inc();
+                            UnrError::Signal(e)
+                        });
+                    }
+                    Some(retry) => {
+                        let probe = sig.probe();
+                        let probe2 = probe.clone();
+                        let r1 = Arc::clone(retry);
+                        let r2 = Arc::clone(retry);
+                        self.ep.actor().wait_until(
+                            move |_st| probe.ready() || r1.failed(),
+                            move |_st, me| {
+                                probe2.register(me);
+                                r2.add_waiter(me);
+                            },
+                        );
+                    }
+                }
             }
             ProgressMode::UserDriven => {
                 loop {
                     Self::progress_on(&self.core, &self.ep);
-                    if sig.test() || sig.overflowed() {
+                    if sig.ready(n_bits)
+                        || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                    {
                         break;
                     }
-                    // Block until anything arrives that could progress us.
-                    let cq = Arc::clone(&self.core.cq);
-                    let port = Arc::clone(&self.core.port);
-                    let cq2 = Arc::clone(&self.core.cq);
-                    let port2 = Arc::clone(&self.core.port);
-                    self.ep.actor().wait_until(
-                        move |_st| !cq.is_empty() || !port.is_empty(),
-                        move |_st, me| {
-                            cq2.add_waiter(me);
-                            port2.add_waiter(me);
-                        },
-                    );
+                    // Block until anything arrives that could progress
+                    // us — including a retransmit deadline.
+                    self.park_progress_driver();
                 }
-                if sig.overflowed() {
-                    self.core.met.overflow_trips.inc();
-                    return Err(UnrError::Signal(SignalError::EventOverflow {
-                        counter: sig.counter(),
-                    }));
-                }
-                Ok(())
             }
         }
+        self.wait_verdict(sig, n_bits)
+    }
+
+    /// `UNR_Sig_Wait` with a deadline: like [`Unr::sig_wait`] but gives
+    /// up after `dt` virtual nanoseconds with [`UnrError::Timeout`].
+    pub fn sig_wait_timeout(&self, sig: &Signal, dt: Ns) -> Result<(), UnrError> {
+        let n_bits = sig.n_bits();
+        let me = self.ep.actor().id();
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let f = Arc::clone(&fired);
+            self.ep.actor().with_sched(move |st, t| {
+                let deadline = t + dt;
+                st.schedule_at(deadline, move |st2| {
+                    f.store(true, Ordering::SeqCst);
+                    st2.wake(me, deadline);
+                });
+            });
+        }
+        match self.progress_mode {
+            ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
+                let probe = sig.probe();
+                let probe2 = probe.clone();
+                let f = Arc::clone(&fired);
+                let r1 = self.core.retry.clone();
+                let r2 = self.core.retry.clone();
+                self.ep.actor().wait_until(
+                    move |_st| {
+                        probe.ready()
+                            || f.load(Ordering::SeqCst)
+                            || r1.as_ref().is_some_and(|r| r.failed())
+                    },
+                    move |_st, me2| {
+                        probe2.register(me2);
+                        if let Some(r) = &r2 {
+                            r.add_waiter(me2);
+                        }
+                    },
+                );
+            }
+            ProgressMode::UserDriven => loop {
+                Self::progress_on(&self.core, &self.ep);
+                if sig.ready(n_bits)
+                    || fired.load(Ordering::SeqCst)
+                    || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                {
+                    break;
+                }
+                self.park_progress_driver();
+            },
+        }
+        if !sig.ready(n_bits)
+            && fired.load(Ordering::SeqCst)
+            && !self.core.retry.as_ref().is_some_and(|r| r.failed())
+        {
+            return Err(UnrError::Timeout { waited: dt });
+        }
+        self.wait_verdict(sig, n_bits)
+    }
+
+    /// Block the calling progress driver until a CQ event, a control
+    /// message, a retransmit deadline, or a transport failure shows up.
+    fn park_progress_driver(&self) {
+        let cq = Arc::clone(&self.core.cq);
+        let port = Arc::clone(&self.core.port);
+        let cq2 = Arc::clone(&self.core.cq);
+        let port2 = Arc::clone(&self.core.port);
+        let r1 = self.core.retry.clone();
+        let r2 = self.core.retry.clone();
+        self.ep.actor().wait_until(
+            move |_st| {
+                !cq.is_empty()
+                    || !port.is_empty()
+                    || r1.as_ref().is_some_and(|r| r.is_due() || r.failed())
+            },
+            move |_st, me| {
+                cq2.add_waiter(me);
+                port2.add_waiter(me);
+                if let Some(r) = &r2 {
+                    r.add_waiter(me);
+                }
+            },
+        );
+    }
+
+    /// Resolve a finished wait: triggered (maybe overflowed) beats a
+    /// transport failure; neither means the caller saw a timeout.
+    fn wait_verdict(&self, sig: &Signal, n_bits: u32) -> Result<(), UnrError> {
+        if sig.ready(n_bits) {
+            if sig.overflowed() {
+                self.core.met.overflow_trips.inc();
+                return Err(UnrError::Signal(SignalError::EventOverflow {
+                    counter: sig.counter(),
+                }));
+            }
+            return Ok(());
+        }
+        let (dst, attempts) = self
+            .core
+            .retry
+            .as_ref()
+            .and_then(|r| r.failure())
+            .unwrap_or((0, self.core.cfg.max_retries));
+        Err(UnrError::RetryExhausted { dst, attempts })
     }
 
     /// `UNR_Sig_Reset` (convenience passthrough; see [`Signal::reset`]).
@@ -1008,37 +1827,43 @@ impl Unr {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
                 let probes: Vec<_> = sigs.iter().map(|s| s.probe()).collect();
                 let regs = probes.clone();
+                let r1 = self.core.retry.clone();
+                let r2 = self.core.retry.clone();
                 self.ep.actor().wait_until(
-                    move |_st| probes.iter().any(|p| p.ready()),
+                    move |_st| {
+                        probes.iter().any(|p| p.ready())
+                            || r1.as_ref().is_some_and(|r| r.failed())
+                    },
                     move |_st, me| {
                         for p in &regs {
                             p.register(me);
+                        }
+                        if let Some(r) = &r2 {
+                            r.add_waiter(me);
                         }
                     },
                 );
             }
             ProgressMode::UserDriven => loop {
                 Self::progress_on(&self.core, &self.ep);
-                if sigs.iter().any(|s| s.ready(n_bits)) {
+                if sigs.iter().any(|s| s.ready(n_bits))
+                    || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                {
                     break;
                 }
-                let cq = Arc::clone(&self.core.cq);
-                let port = Arc::clone(&self.core.port);
-                let cq2 = Arc::clone(&self.core.cq);
-                let port2 = Arc::clone(&self.core.port);
-                self.ep.actor().wait_until(
-                    move |_st| !cq.is_empty() || !port.is_empty(),
-                    move |_st, me| {
-                        cq2.add_waiter(me);
-                        port2.add_waiter(me);
-                    },
-                );
+                self.park_progress_driver();
             },
         }
-        let idx = sigs
-            .iter()
-            .position(|s| s.ready(n_bits))
-            .expect("woken with a ready signal");
+        let Some(idx) = sigs.iter().position(|s| s.ready(n_bits)) else {
+            // Woken by the transport declaring the channel down.
+            let (dst, attempts) = self
+                .core
+                .retry
+                .as_ref()
+                .and_then(|r| r.failure())
+                .unwrap_or((0, self.core.cfg.max_retries));
+            return Err(UnrError::RetryExhausted { dst, attempts });
+        };
         if sigs[idx].overflowed() {
             self.core.met.overflow_trips.inc();
             return Err(UnrError::Signal(SignalError::EventOverflow {
@@ -1078,21 +1903,28 @@ impl Unr {
                         .advance(cfg.poll_cost_base + n as Ns * cfg.poll_cost_per_event);
                     if interval == 0 {
                         // Busy-spin model: block until there is anything
-                        // to process (the CQ/port wake us), or stop.
+                        // to process (the CQ/port wake us), a retransmit
+                        // deadline expires, or stop.
                         let stop3 = Arc::clone(&stop2);
                         let cq = Arc::clone(&core.cq);
                         let port = Arc::clone(&core.port);
                         let cq2 = Arc::clone(&core.cq);
                         let port2 = Arc::clone(&core.port);
+                        let r1 = core.retry.clone();
+                        let r2 = core.retry.clone();
                         agent_ep.actor().wait_until(
                             move |_st| {
                                 stop3.load(Ordering::Relaxed)
                                     || !cq.is_empty()
                                     || !port.is_empty()
+                                    || r1.as_ref().is_some_and(|r| r.is_due())
                             },
                             move |_st, me| {
                                 cq2.add_waiter(me);
                                 port2.add_waiter(me);
+                                if let Some(r) = &r2 {
+                                    r.add_waiter(me);
+                                }
                             },
                         );
                     } else {

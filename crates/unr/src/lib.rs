@@ -71,12 +71,16 @@ pub mod engine;
 pub mod level;
 pub mod pack;
 pub mod plan;
+pub mod retry;
 pub mod signal;
 
 pub use blk::{Blk, UnrMem, BLK_WIRE_LEN};
 pub use channel::{Channel, ChannelSelect, Mechanism};
-pub use engine::{ProgressMode, Unr, UnrConfig, UnrError, UnrStats, UNR_PORT};
+pub use engine::{
+    ProgressMode, Unr, UnrConfig, UnrConfigBuilder, UnrError, UnrStats, UNR_PORT,
+};
 pub use level::{EncodeError, Encoding, Notif, SupportLevel};
 pub use pack::{PackChannel, PackReceiver, PackSender};
 pub use plan::{PlanOp, RmaPlan};
-pub use signal::{striped_addends, Signal, SignalError, SignalStats, SignalTable};
+pub use retry::{DedupWindow, Reliability};
+pub use signal::{striped_addends, SigKey, Signal, SignalError, SignalStats, SignalTable};

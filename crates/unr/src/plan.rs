@@ -8,6 +8,7 @@
 
 use crate::blk::Blk;
 use crate::engine::{Unr, UnrError};
+use crate::signal::SigKey;
 
 /// One recorded operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,9 +20,9 @@ pub enum PlanOp {
         /// Destination block on the peer rank.
         remote: Blk,
         /// Signal key triggered on the issuing rank at local completion.
-        local_sig: u64,
+        local_sig: SigKey,
         /// Signal key triggered on the peer at delivery.
-        remote_sig: u64,
+        remote_sig: SigKey,
     },
     /// `UNR_Get(local, remote)` with explicit signal keys.
     Get {
@@ -30,9 +31,9 @@ pub enum PlanOp {
         /// Source block on the peer rank.
         remote: Blk,
         /// Signal key triggered on the issuing rank when data lands.
-        local_sig: u64,
+        local_sig: SigKey,
         /// Signal key triggered on the peer (if the channel supports it).
-        remote_sig: u64,
+        remote_sig: SigKey,
     },
 }
 
@@ -50,16 +51,16 @@ impl RmaPlan {
 
     /// Record a put using the blocks' bound signals.
     pub fn put(&mut self, local: &Blk, remote: &Blk) -> &mut Self {
-        self.put_with(local, remote, local.sig_key, remote.sig_key)
+        self.put_keyed(local, remote, local.sig_key, remote.sig_key)
     }
 
     /// Record a put with explicit signal keys.
-    pub fn put_with(
+    pub fn put_keyed(
         &mut self,
         local: &Blk,
         remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
+        local_sig: SigKey,
+        remote_sig: SigKey,
     ) -> &mut Self {
         self.ops.push(PlanOp::Put {
             local: *local,
@@ -70,18 +71,35 @@ impl RmaPlan {
         self
     }
 
-    /// Record a get using the blocks' bound signals.
-    pub fn get(&mut self, local: &Blk, remote: &Blk) -> &mut Self {
-        self.get_with(local, remote, local.sig_key, remote.sig_key)
-    }
-
-    /// Record a get with explicit signal keys.
-    pub fn get_with(
+    /// Record a put with raw `u64` signal keys (source compatibility).
+    #[deprecated(note = "use `put_keyed` with typed `SigKey`s")]
+    pub fn put_with(
         &mut self,
         local: &Blk,
         remote: &Blk,
         local_sig: u64,
         remote_sig: u64,
+    ) -> &mut Self {
+        self.put_keyed(
+            local,
+            remote,
+            SigKey::from_raw(local_sig),
+            SigKey::from_raw(remote_sig),
+        )
+    }
+
+    /// Record a get using the blocks' bound signals.
+    pub fn get(&mut self, local: &Blk, remote: &Blk) -> &mut Self {
+        self.get_keyed(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// Record a get with explicit signal keys.
+    pub fn get_keyed(
+        &mut self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
     ) -> &mut Self {
         self.ops.push(PlanOp::Get {
             local: *local,
@@ -90,6 +108,23 @@ impl RmaPlan {
             remote_sig,
         });
         self
+    }
+
+    /// Record a get with raw `u64` signal keys (source compatibility).
+    #[deprecated(note = "use `get_keyed` with typed `SigKey`s")]
+    pub fn get_with(
+        &mut self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+    ) -> &mut Self {
+        self.get_keyed(
+            local,
+            remote,
+            SigKey::from_raw(local_sig),
+            SigKey::from_raw(remote_sig),
+        )
     }
 
     /// Number of recorded operations.
@@ -118,13 +153,13 @@ impl RmaPlan {
                     remote,
                     local_sig,
                     remote_sig,
-                } => unr.put_with(&local, &remote, local_sig, remote_sig)?,
+                } => unr.put_keyed(&local, &remote, local_sig, remote_sig)?,
                 PlanOp::Get {
                     local,
                     remote,
                     local_sig,
                     remote_sig,
-                } => unr.get_with(&local, &remote, local_sig, remote_sig)?,
+                } => unr.get_keyed(&local, &remote, local_sig, remote_sig)?,
             }
         }
         Ok(())
@@ -142,7 +177,7 @@ mod tests {
             region_len: 1024,
             offset: 0,
             len: 64,
-            sig_key: 5,
+            sig_key: SigKey::from_raw(5),
         }
     }
 
@@ -158,17 +193,30 @@ mod tests {
     #[test]
     fn plan_with_overrides() {
         let mut p = RmaPlan::new();
-        p.put_with(&blk(0), &blk(1), 77, 88);
+        p.put_keyed(&blk(0), &blk(1), SigKey::from_raw(77), SigKey::from_raw(88));
         match p.ops()[0] {
             PlanOp::Put {
                 local_sig,
                 remote_sig,
                 ..
             } => {
-                assert_eq!(local_sig, 77);
-                assert_eq!(remote_sig, 88);
+                assert_eq!(local_sig.raw(), 77);
+                assert_eq!(remote_sig.raw(), 88);
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn raw_key_shims_still_record() {
+        let mut p = RmaPlan::new();
+        p.put_with(&blk(0), &blk(1), 7, 8).get_with(&blk(0), &blk(2), 9, 0);
+        assert!(
+            matches!(p.ops()[0], PlanOp::Put { local_sig, .. } if local_sig.raw() == 7)
+        );
+        assert!(
+            matches!(p.ops()[1], PlanOp::Get { remote_sig, .. } if remote_sig.is_null())
+        );
     }
 }

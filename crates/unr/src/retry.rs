@@ -1,0 +1,586 @@
+//! Self-healing transport state: sequence numbers, ack/replay,
+//! timeouts with bounded exponential backoff, and failover.
+//!
+//! When reliability is active (see [`Reliability`]) every PUT
+//! sub-message and fallback datagram carries a per-destination
+//! **sequence number** and is buffered here until the receiver's ack
+//! comes back. The receiver keeps a [`DedupWindow`] per source so
+//! duplicated or replayed sub-messages are applied **exactly once** —
+//! the MMAS addend accounting of [`crate::signal`] stays exact under
+//! retries. A progress pass sweeps the due entries
+//! (`RetryState::sweep`) and retransmits expired ones with exponential backoff,
+//! rotating NICs (so a flapping NIC is escaped) and, after `fallback_after` attempts,
+//! rerouting through the datagram fallback channel. When a sub-message
+//! exhausts `max_retries` the channel is declared down: waiters are
+//! woken and surface [`UnrError::RetryExhausted`](crate::UnrError) /
+//! [`UnrError::ChannelDown`](crate::UnrError).
+//!
+//! All bookkeeping is plain state guarded by the simulator-aware
+//! mutex; scheduling (deadline wake-ups) is done by the engine inside
+//! scheduler context, so the retry layer itself stays deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use unr_simnet::sync::Mutex;
+use unr_simnet::{ActorId, Ns, RKey};
+
+/// Whether the engine runs the ack/replay protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reliability {
+    /// Reliable iff the fabric has fault injection enabled — the
+    /// right default: zero overhead on a perfect network, self-healing
+    /// on a lossy one.
+    #[default]
+    Auto,
+    /// Always run the ack/replay protocol.
+    On,
+    /// Never retry, even under injected faults (for loss experiments).
+    Off,
+}
+
+/// Exactly-once receive filter: one per (receiver, source) pair.
+///
+/// `floor` is the lowest sequence number not yet known to be received;
+/// everything below it has been seen. Out-of-order arrivals above the
+/// floor sit in `seen` until the gap fills, so memory is bounded by
+/// the network's reordering depth, not by the run length.
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    floor: u64,
+    seen: BTreeSet<u64>,
+}
+
+impl DedupWindow {
+    /// Record `seq`; returns `true` iff it is fresh (first delivery).
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.floor || !self.seen.insert(seq) {
+            return false;
+        }
+        while self.seen.remove(&self.floor) {
+            self.floor += 1;
+        }
+        true
+    }
+
+    /// Lowest sequence number not yet seen (diagnostics, tests).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Out-of-order entries currently buffered (diagnostics, tests).
+    pub fn pending(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// How a buffered sub-message should be (re)sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// RMA put of the buffered payload + companion notification.
+    Rma,
+    /// `MSG_SEQ_DATA` datagram through the fallback channel.
+    Dgram,
+}
+
+/// One unacked sub-message, buffered for replay.
+pub(crate) struct PendingSub {
+    pub dst_rank: usize,
+    pub seq: u64,
+    /// Payload snapshot taken at the original post (retransmits must
+    /// resend these bytes even if the app reused its buffer since).
+    pub payload: Vec<u8>,
+    pub dst_rkey: RKey,
+    pub dst_offset: usize,
+    /// Raw key of the remote signal (0 = none) and this sub-message's
+    /// striped addend — replayed verbatim so accounting stays exact.
+    pub remote_key: u64,
+    pub addend: i64,
+    pub route: Route,
+    pub attempts: u32,
+    pub nic: usize,
+    pub first_post: Ns,
+    pub deadline: Ns,
+}
+
+/// A retransmission the progress pass must post (executed outside
+/// scheduler context, like `Reply`).
+pub(crate) enum Resend {
+    Rma {
+        payload: Vec<u8>,
+        dst_rkey: RKey,
+        dst_offset: usize,
+        nic: usize,
+        companion: Vec<u8>,
+    },
+    Dgram {
+        dst: usize,
+        bytes: Vec<u8>,
+    },
+}
+
+/// Outcome of one [`RetryState::sweep`].
+pub(crate) struct SweepOutcome {
+    pub resends: Vec<Resend>,
+    /// New deadlines to arm (one wake-up event each).
+    pub new_deadlines: Vec<Ns>,
+    /// Deadline wake-ups that escalated to NIC rotation.
+    pub nic_rotations: u64,
+    /// Deadline wake-ups that escalated to the fallback channel.
+    pub fallback_reroutes: u64,
+    /// Sub-messages that ran out of retries this sweep.
+    pub exhausted: u64,
+}
+
+/// Retry/replay knobs resolved from
+/// [`UnrConfig`](crate::UnrConfig) at init.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    /// Base retransmit timeout (before backoff and size scaling).
+    pub timeout: Ns,
+    /// Backoff is capped at this value.
+    pub max_backoff: Ns,
+    /// A sub-message is abandoned after this many retransmissions.
+    pub max_retries: u32,
+    /// Retransmissions switch to the datagram fallback channel from
+    /// this attempt on (use `>= max_retries` to disable failover).
+    pub fallback_after: u32,
+    /// NICs per node (for rotation).
+    pub nics: usize,
+    /// Approximate ns per byte on the wire, used to scale deadlines
+    /// with message size and queued bytes.
+    pub ns_per_byte: f64,
+}
+
+impl RetryPolicy {
+    /// Deadline distance for attempt `attempts` of a `len`-byte
+    /// sub-message with `queued` bytes already pending to the same
+    /// destination: `(timeout + 2·wire_time) · 2^attempts`, capped.
+    pub fn rto(&self, len: usize, queued: u64, attempts: u32) -> Ns {
+        let wire = ((len as u64 + queued) as f64 * self.ns_per_byte) as Ns;
+        let base = self.timeout + 2 * wire;
+        base.saturating_shl(attempts.min(16)).min(self.max_backoff.max(base))
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, by: u32) -> Self;
+}
+impl SaturatingShl for Ns {
+    fn saturating_shl(self, by: u32) -> Ns {
+        self.checked_shl(by).unwrap_or(Ns::MAX)
+    }
+}
+
+struct RetryInner {
+    /// Unacked sub-messages keyed by (destination, sequence).
+    pending: BTreeMap<(usize, u64), PendingSub>,
+    /// Next sequence number per destination.
+    next_seq: HashMap<usize, u64>,
+    /// Bytes in flight per destination (deadline scaling).
+    queued_bytes: HashMap<usize, u64>,
+    /// Exactly-once filters per source (receive side).
+    dedup: HashMap<usize, DedupWindow>,
+    /// Actors to wake on deadline expiry or channel failure: parked
+    /// progress drivers and reliable signal waiters.
+    waiters: Vec<ActorId>,
+    /// Detail of the first exhausted sub-message.
+    failure: Option<(usize, u32)>,
+}
+
+/// Shared state of the self-healing transport (one per `Unr` instance
+/// when reliability is active).
+pub(crate) struct RetryState {
+    pub policy: RetryPolicy,
+    inner: Mutex<RetryInner>,
+    /// Latched when a sub-message exhausts its retries.
+    failed: AtomicBool,
+    /// Set by deadline wake-up events; progress passes clear it after
+    /// sweeping. Lets parked drivers distinguish "retry work may be
+    /// due" from spurious wakes.
+    due_flag: AtomicBool,
+    /// Round-robin cursor for first-attempt NIC choice.
+    nic_rr: std::sync::atomic::AtomicUsize,
+}
+
+impl RetryState {
+    pub fn new(policy: RetryPolicy) -> RetryState {
+        RetryState {
+            policy,
+            inner: Mutex::new(RetryInner {
+                pending: BTreeMap::new(),
+                next_seq: HashMap::new(),
+                queued_bytes: HashMap::new(),
+                dedup: HashMap::new(),
+                waiters: Vec::new(),
+                failure: None,
+            }),
+            failed: AtomicBool::new(false),
+            due_flag: AtomicBool::new(false),
+            nic_rr: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    // ---- sender side ----------------------------------------------------
+
+    /// Allocate the next sequence number for `dst`.
+    pub fn alloc_seq(&self, dst: usize) -> u64 {
+        let mut inner = self.inner.lock();
+        let n = inner.next_seq.entry(dst).or_insert(0);
+        let seq = *n;
+        *n += 1;
+        seq
+    }
+
+    /// Pick a NIC for a first attempt (round-robin unless pinned).
+    pub fn first_nic(&self, pin: Option<usize>) -> usize {
+        match pin {
+            Some(n) => n,
+            None => self.nic_rr.fetch_add(1, Ordering::Relaxed) % self.policy.nics.max(1),
+        }
+    }
+
+    /// Bytes currently unacked toward `dst` (deadline scaling).
+    #[cfg(test)]
+    pub fn queued_bytes(&self, dst: usize) -> u64 {
+        *self.inner.lock().queued_bytes.get(&dst).unwrap_or(&0)
+    }
+
+    /// Buffer a posted sub-message until its ack arrives.
+    ///
+    /// The entry is *unarmed*: its deadline is forced to `Ns::MAX` so a
+    /// concurrent sweep (the polling agent shares this state with the
+    /// application rank) can never mistake it for expired before
+    /// [`RetryState::arm`] stamps the real post time and deadline in
+    /// scheduler context. Registration must precede the actual post so
+    /// an ack can never outrun it.
+    pub fn register(&self, mut sub: PendingSub) {
+        sub.deadline = Ns::MAX;
+        let mut inner = self.inner.lock();
+        *inner.queued_bytes.entry(sub.dst_rank).or_insert(0) += sub.payload.len() as u64;
+        inner.pending.insert((sub.dst_rank, sub.seq), sub);
+    }
+
+    /// Roll back a registration whose post failed locally (bounds
+    /// error): drop the entry so it is never retransmitted.
+    pub fn unregister(&self, dst: usize, seq: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.pending.remove(&(dst, seq)) {
+            if let Some(q) = inner.queued_bytes.get_mut(&dst) {
+                *q = q.saturating_sub(p.payload.len() as u64);
+            }
+        }
+    }
+
+    /// Stamp post time and deadline on freshly registered entries
+    /// (called in scheduler context right after the posts). Returns
+    /// each entry's deadline so the caller can schedule wake-ups.
+    pub fn arm(&self, t: Ns, entries: &[(usize, u64)]) -> Vec<Ns> {
+        let mut inner = self.inner.lock();
+        let mut deadlines = Vec::with_capacity(entries.len());
+        for &(dst, seq) in entries {
+            let queued = *inner.queued_bytes.get(&dst).unwrap_or(&0);
+            if let Some(p) = inner.pending.get_mut(&(dst, seq)) {
+                let rto = self.policy.rto(p.payload.len(), queued, 0);
+                p.first_post = t;
+                p.deadline = t + rto;
+                deadlines.push(p.deadline);
+            }
+        }
+        deadlines
+    }
+
+    /// Process an ack from `src` for `seq`; returns the acked entry's
+    /// post time for latency accounting (`None` for duplicate acks; `0`
+    /// when the entry was acked before [`RetryState::arm`] stamped it —
+    /// callers should skip the latency sample then).
+    pub fn ack(&self, src: usize, seq: u64) -> Option<Ns> {
+        let mut inner = self.inner.lock();
+        let p = inner.pending.remove(&(src, seq))?;
+        if let Some(q) = inner.queued_bytes.get_mut(&src) {
+            *q = q.saturating_sub(p.payload.len() as u64);
+        }
+        Some(p.first_post)
+    }
+
+    /// Sweep expired entries at time `now`: bump attempts, rotate
+    /// NICs, reroute to the fallback channel, build retransmissions,
+    /// mark exhaustion. Pure bookkeeping — the caller posts the
+    /// resends and schedules wake-ups for `new_deadlines`.
+    pub fn sweep(&self, now: Ns, build_dgram: impl Fn(&PendingSub) -> Vec<u8>,
+                 build_companion: impl Fn(&PendingSub) -> Vec<u8>) -> SweepOutcome {
+        self.due_flag.store(false, Ordering::SeqCst);
+        let mut out = SweepOutcome {
+            resends: Vec::new(),
+            new_deadlines: Vec::new(),
+            nic_rotations: 0,
+            fallback_reroutes: 0,
+            exhausted: 0,
+        };
+        let mut inner = self.inner.lock();
+        let expired: Vec<(usize, u64)> = inner
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            let p = inner.pending.get_mut(&key).expect("key just listed");
+            p.attempts += 1;
+            if p.attempts > self.policy.max_retries {
+                out.exhausted += 1;
+                inner.failure.get_or_insert((key.0, self.policy.max_retries));
+                let p = inner.pending.remove(&key).expect("still present");
+                if let Some(q) = inner.queued_bytes.get_mut(&key.0) {
+                    *q = q.saturating_sub(p.payload.len() as u64);
+                }
+                continue;
+            }
+            if p.route == Route::Rma && p.attempts >= self.policy.fallback_after {
+                p.route = Route::Dgram;
+                out.fallback_reroutes += 1;
+            }
+            if p.route == Route::Rma && self.policy.nics > 1 {
+                p.nic = (p.nic + 1) % self.policy.nics;
+                out.nic_rotations += 1;
+            }
+            let queued = 0; // backoff already covers congestion growth
+            p.deadline = now + self.policy.rto(p.payload.len(), queued, p.attempts);
+            out.new_deadlines.push(p.deadline);
+            out.resends.push(match p.route {
+                Route::Rma => Resend::Rma {
+                    payload: p.payload.clone(),
+                    dst_rkey: p.dst_rkey,
+                    dst_offset: p.dst_offset,
+                    nic: p.nic,
+                    companion: build_companion(p),
+                },
+                Route::Dgram => Resend::Dgram {
+                    dst: p.dst_rank,
+                    bytes: build_dgram(p),
+                },
+            });
+        }
+        if out.exhausted > 0 {
+            drop(inner);
+            self.failed.store(true, Ordering::SeqCst);
+        }
+        out
+    }
+
+    /// Number of unacked sub-messages (diagnostics, tests).
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    // ---- receive side ---------------------------------------------------
+
+    /// Exactly-once check: `true` iff (`src`, `seq`) is fresh.
+    pub fn accept(&self, src: usize, seq: u64) -> bool {
+        self.inner.lock().dedup.entry(src).or_default().insert(seq)
+    }
+
+    // ---- failure / wake-up plumbing -------------------------------------
+
+    /// Has any sub-message exhausted its retries?
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    /// Detail of the first failure: `(dst_rank, attempts)`.
+    pub fn failure(&self) -> Option<(usize, u32)> {
+        self.inner.lock().failure
+    }
+
+    /// Register a parked actor to be woken by deadline expiry or
+    /// channel failure.
+    pub fn add_waiter(&self, me: ActorId) {
+        let mut inner = self.inner.lock();
+        if !inner.waiters.contains(&me) {
+            inner.waiters.push(me);
+        }
+    }
+
+    /// Drain the waiter list for waking (scheduler context).
+    pub fn take_waiters(&self) -> Vec<ActorId> {
+        std::mem::take(&mut self.inner.lock().waiters)
+    }
+
+    /// Mark that a deadline has expired (deadline wake-up events set
+    /// this; parked drivers use it as their wake predicate).
+    pub fn set_due(&self) {
+        self.due_flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Is retry work possibly due?
+    pub fn is_due(&self) -> bool {
+        self.due_flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_exactly_once_in_order() {
+        let mut w = DedupWindow::default();
+        for s in 0..100u64 {
+            assert!(w.insert(s), "seq {s} must be fresh");
+            assert!(!w.insert(s), "seq {s} replay must be rejected");
+        }
+        assert_eq!(w.floor(), 100);
+        assert_eq!(w.pending(), 0, "in-order window stays empty");
+    }
+
+    #[test]
+    fn dedup_handles_reordering_and_replay() {
+        let mut w = DedupWindow::default();
+        assert!(w.insert(2));
+        assert!(w.insert(0));
+        assert_eq!(w.floor(), 1, "gap at 1 holds the floor");
+        assert!(!w.insert(2), "late duplicate above floor rejected");
+        assert!(w.insert(1), "gap fill accepted");
+        assert_eq!(w.floor(), 3, "floor advances past the filled gap");
+        assert_eq!(w.pending(), 0);
+        assert!(!w.insert(0), "replay below floor rejected");
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            timeout: 10_000,
+            max_backoff: 1_000_000,
+            max_retries: 3,
+            fallback_after: 2,
+            nics: 2,
+            ns_per_byte: 0.04,
+        }
+    }
+
+    fn sub(dst: usize, seq: u64, len: usize) -> PendingSub {
+        PendingSub {
+            dst_rank: dst,
+            seq,
+            payload: vec![0xAB; len],
+            dst_rkey: RKey {
+                rank: dst,
+                id: 0,
+                len: 1 << 20,
+            },
+            dst_offset: 0,
+            remote_key: 1,
+            addend: -1,
+            route: Route::Rma,
+            attempts: 0,
+            nic: 0,
+            first_post: 0,
+            deadline: 0,
+        }
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_caps() {
+        let p = policy();
+        let r0 = p.rto(256, 0, 0);
+        let r1 = p.rto(256, 0, 1);
+        let r2 = p.rto(256, 0, 2);
+        assert_eq!(r1, 2 * r0);
+        assert_eq!(r2, 4 * r0);
+        assert_eq!(p.rto(256, 0, 30), p.max_backoff, "backoff must cap");
+    }
+
+    #[test]
+    fn ack_clears_pending_and_returns_post_time() {
+        let st = RetryState::new(policy());
+        let seq = st.alloc_seq(1);
+        st.register(sub(1, seq, 64));
+        st.arm(500, &[(1, seq)]);
+        assert_eq!(st.in_flight(), 1);
+        assert_eq!(st.queued_bytes(1), 64);
+        assert_eq!(st.ack(1, seq), Some(500));
+        assert_eq!(st.in_flight(), 0);
+        assert_eq!(st.queued_bytes(1), 0);
+        assert_eq!(st.ack(1, seq), None, "duplicate ack ignored");
+    }
+
+    #[test]
+    fn sweep_escalates_nic_then_fallback_then_exhausts() {
+        let st = RetryState::new(policy());
+        let seq = st.alloc_seq(1);
+        st.register(sub(1, seq, 64));
+        let dl = st.arm(0, &[(1, seq)]);
+        let bytes = |p: &PendingSub| vec![p.attempts as u8];
+        // Attempt 1: still RMA (fallback_after = 2), NIC rotated.
+        let o1 = st.sweep(dl[0], bytes, bytes);
+        assert_eq!(o1.resends.len(), 1);
+        assert!(matches!(o1.resends[0], Resend::Rma { nic: 1, .. }));
+        assert_eq!(o1.nic_rotations, 1);
+        // Attempt 2: rerouted to the fallback channel.
+        let o2 = st.sweep(o1.new_deadlines[0], bytes, bytes);
+        assert!(matches!(o2.resends[0], Resend::Dgram { dst: 1, .. }));
+        assert_eq!(o2.fallback_reroutes, 1);
+        // Attempt 3: final try; attempt 4 exhausts.
+        let o3 = st.sweep(o2.new_deadlines[0], bytes, bytes);
+        assert_eq!(o3.resends.len(), 1);
+        assert!(!st.failed());
+        let o4 = st.sweep(o3.new_deadlines[0], bytes, bytes);
+        assert_eq!(o4.exhausted, 1);
+        assert!(o4.resends.is_empty());
+        assert!(st.failed());
+        assert_eq!(st.failure(), Some((1, 3)));
+        assert_eq!(st.in_flight(), 0);
+    }
+
+    #[test]
+    fn sweep_ignores_unexpired_entries() {
+        let st = RetryState::new(policy());
+        let seq = st.alloc_seq(2);
+        st.register(sub(2, seq, 64));
+        let dl = st.arm(0, &[(2, seq)]);
+        let bytes = |p: &PendingSub| vec![p.attempts as u8];
+        let o = st.sweep(dl[0] - 1, bytes, bytes);
+        assert!(o.resends.is_empty());
+        assert_eq!(st.in_flight(), 1);
+    }
+
+    #[test]
+    fn sweep_never_touches_unarmed_entries() {
+        // A registered-but-unarmed entry (the window between the post
+        // and the scheduler-context `arm`) must be invisible to sweeps:
+        // the polling agent shares this state with the posting rank, so
+        // treating the provisional deadline as expired would retransmit
+        // a message that was just posted — and do so or not depending on
+        // OS thread interleaving, breaking bit-reproducibility.
+        let st = RetryState::new(policy());
+        let seq = st.alloc_seq(1);
+        st.register(sub(1, seq, 64));
+        let bytes = |p: &PendingSub| vec![p.attempts as u8];
+        let o = st.sweep(Ns::MAX - 1, bytes, bytes);
+        assert!(o.resends.is_empty(), "unarmed entry must not retransmit");
+        assert_eq!(st.in_flight(), 1);
+        // An ack can legitimately beat `arm`; it settles the entry with
+        // no post time to report.
+        assert_eq!(st.ack(1, seq), Some(0));
+        assert_eq!(st.arm(500, &[(1, seq)]), Vec::<Ns>::new());
+    }
+
+    #[test]
+    fn unregister_rolls_back_a_failed_post() {
+        let st = RetryState::new(policy());
+        let seq = st.alloc_seq(1);
+        st.register(sub(1, seq, 64));
+        assert_eq!(st.queued_bytes(1), 64);
+        st.unregister(1, seq);
+        assert_eq!(st.in_flight(), 0);
+        assert_eq!(st.queued_bytes(1), 0);
+        assert_eq!(st.ack(1, seq), None, "entry is gone");
+    }
+
+    #[test]
+    fn accept_is_per_source() {
+        let st = RetryState::new(policy());
+        assert!(st.accept(0, 0));
+        assert!(st.accept(1, 0), "sources have independent windows");
+        assert!(!st.accept(0, 0));
+    }
+}

@@ -87,6 +87,55 @@ pub fn striped_addends(k: usize, n_bits: u32) -> Vec<i64> {
     v
 }
 
+/// The wire form of a signal's table slot (the paper's pointer `p` as
+/// transported in NIC custom bits and serialized [`Blk`](crate::Blk)s).
+///
+/// A transparent newtype over `u64` so typed APIs can't confuse signal
+/// keys with offsets or addends; `SigKey::NULL` (slot 0) means "no
+/// signal bound". Obtain one from [`Signal::key`], or convert with
+/// [`SigKey::from_raw`]/[`SigKey::raw`] at (de)serialization edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
+pub struct SigKey(u64);
+
+impl SigKey {
+    /// The null key: no signal bound (table slot 0 is reserved).
+    pub const NULL: SigKey = SigKey(0);
+
+    /// Wrap a raw wire value.
+    pub const fn from_raw(raw: u64) -> SigKey {
+        SigKey(raw)
+    }
+
+    /// The raw wire value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Is this the null ("no signal") key?
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for SigKey {
+    fn from(raw: u64) -> SigKey {
+        SigKey(raw)
+    }
+}
+
+impl From<SigKey> for u64 {
+    fn from(k: SigKey) -> u64 {
+        k.0
+    }
+}
+
+impl std::fmt::Display for SigKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 pub(crate) struct SignalInner {
     counter: AtomicI64,
     num_event: AtomicI64,
@@ -223,9 +272,9 @@ pub struct Signal {
 
 impl Signal {
     /// The table key (the paper's pointer `p`, as transported in custom
-    /// bits).
-    pub fn key(&self) -> u64 {
-        self.key
+    /// bits), as a typed [`SigKey`].
+    pub fn key(&self) -> SigKey {
+        SigKey(self.key)
     }
 
     /// Current raw counter value (diagnostics, tests).
@@ -386,7 +435,7 @@ mod tests {
         assert!(!sig.test());
         with_sched({
             let table = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             move |st, _| table.apply(st, 0, key, -1)
         });
         assert!(sig.test());
@@ -401,7 +450,7 @@ mod tests {
             assert!(!sig.test(), "not triggered after {i} events");
             with_sched({
                 let table = Arc::clone(&table);
-                let key = sig.key();
+                let key = sig.key().raw();
                 move |st, _| table.apply(st, 0, key, -1)
             });
         }
@@ -438,7 +487,7 @@ mod tests {
             // B arrives first.
             with_sched({
                 let t = Arc::clone(&table);
-                let key = sig.key();
+                let key = sig.key().raw();
                 move |st, _| t.apply(st, 0, key, -1)
             });
             assert!(!sig.test());
@@ -446,7 +495,7 @@ mod tests {
                 assert!(!sig.test(), "premature trigger before sub {i}");
                 with_sched({
                     let t = Arc::clone(&table);
-                    let key = sig.key();
+                    let key = sig.key().raw();
                     let add = a[idx];
                     move |st, _| t.apply(st, 0, key, add)
                 });
@@ -463,7 +512,7 @@ mod tests {
         for _ in 0..2 {
             with_sched({
                 let t = Arc::clone(&table);
-                let key = sig.key();
+                let key = sig.key().raw();
                 move |st, _| t.apply(st, 0, key, -1)
             });
         }
@@ -482,7 +531,7 @@ mod tests {
         std::thread::spawn(move || {
             ep.actor().begin();
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             ep.actor().with_sched(|st, t_now| {
                 t.apply(st, t_now, key, -1);
                 t.apply(st, t_now, key, -1); // the extra event
@@ -506,7 +555,7 @@ mod tests {
         std::thread::spawn(move || {
             ep.actor().begin();
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             ep.actor().with_sched(|st, t_now| {
                 t.apply(st, t_now, key, -1);
                 t.apply(st, t_now, key, -1);
@@ -550,7 +599,7 @@ mod tests {
         // reset must flag it.
         with_sched({
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             move |st, _| t.apply(st, 0, key, -1)
         });
         assert!(sig.test());
@@ -558,12 +607,12 @@ mod tests {
         // Now an extra unexpected event:
         with_sched({
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             move |st, _| t.apply(st, 0, key, -1)
         });
         with_sched({
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             move |st, _| t.apply(st, 0, key, -1)
         });
         let err = sig.reset().unwrap_err();
@@ -578,7 +627,7 @@ mod tests {
         for _ in 0..2 {
             with_sched({
                 let t = Arc::clone(&table);
-                let key = sig.key();
+                let key = sig.key().raw();
                 move |st, _| t.apply(st, 0, key, -1)
             });
         }
@@ -594,7 +643,7 @@ mod tests {
         let sig = table.alloc(1);
         with_sched({
             let t = Arc::clone(&table);
-            let key = sig.key();
+            let key = sig.key().raw();
             move |st, _| t.apply(st, 0, key, -1)
         });
         sig.reset_with(5).unwrap();
@@ -629,7 +678,7 @@ mod tests {
         let table = SignalTable::new(32);
         let key = {
             let s = table.alloc(1);
-            s.key()
+            s.key().raw()
         };
         with_sched({
             let t = Arc::clone(&table);

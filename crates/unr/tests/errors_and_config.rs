@@ -45,7 +45,7 @@ fn put_rejects_unknown_region() {
             region_len: 64,
             offset: 0,
             len: 8,
-            sig_key: 0,
+            sig_key: unr_core::SigKey::NULL,
         };
         matches!(unr.put(&fake, &fake), Err(UnrError::RegionUnknown(4242)))
     });
@@ -153,7 +153,7 @@ fn level1_signal_capacity_is_enforced() {
         // to encode an oversized key must fail rather than truncate.
         let sigs: Vec<_> = (0..300).map(|_| unr.sig_init(1)).collect();
         let big = &sigs[299];
-        assert!(big.key() > 255);
+        assert!(big.key().raw() > 255);
         if comm.rank() == 0 {
             let blk = unr.blk_init(&mem, 0, 8, None);
             let mut rmt = unr.blk_init(&mem, 0, 8, Some(big));
@@ -250,4 +250,125 @@ fn fallback_overhead_is_charged() {
         pricey > cheap + 10 * 2 * 4_000,
         "per-message fallback overhead must show up in virtual time: {cheap} vs {pricey}"
     );
+}
+
+#[test]
+fn put_and_get_reject_out_of_region_local_block() {
+    // A Blk that lies about its registered region's size: the engine
+    // must bounds-check the *local* side against the real region, not
+    // trust the handle (the remote side was always checked).
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 1), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        let honest = unr.blk_init(&mem, 0, 8, None);
+        let mut liar = honest;
+        liar.offset = 60;
+        liar.len = 16;
+        liar.region_len = 1024; // claims a bigger region than registered
+        let mut rmt = honest;
+        rmt.len = 16;
+        rmt.region_len = 1024;
+        let oob = |r: Result<(), UnrError>| {
+            matches!(
+                r,
+                Err(UnrError::Fabric(unr_simnet::FabricError::OutOfBounds(_)))
+            )
+        };
+        oob(unr.put(&liar, &rmt)) && oob(unr.get(&liar, &rmt))
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn config_builder_validates() {
+    assert!(matches!(
+        UnrConfig::builder().n_bits(0).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        UnrConfig::builder().n_bits(63).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        UnrConfig::builder().timeout(0).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        UnrConfig::builder().timeout(1_000).max_backoff(10).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        UnrConfig::builder().fallback_after(0).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        UnrConfig::builder().copy_bw_gibps(-1.0).build(),
+        Err(UnrError::InvalidConfig(_))
+    ));
+    let cfg = UnrConfig::builder()
+        .timeout(50_000)
+        .max_backoff(500_000)
+        .max_retries(6)
+        .fallback_after(2)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.retry_timeout, 50_000);
+    assert_eq!(cfg.max_retries, 6);
+    assert_eq!(cfg.fallback_after, 2);
+}
+
+#[test]
+#[allow(deprecated)]
+fn raw_u64_key_shims_still_work() {
+    // The pre-SigKey surface (`*_with_keys(u64, u64)`) must keep
+    // compiling and behaving until callers migrate.
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        if comm.rank() == 0 {
+            let blk = unr.blk_init(&mem, 0, 8, None);
+            let rmt = convert::recv_blk(comm, 1, 0);
+            unr.put_with_keys(&blk, &rmt, 0, rmt.sig_key.raw()).unwrap();
+            true
+        } else {
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, 8, Some(&sig));
+            convert::send_blk(comm, 0, 0, &blk);
+            unr.sig_wait(&sig).is_ok()
+        }
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn sig_wait_timeout_reports_elapsed_wait() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 1), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let sig = unr.sig_init(1); // nobody will ever trigger this
+        let t0 = comm.ep().now();
+        let r = unr.sig_wait_timeout(&sig, 25_000);
+        let waited = comm.ep().now() - t0;
+        matches!(r, Err(UnrError::Timeout { waited: 25_000 })) && waited >= 25_000
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn sig_wait_timeout_succeeds_when_signal_fires() {
+    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mem = unr.mem_reg(64);
+        if comm.rank() == 0 {
+            let blk = unr.blk_init(&mem, 0, 8, None);
+            let rmt = convert::recv_blk(comm, 1, 0);
+            unr.put(&blk, &rmt).unwrap();
+            true
+        } else {
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, 8, Some(&sig));
+            convert::send_blk(comm, 0, 0, &blk);
+            unr.sig_wait_timeout(&sig, unr_simnet::SEC).is_ok()
+        }
+    });
+    assert!(results.into_iter().all(|b| b));
 }

@@ -13,7 +13,7 @@ fn drive_signal(n_bits: u32, num_event: i64, addends: Vec<i64>) -> (Vec<bool>, b
     let h = core.register_actor("t", 0);
     let table = SignalTable::new(n_bits);
     let sig = table.alloc(num_event);
-    let key = sig.key();
+    let key = sig.key().raw();
     let table2 = std::sync::Arc::clone(&table);
     let out = std::sync::Arc::new(unr_simnet::Mutex::new(Vec::new()));
     let out2 = std::sync::Arc::clone(&out);
@@ -161,7 +161,7 @@ fn blk_roundtrip() {
             region_len: g.usize_in(0, 1 << 40),
             offset: g.usize_in(0, 1 << 40),
             len: g.usize_in(0, 1 << 40),
-            sig_key: g.u64(),
+            sig_key: unr_core::SigKey::from_raw(g.u64()),
         };
         assert_eq!(unr_core::Blk::from_bytes(&b.to_bytes()), Some(b));
     });

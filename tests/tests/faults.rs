@@ -1,0 +1,312 @@
+//! The self-healing transport under seeded fault injection: every byte
+//! still lands, every signal still fires, MMAS accounting stays exact,
+//! and a fault-free run is byte-identical to one without the fault
+//! layer compiled in at all.
+//!
+//! All faults are scoped to [`UNR_PORT`] datagrams (plus PUT
+//! deliveries, which are always in scope), so mini-MPI's own control
+//! traffic stays lossless — it plays the role of the reliable
+//! out-of-band channel the paper assumes for rendezvous.
+
+use unr_core::{convert, Unr, UnrConfig, UnrError, UNR_PORT};
+use unr_integration::run_cases;
+use unr_minimpi::{run_mpi_on_fabric, MpiConfig};
+use unr_obs::Snapshot;
+use unr_powerllel::{Backend, Solver, SolverConfig};
+use unr_simnet::{us, Fabric, FaultConfig, FlapConfig, Platform};
+
+/// Faults scoped so only the UNR protocol is exposed to them.
+fn unr_scoped(mut faults: FaultConfig) -> FaultConfig {
+    faults.dgram_ports = Some(vec![UNR_PORT]);
+    faults
+}
+
+/// Ping-pong `sizes` bytes from rank 0 into rank 1 under `faults`,
+/// verifying content on the receiver. Returns the fabric for metric
+/// inspection.
+fn lossy_pingpong(faults: FaultConfig, sizes: Vec<usize>, ucfg: UnrConfig) -> std::sync::Arc<Fabric> {
+    let mut cfg = Platform::th_xy().fabric_config(2, 1);
+    let expect_reliable = faults.enabled();
+    cfg.faults = faults;
+    let fabric = Fabric::new(cfg);
+    run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), ucfg);
+        assert_eq!(
+            unr.reliable(),
+            expect_reliable,
+            "reliability must auto-track fault injection"
+        );
+        // Each round gets its own slice of the region: a late
+        // retransmission of round N must not be able to scribble over
+        // round N+1's bytes (reusing a buffer before the transport-level
+        // ack is a race on real RDMA NICs too).
+        let offsets: Vec<usize> = sizes
+            .iter()
+            .scan(0usize, |acc, &s| {
+                let o = *acc;
+                *acc += s;
+                Some(o)
+            })
+            .collect();
+        let cap = sizes.iter().sum::<usize>().max(64);
+        let mem = unr.mem_reg(cap);
+        if comm.rank() == 0 {
+            let full_rmt = convert::recv_blk(comm, 1, 0);
+            for (it, (&size, &off)) in sizes.iter().zip(&offsets).enumerate() {
+                let pattern: Vec<u8> = (0..size).map(|i| (i ^ (it * 31)) as u8).collect();
+                mem.write_bytes(off, &pattern);
+                let blk = unr.blk_init(&mem, off, size, None);
+                let mut rmt = full_rmt;
+                rmt.offset = off;
+                rmt.len = size;
+                unr.put(&blk, &rmt).unwrap();
+                comm.recv(Some(1), 7); // receiver verified this round
+            }
+            // Drain outstanding retransmissions before tearing down.
+            for _ in 0..10_000 {
+                if unr.retries_in_flight() == 0 {
+                    break;
+                }
+                unr.ep().sleep(us(50.0));
+            }
+            assert_eq!(unr.retries_in_flight(), 0, "acks must drain");
+            comm.send(1, 8, &[]); // release the receiver
+        } else {
+            let sig = unr.sig_init(1);
+            let recv_blk = unr.blk_init(&mem, 0, cap, Some(&sig));
+            convert::send_blk(comm, 0, 0, &recv_blk);
+            for (it, (&size, &off)) in sizes.iter().zip(&offsets).enumerate() {
+                unr.sig_wait(&sig).unwrap();
+                assert!(!sig.overflowed());
+                sig.reset().unwrap();
+                let mut got = vec![0u8; size];
+                mem.read_bytes(off, &mut got);
+                for (i, &b) in got.iter().enumerate() {
+                    assert_eq!(
+                        b,
+                        (i ^ (it * 31)) as u8,
+                        "byte {i} of round {it} corrupted"
+                    );
+                }
+                comm.send(0, 7, &[]);
+            }
+            comm.recv(Some(0), 8); // keep acking until the sender drained
+        }
+    });
+    fabric
+}
+
+/// Property: a few percent of dropped sub-messages must be invisible
+/// above the transport — every byte delivered, every signal fired,
+/// MMAS residue zero — with the retry path demonstrably exercised.
+#[test]
+fn fault_drop_still_delivers_every_byte_and_signal() {
+    let (mut dropped, mut retransmits, mut acks) = (0u64, 0u64, 0u64);
+    run_cases("fault_drop_delivery", 4, |g| {
+        let sizes = g.vec(12..20, |g| g.usize_in(1 << 10, 96 << 10));
+        let faults = unr_scoped(FaultConfig {
+            seed: g.u64(),
+            ..FaultConfig::drops(0.05)
+        });
+        let fabric = lossy_pingpong(faults, sizes, UnrConfig::default());
+        let snap = fabric.obs.metrics.snapshot();
+        assert_eq!(snap.counter("unr.signal.overflow_trips"), Some(0));
+        assert_eq!(snap.counter("unr.signal.reset_errors"), Some(0));
+        assert_eq!(snap.counter("unr.retry.exhausted"), Some(0));
+        dropped += snap.counter("simnet.fault.dropped").unwrap_or(0);
+        retransmits += snap.counter("unr.retry.retransmits").unwrap_or(0);
+        acks += snap.counter("unr.retry.acks").unwrap_or(0);
+    });
+    assert!(dropped > 0, "the seeds above must actually drop something");
+    assert!(retransmits > 0, "drops must be repaired by retransmission");
+    assert!(acks > 0, "delivery must be acknowledged");
+}
+
+/// Duplicated sub-messages must never double-increment an MMAS counter:
+/// the dedup window swallows the copy and the signal still fires with
+/// an exact residue.
+#[test]
+fn fault_duplicates_never_double_increment_mmas() {
+    let faults = unr_scoped(FaultConfig {
+        dup_prob: 1.0,
+        ..FaultConfig::none()
+    });
+    let sizes = vec![4 << 10, 96 << 10, 1 << 10, 32 << 10];
+    let fabric = lossy_pingpong(faults, sizes, UnrConfig::default());
+    let snap = fabric.obs.metrics.snapshot();
+    assert!(snap.counter("simnet.fault.duplicated").unwrap() > 0);
+    assert!(
+        snap.counter("unr.retry.dup_suppressed").unwrap() > 0,
+        "every duplicate must be caught by the dedup window"
+    );
+    assert_eq!(snap.counter("unr.signal.overflow_trips"), Some(0));
+    assert_eq!(snap.counter("unr.signal.reset_errors"), Some(0));
+}
+
+/// NIC flap windows on a dual-NIC node: retransmissions rotate to the
+/// surviving NIC and traffic keeps flowing.
+#[test]
+fn fault_nic_flap_fails_over_to_surviving_nic() {
+    let faults = unr_scoped(FaultConfig {
+        flap: Some(FlapConfig {
+            period: 200_000,
+            down: 100_000,
+        }),
+        ..FaultConfig::none()
+    });
+    let sizes = vec![96 << 10; 12];
+    let fabric = lossy_pingpong(faults, sizes, UnrConfig::default());
+    let snap = fabric.obs.metrics.snapshot();
+    assert!(snap.counter("simnet.fault.flap_dropped").unwrap() > 0);
+    assert!(snap.counter("unr.retry.retransmits").unwrap() > 0);
+    assert!(
+        snap.counter("unr.failover.nic_rotations").unwrap() > 0,
+        "retransmits on a dual-NIC node must rotate NICs"
+    );
+    assert_eq!(snap.counter("unr.signal.overflow_trips"), Some(0));
+}
+
+/// A destination that drops everything: retries escalate through NIC
+/// rotation and the fallback channel, then exhaust; the channel latches
+/// down and the failure surfaces as typed errors.
+#[test]
+fn fault_total_loss_exhausts_and_latches_channel_down() {
+    let mut cfg = Platform::th_xy().fabric_config(2, 1);
+    cfg.faults = unr_scoped(FaultConfig::drops(1.0));
+    let fabric = Fabric::new(cfg);
+    let ucfg = UnrConfig::builder()
+        .timeout(5_000)
+        .max_backoff(40_000)
+        .max_retries(4)
+        .fallback_after(2)
+        .build()
+        .unwrap();
+    run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), ucfg);
+        let mem = unr.mem_reg(4096);
+        if comm.rank() == 0 {
+            let sig = unr.sig_init(1); // will never fire: everything drops
+            let _guard = unr.blk_init(&mem, 0, 4096, Some(&sig));
+            let blk = unr.blk_init(&mem, 0, 4096, None);
+            let rmt = convert::recv_blk(comm, 1, 0);
+            unr.put(&blk, &rmt).unwrap();
+            match unr.sig_wait(&sig) {
+                Err(UnrError::RetryExhausted { attempts, .. }) => {
+                    assert!(attempts > 0)
+                }
+                other => panic!("expected RetryExhausted, got {other:?}"),
+            }
+            assert!(matches!(
+                unr.put(&blk, &rmt),
+                Err(UnrError::ChannelDown)
+            ));
+            comm.send(1, 8, &[]); // release the receiver
+        } else {
+            let blk = unr.blk_init(&mem, 0, 4096, None);
+            convert::send_blk(comm, 0, 0, &blk);
+            comm.recv(Some(0), 8);
+        }
+    });
+    let snap = fabric.obs.metrics.snapshot();
+    assert!(snap.counter("unr.retry.exhausted").unwrap() > 0);
+    assert!(snap.counter("unr.retry.retransmits").unwrap() > 0);
+    assert!(
+        snap.counter("unr.failover.fallback_msgs").unwrap() > 0,
+        "late retries must have rerouted through the fallback channel"
+    );
+    assert!(
+        snap.counter("unr.failover.nic_rotations").unwrap() > 0,
+        "early retries must have rotated NICs"
+    );
+}
+
+/// One seeded mini-PowerLLEL step with tracing, under `faults`.
+fn seeded_solver_run(faults: FaultConfig) -> (Snapshot, String, f64) {
+    let mut cfg = Platform::th_xy().fabric_config(2, 2);
+    cfg.trace = true;
+    cfg.seed = 99;
+    cfg.faults = faults;
+    let fabric = Fabric::new(cfg);
+    let results = run_mpi_on_fabric(&fabric, MpiConfig::default(), |comm| {
+        let backend = Backend::Unr(Unr::init(comm.ep_shared(), UnrConfig::default()));
+        let mut s = Solver::new(&backend, comm, SolverConfig::small(2, 2));
+        s.init_taylor_green();
+        s.step();
+        s.kinetic_energy()
+    });
+    let mut events = fabric.tracer.as_ref().expect("tracing on").to_span_events();
+    events.extend(fabric.obs.spans.events());
+    (
+        fabric.obs.metrics.snapshot(),
+        unr_obs::chrome_trace_json(&events),
+        results[0],
+    )
+}
+
+/// With faults disabled the fault and retry layers must be completely
+/// inert: no `simnet.fault.*` / `unr.retry.*` / `unr.failover.*`
+/// series exist, and repeated runs stay byte-identical.
+#[test]
+fn fault_free_runs_carry_no_fault_series_and_stay_identical() {
+    let (snap_a, trace_a, ke_a) = seeded_solver_run(FaultConfig::none());
+    let (snap_b, trace_b, ke_b) = seeded_solver_run(FaultConfig::none());
+    assert_eq!(snap_a, snap_b, "metrics must be bit-identical");
+    assert_eq!(trace_a, trace_b, "traces must be byte-identical");
+    assert_eq!(ke_a, ke_b);
+    for prefix in ["simnet.fault.", "unr.retry.", "unr.failover."] {
+        assert!(
+            snap_a.with_prefix(prefix).next().is_none(),
+            "fault-free run must not register {prefix}* series"
+        );
+    }
+}
+
+/// The full mini-PowerLLEL solver rides out seeded drops: physics
+/// unchanged, retry path demonstrably used, MMAS residue exactly zero.
+#[test]
+fn fault_powerllel_step_survives_seeded_drops() {
+    let (_, _, clean_ke) = seeded_solver_run(FaultConfig::none());
+    let (snap, _, ke) = seeded_solver_run(unr_scoped(FaultConfig::drops(0.01)));
+    assert!(snap.counter("simnet.fault.dropped").unwrap() > 0);
+    assert!(
+        snap.counter("unr.retry.retransmits").unwrap() > 0,
+        "drops must be healed through the retry path"
+    );
+    assert_eq!(snap.counter("unr.retry.exhausted"), Some(0));
+    assert_eq!(snap.counter("unr.signal.overflow_trips"), Some(0));
+    assert_eq!(snap.counter("unr.signal.reset_errors"), Some(0));
+    // Retries change timing, never physics.
+    assert!(
+        (ke - clean_ke).abs() <= 1e-12 * clean_ke.abs(),
+        "kinetic energy must match the fault-free run: {ke} vs {clean_ke}"
+    );
+}
+
+/// CI fault-matrix entry point: drop rate and seed come from the
+/// environment (`UNR_FAULT_DROP`, `UNR_FAULT_SEED`), defaulting to the
+/// 1% point.
+#[test]
+fn fault_matrix_from_env() {
+    let drop: f64 = std::env::var("UNR_FAULT_DROP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let seed: u64 = std::env::var("UNR_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let faults = unr_scoped(FaultConfig {
+        seed,
+        ..FaultConfig::drops(drop)
+    });
+    let sizes = vec![8 << 10, 96 << 10, 1 << 10, 64 << 10, 32 << 10, 2 << 10];
+    let fabric = lossy_pingpong(faults, sizes, UnrConfig::default());
+    let snap = fabric.obs.metrics.snapshot();
+    assert_eq!(snap.counter("unr.signal.overflow_trips"), Some(0));
+    assert_eq!(snap.counter("unr.signal.reset_errors"), Some(0));
+    if drop == 0.0 {
+        assert!(snap.with_prefix("simnet.fault.").next().is_none());
+    } else if snap.counter("simnet.fault.dropped").unwrap_or(0) > 0 {
+        assert!(snap.counter("unr.retry.retransmits").unwrap() > 0);
+    }
+}
