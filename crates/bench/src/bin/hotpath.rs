@@ -1,0 +1,202 @@
+//! Wall-clock hot-path benchmark: an 8-rank put/signal storm plus a
+//! PowerLLEL step, under real OS threads.
+//!
+//! Unlike the figure-regeneration binaries (which report *virtual*
+//! times), this harness measures **wall-clock** cost of the library's
+//! host-side data path: signal-table lookups, retry bookkeeping,
+//! payload handling and progress-loop overhead. Virtual time is the
+//! correctness oracle; wall time is what this file optimizes for.
+//!
+//! Output: human-readable tables plus one machine-greppable
+//! `BENCH_PERF_JSON {...}` line consumed by `scripts/bench.sh`, which
+//! writes `BENCH_PERF.json` and gates CI on ops/sec regressions.
+//!
+//! Flags: `--quick` (CI smoke: smaller iteration counts).
+
+use std::time::Instant;
+
+use unr_bench::print_table;
+use unr_core::{convert, Reliability, Unr, UnrConfig};
+use unr_minimpi::{coll, run_mpi_on_fabric, MpiConfig};
+use unr_powerllel::{Backend, Solver, SolverConfig, Timers};
+use unr_simnet::{Fabric, Platform};
+
+/// Per-rank result of one storm phase.
+struct RankStorm {
+    /// Wall nanoseconds spent between the pre- and post-storm barriers.
+    wall_ns: u64,
+    /// Wall nanoseconds of each individual `put` call on this rank.
+    put_ns: Vec<u64>,
+}
+
+/// Aggregated storm numbers.
+struct StormResult {
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+const STORM_RANKS_PER_NODE: usize = 2;
+const STORM_NODES: usize = 4;
+const STORM_NICS: usize = 4;
+const STORM_MSG: usize = 128 * 1024;
+
+/// Run one put/signal storm: every rank fires `iters` notified PUTs of
+/// `STORM_MSG` bytes at its ring neighbour, then waits for all of its
+/// own arrivals. 8 ranks on 4 nodes, 4 NICs per node, GLEX channel, so
+/// each message stripes into 4 sub-messages.
+fn storm(iters: usize, reliability: Reliability) -> StormResult {
+    let mut cfg = Platform::th_xy().fabric_config(STORM_NODES, STORM_RANKS_PER_NODE);
+    cfg.nics_per_node = STORM_NICS;
+    cfg.seed = 0xB0B0;
+    let fabric = Fabric::new(cfg);
+    let ucfg = UnrConfig {
+        reliability,
+        ..UnrConfig::default()
+    };
+    let per_rank: Vec<RankStorm> = run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), ucfg);
+        let n = comm.size();
+        let me = comm.rank();
+        let mem = unr.mem_reg(2 * STORM_MSG);
+        // Receive window: second half of the region, armed with a
+        // signal expecting every neighbour put.
+        let recv_sig = unr.sig_init(iters as i64);
+        let recv_blk = unr.blk_init(&mem, STORM_MSG, STORM_MSG, Some(&recv_sig));
+        let src = (me + n - 1) % n;
+        let dst = (me + 1) % n;
+        convert::send_blk(comm, dst, 11, &recv_blk);
+        let rmt = convert::recv_blk(comm, src, 11);
+        // Send window: first half, payload written once up front (the
+        // storm measures the transport, not the fill).
+        let pattern: Vec<u8> = (0..STORM_MSG).map(|i| (i * 131 + me) as u8).collect();
+        mem.write_bytes(0, &pattern);
+        let send_blk = unr.blk_init(&mem, 0, STORM_MSG, None);
+
+        coll::barrier(comm);
+        let t0 = Instant::now();
+        let mut put_ns = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let p0 = Instant::now();
+            unr.put(&send_blk, &rmt).unwrap();
+            put_ns.push(p0.elapsed().as_nanos() as u64);
+        }
+        unr.sig_wait(&recv_sig).unwrap();
+        assert!(!recv_sig.overflowed());
+        coll::barrier(comm);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        RankStorm { wall_ns, put_ns }
+    });
+
+    let ops = per_rank.iter().map(|r| r.put_ns.len() as u64).sum::<u64>();
+    let wall_ns = per_rank.iter().map(|r| r.wall_ns).max().unwrap_or(1).max(1);
+    let mut lats: Vec<u64> = per_rank.into_iter().flat_map(|r| r.put_ns).collect();
+    lats.sort_unstable();
+    let pct = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize];
+    StormResult {
+        ops,
+        wall_ms: wall_ns as f64 / 1e6,
+        ops_per_sec: ops as f64 / (wall_ns as f64 / 1e9),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+    }
+}
+
+/// PowerLLEL wall-clock: the fig6 TH-XY configuration (4 nodes x 2
+/// ranks, 64x64x32 grid) with the UNR backend, timed per step in real
+/// milliseconds.
+fn powerllel_step(steps: usize) -> f64 {
+    let p = Platform::th_xy();
+    let mut fabric_cfg = p.fabric_config(4, 2);
+    fabric_cfg.seed = 2024;
+    let mut scfg = SolverConfig::small(4, 2);
+    scfg.nx = 64;
+    scfg.ny = 64;
+    scfg.nz = 32;
+    scfg.dt = 1e-3;
+    let fab = Fabric::new(fabric_cfg);
+    let walls: Vec<u64> = run_mpi_on_fabric(&fab, MpiConfig::default(), move |comm| {
+        let backend = Backend::Unr(Unr::init(comm.ep_shared(), UnrConfig::default()));
+        let mut s = Solver::new(&backend, comm, scfg);
+        s.init_taylor_green();
+        s.step(); // warmup
+        s.timers = Timers::default();
+        coll::barrier(comm);
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            s.step();
+        }
+        coll::barrier(comm);
+        t0.elapsed().as_nanos() as u64
+    });
+    let wall_ns = walls.into_iter().max().unwrap_or(1);
+    wall_ns as f64 / 1e6 / steps as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 250 } else { 1500 };
+    let steps = if quick { 1 } else { 3 };
+
+    let reliable = storm(iters, Reliability::On);
+    let rma = storm(iters, Reliability::Off);
+    let pll_ms = powerllel_step(steps);
+
+    let row = |name: &str, s: &StormResult| {
+        vec![
+            name.to_string(),
+            s.ops.to_string(),
+            format!("{:.1}", s.wall_ms),
+            format!("{:.0}", s.ops_per_sec),
+            s.p50_ns.to_string(),
+            s.p99_ns.to_string(),
+        ]
+    };
+    print_table(
+        &format!(
+            "Hot path — {}-rank put/signal storm ({} NICs/node, {} KiB msgs, wall clock)",
+            STORM_NODES * STORM_RANKS_PER_NODE,
+            STORM_NICS,
+            STORM_MSG / 1024
+        ),
+        &[
+            "variant",
+            "ops",
+            "wall ms",
+            "ops/sec",
+            "put p50 ns",
+            "put p99 ns",
+        ],
+        &[row("reliable", &reliable), row("rma", &rma)],
+    );
+    print_table(
+        "Hot path — PowerLLEL step (TH-XY, 4x2 ranks, wall clock)",
+        &["steps", "wall ms/step"],
+        &[vec![steps.to_string(), format!("{pll_ms:.1}")]],
+    );
+
+    // The gate metric is the reliable storm: it exercises the signal
+    // table, the retry state and the payload path all at once.
+    println!(
+        "BENCH_PERF_JSON {{\"schema\":1,\"quick\":{quick},\"ops_per_sec\":{:.1},\
+         \"storm\":{{\"ranks\":{},\"nics\":{},\"msg_bytes\":{},\"iters\":{iters},\
+         \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}},\
+         \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}}}},\
+         \"powerllel\":{{\"steps\":{steps},\"wall_ms_per_step\":{:.2}}}}}",
+        reliable.ops_per_sec,
+        STORM_NODES * STORM_RANKS_PER_NODE,
+        STORM_NICS,
+        STORM_MSG,
+        reliable.ops_per_sec,
+        reliable.wall_ms,
+        reliable.p50_ns,
+        reliable.p99_ns,
+        rma.ops_per_sec,
+        rma.wall_ms,
+        rma.p50_ns,
+        rma.p99_ns,
+        pll_ms,
+    );
+}

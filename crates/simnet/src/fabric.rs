@@ -12,6 +12,7 @@
 //!   completion (with the custom bits truncated to the interface's
 //!   width), and delivers any order-preserving companion datagram.
 
+use crate::bytes::Bytes;
 use crate::faults::{FaultAction, FaultConfig, FaultState};
 use crate::rng::SimRng;
 use crate::sync::Mutex;
@@ -384,7 +385,7 @@ impl Fabric {
         arrival: Ns,
         dst: RKey,
         dst_offset: usize,
-        data: Vec<u8>,
+        data: Bytes,
         spec: InterfaceSpec,
         notify_remote: bool,
         custom_remote: u128,
@@ -619,10 +620,12 @@ impl Endpoint {
         }
 
         // Snapshot the source (the DMA engine reads it at post time; the
-        // local completion below tells the app when reuse is safe).
+        // local completion below tells the app when reuse is safe). The
+        // snapshot is shared, not owned: a fault-injected duplicate
+        // delivery reuses the same buffer.
         let data = op
             .src
-            .snapshot(op.src_offset, op.len)
+            .snapshot_shared(op.src_offset, op.len)
             .map_err(|e| FabricError::OutOfBounds(e.to_string()))?;
 
         let dst = op.dst;
@@ -759,12 +762,13 @@ impl Endpoint {
     /// jitter and fault injection as [`Endpoint::put`].
     pub fn put_bytes(
         &self,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
         dst: RKey,
         dst_offset: usize,
         nic: NicSel,
         companion: Option<(u32, Vec<u8>)>,
     ) -> Result<(), FabricError> {
+        let data: Bytes = data.into();
         let fabric = Arc::clone(&self.fabric);
         let cfg = fabric.cfg.clone();
         let src_rank = self.rank;

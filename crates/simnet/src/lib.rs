@@ -40,6 +40,7 @@
 //! assert_eq!(echoed, vec![0, 4]);
 //! ```
 
+pub mod bytes;
 pub mod fabric;
 pub mod faults;
 pub mod mem;
@@ -56,6 +57,7 @@ pub mod world;
 pub use fabric::{
     AtomicAddSink, Endpoint, Fabric, FabricConfig, FabricError, GetOp, NicSel, PutOp,
 };
+pub use bytes::Bytes;
 pub use faults::{FaultConfig, FlapConfig};
 pub use mem::{MemRegion, OutOfBounds, Pod, RKey};
 pub use nic::{CustomBits, InterfaceKind, InterfaceSpec, NicModel};

@@ -22,6 +22,8 @@
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::Arc;
 
+use crate::bytes::Bytes;
+
 /// Region alignment (cache-line).
 const ALIGN: usize = 64;
 
@@ -198,6 +200,14 @@ impl MemRegion {
         let mut v = vec![0u8; len];
         self.read_bytes(offset, &mut v)?;
         Ok(v)
+    }
+
+    /// Snapshot a byte range into a shared, cheaply-clonable
+    /// [`Bytes`] payload. One copy happens here (the DMA read); every
+    /// downstream consumer — striped NIC posts, retransmit buffers,
+    /// fault-injected duplicates — then shares the same allocation.
+    pub fn snapshot_shared(&self, offset: usize, len: usize) -> Result<Bytes, OutOfBounds> {
+        Ok(Bytes::from(self.snapshot(offset, len)?))
     }
 
     /// Write a typed slice at an element offset.

@@ -3,12 +3,12 @@
 
 use unr_simnet::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use unr_simnet::{
-    ActorId, AtomicAddSink, Bandwidth, CompletionKind, CompletionQueue, Endpoint, FabricError,
-    GetOp, MemRegion, NicSel, Ns, Port, PutOp, Sched,
+    ActorId, AtomicAddSink, Bandwidth, Bytes, Completion, CompletionKind, CompletionQueue,
+    Endpoint, FabricError, GetOp, MemRegion, NicSel, Ns, Port, PutOp, Sched,
 };
 
 use crate::blk::{Blk, UnrMem};
@@ -413,6 +413,10 @@ pub(crate) struct UnrMetrics {
     level_msgs: Arc<unr_obs::Counter>,
     /// Sub-message fan-out `k` of each RMA put (1 = unstriped).
     stripe_fanout: Arc<unr_obs::Histogram>,
+    /// Events + control messages drained per progress pass.
+    progress_batch: Arc<unr_obs::Histogram>,
+    /// Hot-path mutex acquisitions that found the lock held.
+    lock_contended: Arc<unr_obs::Counter>,
     /// Operations replayed through `UNR_Plan_Start`.
     pub(crate) plan_ops: Arc<unr_obs::Counter>,
     /// `UNR_Plan_Start` invocations (plan replays).
@@ -438,6 +442,8 @@ impl UnrMetrics {
                 channel.level.as_index()
             )),
             stripe_fanout: m.histogram("unr.stripe_fanout"),
+            progress_batch: m.histogram("unr.progress.batch_size"),
+            lock_contended: m.counter("unr.lock.contended"),
             plan_ops: m.counter("unr.plan.ops"),
             plan_starts: m.counter("unr.plan.starts"),
         }
@@ -482,13 +488,73 @@ impl RetryMetrics {
     }
 }
 
+/// Read-mostly registry of this rank's registered memory regions.
+///
+/// Registration is rare (startup, mostly) but every put/get/fallback
+/// delivery looks a region up, from both the application rank and the
+/// polling agent. Instead of a mutex around the map, readers follow an
+/// atomic pointer to an immutable snapshot (`load` + `get` + clone of
+/// one `MemRegion` handle — no lock, no contention); writers build a
+/// new map copy under a small mutex and swap the pointer. Retired
+/// snapshots park in a graveyard freed at drop — a reader that loaded
+/// a pointer just before a swap may still be walking that map, and with
+/// registration counts this small, leaking superseded snapshots until
+/// teardown is cheaper than any epoch/hazard machinery.
+pub(crate) struct RegionMap {
+    current: AtomicPtr<HashMap<u32, MemRegion>>,
+    /// Writer serialization + retired snapshots.
+    // The Box keeps each retired map at a stable address: readers may
+    // still hold raw pointers obtained from `current`, so retired maps
+    // must never move while parked here.
+    #[allow(clippy::vec_box)]
+    graveyard: Mutex<Vec<Box<HashMap<u32, MemRegion>>>>,
+}
+
+impl RegionMap {
+    fn new() -> RegionMap {
+        RegionMap {
+            current: AtomicPtr::new(Box::into_raw(Box::new(HashMap::new()))),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Lock-free lookup (hot path).
+    pub fn get(&self, id: u32) -> Option<MemRegion> {
+        // SAFETY: `current` always points at a map published with
+        // Release and never freed before `self` drops (see graveyard).
+        let map = unsafe { &*self.current.load(Ordering::Acquire) };
+        map.get(&id).cloned()
+    }
+
+    /// Publish a new region (cold path: copy, insert, swap).
+    pub fn insert(&self, id: u32, region: MemRegion) {
+        let mut graveyard = self.graveyard.lock();
+        let old = self.current.load(Ordering::Relaxed);
+        // SAFETY: single writer (graveyard mutex held); `old` stays
+        // readable for concurrent readers until drop.
+        let mut next = unsafe { (*old).clone() };
+        next.insert(id, region);
+        self.current
+            .store(Box::into_raw(Box::new(next)), Ordering::Release);
+        graveyard.push(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl Drop for RegionMap {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the graveyard Vec frees the retired
+        // snapshots, this frees the live one.
+        unsafe { drop(Box::from_raw(self.current.load(Ordering::Relaxed))) };
+    }
+}
+
 /// State shared between the application rank and the polling agent.
 pub(crate) struct UnrCore {
     pub channel: Channel,
     pub table: Arc<SignalTable>,
     pub cq: Arc<CompletionQueue>,
     pub port: Arc<Port>,
-    pub regions: Mutex<HashMap<u32, MemRegion>>,
+    pub regions: RegionMap,
     pub stats: UnrStats,
     pub cfg: UnrConfig,
     pub copy_bw: Bandwidth,
@@ -496,6 +562,11 @@ pub(crate) struct UnrCore {
     /// Ack/replay state — `Some` iff reliability is active.
     pub retry: Option<Arc<RetryState>>,
     pub rmet: Option<RetryMetrics>,
+    /// Reusable completion-drain buffer: progress passes run many times
+    /// per virtual microsecond, and re-allocating the event Vec each
+    /// pass was measurable wall-clock churn. Shared between the rank
+    /// and the agent; contention is counted, never waited-for silently.
+    pub scratch: Mutex<Vec<Completion>>,
 }
 
 /// A deferred reply computed inside scheduler context and sent after.
@@ -506,7 +577,7 @@ enum Reply {
     },
     /// Retransmission of a buffered RMA sub-message.
     RmaPut {
-        payload: Vec<u8>,
+        payload: Bytes,
         dst_rkey: unr_simnet::RKey,
         dst_offset: usize,
         nic: usize,
@@ -528,10 +599,21 @@ impl UnrCore {
         let mut n = 0;
         let mut fb_bytes = 0usize;
         let mut fb_msgs = 0usize;
-        let mut events = Vec::new();
+        // Reuse the drain buffer across passes; count (don't silently
+        // absorb) the rare cases where the rank and the agent race for
+        // it. Batching the whole CQ into one drain keeps the per-event
+        // cost to a slice iteration.
+        let mut events = match self.scratch.try_lock() {
+            Some(g) => g,
+            None => {
+                self.met.lock_contended.inc();
+                self.scratch.lock()
+            }
+        };
+        events.clear();
         self.cq.drain(usize::MAX, &mut events);
         if let Mechanism::Rma(enc) = self.channel.mech {
-            for e in &events {
+            for e in events.iter() {
                 let encoding = match e.kind {
                     CompletionKind::PutLocal => Some(enc.put_local),
                     CompletionKind::PutRemote => Some(enc.put_remote),
@@ -547,13 +629,21 @@ impl UnrCore {
             }
         } else {
             // Level-0: local completions carry Split64 custom bits.
-            for e in &events {
+            for e in events.iter() {
                 let notif = Encoding::Split64.decode(e.custom);
                 self.table.apply(sched, t, notif.key, notif.addend);
                 self.met.sig_adds.inc();
                 n += 1;
             }
         }
+        // Adaptive trim: a burst can balloon the scratch capacity; give
+        // the excess back once steady-state batches are much smaller.
+        // Purely a real-time memory knob — virtual time never sees it.
+        let cap = events.capacity();
+        if cap > 4096 && events.len() < cap / 4 {
+            events.shrink_to(cap / 2);
+        }
+        drop(events);
         while let Some(d) = self.port.try_pop() {
             n += 1;
             if matches!(d.bytes[0], MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA) {
@@ -565,6 +655,7 @@ impl UnrCore {
         self.sweep_retries(sched, t, replies);
         self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
         self.met.events_progressed.add(n as u64);
+        self.met.progress_batch.record(n as u64);
         (n, fb_bytes, fb_msgs)
     }
 
@@ -675,7 +766,7 @@ impl UnrCore {
                 let addend =
                     i64::from_le_bytes(bytes[21..29].try_into().expect("fallback addend"));
                 let payload = &bytes[29..];
-                let region = self.regions.lock().get(&region_id).cloned();
+                let region = self.regions.get(region_id);
                 match region {
                     Some(r) => {
                         r.write_bytes(offset, payload)
@@ -702,7 +793,7 @@ impl UnrCore {
                 let remote_key = u64::from_le_bytes(bytes[49..57].try_into().expect("rkey"));
                 let remote_addend =
                     i64::from_le_bytes(bytes[57..65].try_into().expect("radd"));
-                let region = self.regions.lock().get(&region_id).cloned();
+                let region = self.regions.get(region_id);
                 if let Some(r) = region {
                     let data = r.snapshot(offset, len).expect("fallback get in bounds");
                     // Notify the exposer side (GET remote completion).
@@ -731,7 +822,7 @@ impl UnrCore {
                     .as_ref()
                     .expect("sequenced data on a rank without reliability (SPMD config skew)");
                 if retry.accept(src, seq) {
-                    let region = self.regions.lock().get(&region_id).cloned();
+                    let region = self.regions.get(region_id);
                     if let Some(r) = region {
                         r.write_bytes(offset, payload).expect("seq write in bounds");
                         self.table.apply(sched, t, key, addend);
@@ -812,7 +903,7 @@ impl Unr {
     pub fn init(ep: Arc<Endpoint>, cfg: UnrConfig) -> Arc<Unr> {
         let spec = ep.iface();
         let channel = Channel::select(&spec, cfg.channel);
-        let table = SignalTable::new(cfg.n_bits);
+        let table = SignalTable::with_key_capacity(cfg.n_bits, Self::key_capacity(&channel));
         let cq = ep.create_cq();
         let port = ep.open_port(UNR_PORT);
         let met = UnrMetrics::new(&ep.fabric().obs, &channel);
@@ -822,17 +913,20 @@ impl Unr {
             Reliability::Auto => ep.fabric().cfg.faults.enabled(),
         };
         let retry = reliable.then(|| {
-            let nic = &ep.fabric().cfg.nic;
+            let fcfg = &ep.fabric().cfg;
             // Approximate wire cost per byte for deadline scaling.
-            let ns_per_byte = nic.bandwidth.transfer_time(4096) as f64 / 4096.0;
-            Arc::new(RetryState::new(RetryPolicy {
-                timeout: cfg.retry_timeout,
-                max_backoff: cfg.retry_max_backoff,
-                max_retries: cfg.max_retries,
-                fallback_after: cfg.fallback_after,
-                nics: ep.fabric().cfg.nics_per_node,
-                ns_per_byte,
-            }))
+            let ns_per_byte = fcfg.nic.bandwidth.transfer_time(4096) as f64 / 4096.0;
+            Arc::new(RetryState::new(
+                RetryPolicy {
+                    timeout: cfg.retry_timeout,
+                    max_backoff: cfg.retry_max_backoff,
+                    max_retries: cfg.max_retries,
+                    fallback_after: cfg.fallback_after,
+                    nics: fcfg.nics_per_node,
+                    ns_per_byte,
+                },
+                fcfg.nodes * fcfg.ranks_per_node,
+            ))
         });
         let rmet = reliable.then(|| RetryMetrics::new(&ep.fabric().obs));
         let core = Arc::new(UnrCore {
@@ -840,13 +934,14 @@ impl Unr {
             table,
             cq,
             port,
-            regions: Mutex::new(HashMap::new()),
+            regions: RegionMap::new(),
             stats: UnrStats::default(),
             cfg,
             copy_bw: Bandwidth::gibps(cfg.copy_bw_gibps),
             met,
             retry,
             rmet,
+            scratch: Mutex::new(Vec::new()),
         });
         let progress_mode = cfg.progress.unwrap_or(if channel.hardware && !reliable {
             ProgressMode::Hardware
@@ -949,10 +1044,7 @@ impl Unr {
     /// `UNR_Mem_Reg`: register `len` bytes for RMA.
     pub fn mem_reg(&self, len: usize) -> UnrMem {
         let region = self.ep.register(len, &self.core.cq);
-        self.core
-            .regions
-            .lock()
-            .insert(region.rkey.id, region.clone());
+        self.core.regions.insert(region.rkey.id, region.clone());
         UnrMem { region }
     }
 
@@ -1025,9 +1117,7 @@ impl Unr {
         let region = self
             .core
             .regions
-            .lock()
-            .get(&local.region_id)
-            .cloned()
+            .get(local.region_id)
             .ok_or(UnrError::RegionUnknown(local.region_id))?;
         let len = local.len;
         if local.offset + local.len > region.len() {
@@ -1057,8 +1147,7 @@ impl Unr {
         self.core.met.level_msgs.inc();
 
         if let Some(retry) = &self.core.retry {
-            let retry = Arc::clone(retry);
-            return self.put_reliable(&region, local, remote, local_sig, remote_sig, len, &retry);
+            return self.put_reliable(&region, local, remote, local_sig, remote_sig, len, retry);
         }
 
         match self.core.channel.mech {
@@ -1216,7 +1305,7 @@ impl Unr {
                 self.core.met.sub_messages.inc();
                 self.core.met.stripe_fanout.record(1);
                 let data = region
-                    .snapshot(local.offset, len)
+                    .snapshot_shared(local.offset, len)
                     .expect("local block in bounds");
                 self.ep.advance(
                     self.core.copy_bw.transfer_time(len) + self.core.cfg.fallback_overhead,
@@ -1251,8 +1340,10 @@ impl Unr {
                 for (i, &stripe_add) in remote_adds.iter().enumerate() {
                     let this = chunk + usize::from(i < rem);
                     let seq = retry.alloc_seq(dst);
+                    // One shared snapshot per stripe: the retry buffer,
+                    // the wire post and any retransmission all alias it.
                     let payload = region
-                        .snapshot(local.offset + off, this)
+                        .snapshot_shared(local.offset + off, this)
                         .expect("local block in bounds");
                     let nic = if k == 1 {
                         retry.first_nic(self.core.cfg.pin_nic)
@@ -1274,7 +1365,7 @@ impl Unr {
                         deadline: 0,
                     };
                     let companion = UnrCore::build_seq_notif(&sub);
-                    let payload = sub.payload.clone();
+                    let payload = sub.payload.clone(); // refcount bump, not a copy
                     // Register before posting: the polling agent sweeps
                     // this state concurrently, and the ack must never be
                     // able to outrun the registration it settles.
@@ -1413,9 +1504,7 @@ impl Unr {
         let region = self
             .core
             .regions
-            .lock()
-            .get(&local.region_id)
-            .cloned()
+            .get(local.region_id)
             .ok_or(UnrError::RegionUnknown(local.region_id))?;
         let len = local.len;
         if local.offset + local.len > region.len() {
@@ -1584,6 +1673,30 @@ impl Unr {
         self.nics().min(cfg.max_stripes).min(len).max(1)
     }
 
+    /// The largest signal key every direction of this channel can carry
+    /// in custom bits. Sizes the signal table's generation field so
+    /// generation-tagged keys always encode on the selected wire
+    /// (narrow wires get no tag and keep the historical semantics).
+    fn key_capacity(channel: &Channel) -> u64 {
+        match channel.mech {
+            // Keys ride full-width datagram payloads.
+            Mechanism::Dgram => u64::MAX,
+            // Level-0 local completions carry Split64 custom bits.
+            Mechanism::RmaCompanion => Encoding::Split64.max_key(),
+            Mechanism::Rma(enc) => {
+                let mut cap = enc
+                    .put_local
+                    .max_key()
+                    .min(enc.put_remote.max_key())
+                    .min(enc.get_local.max_key());
+                if let Some(g) = enc.get_remote {
+                    cap = cap.min(g.max_key());
+                }
+                cap
+            }
+        }
+    }
+
     fn nics(&self) -> usize {
         self.ep.fabric().cfg.nics_per_node
     }
@@ -1619,12 +1732,9 @@ impl Unr {
 
     fn progress_on(core: &Arc<UnrCore>, ep: &Endpoint) -> usize {
         let mut replies = Vec::new();
-        let (n, fb_bytes, fb_msgs) = {
-            let core2 = Arc::clone(core);
-            let replies_ref = &mut replies;
-            ep.actor()
-                .with_sched(move |st, t| core2.progress_pass(st, t, replies_ref))
-        };
+        let (n, fb_bytes, fb_msgs) = ep
+            .actor()
+            .with_sched(|st, t| core.progress_pass(st, t, &mut replies));
         if fb_msgs > 0 {
             // Receive-side bounce-buffer copy + per-message MPI-stack
             // overhead of the fallback channel.
@@ -1675,15 +1785,13 @@ impl Unr {
                         });
                     }
                     Some(retry) => {
-                        let probe = sig.probe();
-                        let probe2 = probe.clone();
-                        let r1 = Arc::clone(retry);
-                        let r2 = Arc::clone(retry);
+                        // The wait closures only borrow: no Arc or probe
+                        // clones per wait on this hot path.
                         self.ep.actor().wait_until(
-                            move |_st| probe.ready() || r1.failed(),
-                            move |_st, me| {
-                                probe2.register(me);
-                                r2.add_waiter(me);
+                            |_st| sig.ready(n_bits) || retry.failed(),
+                            |_st, me| {
+                                sig.register_waiter(me);
+                                retry.add_waiter(me);
                             },
                         );
                     }
@@ -1724,20 +1832,16 @@ impl Unr {
         }
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
-                let probe = sig.probe();
-                let probe2 = probe.clone();
-                let f = Arc::clone(&fired);
-                let r1 = self.core.retry.clone();
-                let r2 = self.core.retry.clone();
+                let retry = self.core.retry.as_deref();
                 self.ep.actor().wait_until(
-                    move |_st| {
-                        probe.ready()
-                            || f.load(Ordering::SeqCst)
-                            || r1.as_ref().is_some_and(|r| r.failed())
+                    |_st| {
+                        sig.ready(n_bits)
+                            || fired.load(Ordering::SeqCst)
+                            || retry.is_some_and(|r| r.failed())
                     },
-                    move |_st, me2| {
-                        probe2.register(me2);
-                        if let Some(r) = &r2 {
+                    |_st, me2| {
+                        sig.register_waiter(me2);
+                        if let Some(r) = retry {
                             r.add_waiter(me2);
                         }
                     },
@@ -1766,22 +1870,18 @@ impl Unr {
     /// Block the calling progress driver until a CQ event, a control
     /// message, a retransmit deadline, or a transport failure shows up.
     fn park_progress_driver(&self) {
-        let cq = Arc::clone(&self.core.cq);
-        let port = Arc::clone(&self.core.port);
-        let cq2 = Arc::clone(&self.core.cq);
-        let port2 = Arc::clone(&self.core.port);
-        let r1 = self.core.retry.clone();
-        let r2 = self.core.retry.clone();
+        let core = &self.core;
+        let retry = core.retry.as_deref();
         self.ep.actor().wait_until(
-            move |_st| {
-                !cq.is_empty()
-                    || !port.is_empty()
-                    || r1.as_ref().is_some_and(|r| r.is_due() || r.failed())
+            |_st| {
+                !core.cq.is_empty()
+                    || !core.port.is_empty()
+                    || retry.is_some_and(|r| r.is_due() || r.failed())
             },
-            move |_st, me| {
-                cq2.add_waiter(me);
-                port2.add_waiter(me);
-                if let Some(r) = &r2 {
+            |_st, me| {
+                core.cq.add_waiter(me);
+                core.port.add_waiter(me);
+                if let Some(r) = retry {
                     r.add_waiter(me);
                 }
             },
@@ -1825,20 +1925,17 @@ impl Unr {
         let n_bits = sigs[0].n_bits();
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
-                let probes: Vec<_> = sigs.iter().map(|s| s.probe()).collect();
-                let regs = probes.clone();
-                let r1 = self.core.retry.clone();
-                let r2 = self.core.retry.clone();
+                let retry = self.core.retry.as_deref();
                 self.ep.actor().wait_until(
-                    move |_st| {
-                        probes.iter().any(|p| p.ready())
-                            || r1.as_ref().is_some_and(|r| r.failed())
+                    |_st| {
+                        sigs.iter().any(|s| s.ready(n_bits))
+                            || retry.is_some_and(|r| r.failed())
                     },
-                    move |_st, me| {
-                        for p in &regs {
-                            p.register(me);
+                    |_st, me| {
+                        for s in sigs {
+                            s.register_waiter(me);
                         }
-                        if let Some(r) = &r2 {
+                        if let Some(r) = retry {
                             r.add_waiter(me);
                         }
                     },
@@ -1904,25 +2001,21 @@ impl Unr {
                     if interval == 0 {
                         // Busy-spin model: block until there is anything
                         // to process (the CQ/port wake us), a retransmit
-                        // deadline expires, or stop.
-                        let stop3 = Arc::clone(&stop2);
-                        let cq = Arc::clone(&core.cq);
-                        let port = Arc::clone(&core.port);
-                        let cq2 = Arc::clone(&core.cq);
-                        let port2 = Arc::clone(&core.port);
-                        let r1 = core.retry.clone();
-                        let r2 = core.retry.clone();
+                        // deadline expires, or stop. Borrow-only closures
+                        // — this parks once per quiet spell, so per-park
+                        // Arc traffic was pure overhead.
+                        let retry = core.retry.as_deref();
                         agent_ep.actor().wait_until(
-                            move |_st| {
-                                stop3.load(Ordering::Relaxed)
-                                    || !cq.is_empty()
-                                    || !port.is_empty()
-                                    || r1.as_ref().is_some_and(|r| r.is_due())
+                            |_st| {
+                                stop2.load(Ordering::Relaxed)
+                                    || !core.cq.is_empty()
+                                    || !core.port.is_empty()
+                                    || retry.is_some_and(|r| r.is_due())
                             },
-                            move |_st, me| {
-                                cq2.add_waiter(me);
-                                port2.add_waiter(me);
-                                if let Some(r) = &r2 {
+                            |_st, me| {
+                                core.cq.add_waiter(me);
+                                core.port.add_waiter(me);
+                                if let Some(r) = retry {
                                     r.add_waiter(me);
                                 }
                             },

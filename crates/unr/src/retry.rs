@@ -15,15 +15,31 @@
 //! woken and surface [`UnrError::RetryExhausted`](crate::UnrError) /
 //! [`UnrError::ChannelDown`](crate::UnrError).
 //!
+//! # Sharded locking
+//!
+//! The state is sharded by rank so concurrent ranks/agents do not
+//! serialize on one global mutex: each **destination** rank gets its own
+//! send-side shard (pending map, sequence counter, queued-byte gauge)
+//! and each **source** rank its own receive-side dedup window; the rare
+//! control data (parked waiters, first-failure detail) sits behind a
+//! separate small mutex. Posting to rank `a` therefore never contends
+//! with acking rank `b` or deduping arrivals from rank `c`. Sweeps
+//! visit destination shards in rank order and entries in sequence
+//! order — the same total order the previous single-map implementation
+//! produced, so retransmission schedules (and seeded traces) are
+//! unchanged. Buffered payloads are [`Bytes`] — reference-counted
+//! views — so buffering and every retransmission share one allocation
+//! with the original post instead of copying the payload.
+//!
 //! All bookkeeping is plain state guarded by the simulator-aware
 //! mutex; scheduling (deadline wake-ups) is done by the engine inside
 //! scheduler context, so the retry layer itself stays deterministic.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use unr_simnet::sync::Mutex;
-use unr_simnet::{ActorId, Ns, RKey};
+use unr_simnet::{ActorId, Bytes, Ns, RKey};
 
 /// Whether the engine runs the ack/replay protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,7 +105,9 @@ pub(crate) struct PendingSub {
     pub seq: u64,
     /// Payload snapshot taken at the original post (retransmits must
     /// resend these bytes even if the app reused its buffer since).
-    pub payload: Vec<u8>,
+    /// A refcounted view: registration and every resend share the
+    /// snapshot the post itself made — zero copies in the retry layer.
+    pub payload: Bytes,
     pub dst_rkey: RKey,
     pub dst_offset: usize,
     /// Raw key of the remote signal (0 = none) and this sub-message's
@@ -107,7 +125,7 @@ pub(crate) struct PendingSub {
 /// scheduler context, like `Reply`).
 pub(crate) enum Resend {
     Rma {
-        payload: Vec<u8>,
+        payload: Bytes,
         dst_rkey: RKey,
         dst_offset: usize,
         nic: usize,
@@ -172,15 +190,20 @@ impl SaturatingShl for Ns {
     }
 }
 
-struct RetryInner {
-    /// Unacked sub-messages keyed by (destination, sequence).
-    pending: BTreeMap<(usize, u64), PendingSub>,
-    /// Next sequence number per destination.
-    next_seq: HashMap<usize, u64>,
-    /// Bytes in flight per destination (deadline scaling).
-    queued_bytes: HashMap<usize, u64>,
-    /// Exactly-once filters per source (receive side).
-    dedup: HashMap<usize, DedupWindow>,
+/// Send-side state toward one destination rank.
+#[derive(Default)]
+struct DstShard {
+    /// Unacked sub-messages keyed by sequence number.
+    pending: BTreeMap<u64, PendingSub>,
+    /// Next sequence number.
+    next_seq: u64,
+    /// Bytes in flight (deadline scaling).
+    queued_bytes: u64,
+}
+
+/// Rarely-touched control data (not on the data path).
+#[derive(Default)]
+struct Ctl {
     /// Actors to wake on deadline expiry or channel failure: parked
     /// progress drivers and reliable signal waiters.
     waiters: Vec<ActorId>,
@@ -189,10 +212,14 @@ struct RetryInner {
 }
 
 /// Shared state of the self-healing transport (one per `Unr` instance
-/// when reliability is active).
+/// when reliability is active). See the module docs for the shard map.
 pub(crate) struct RetryState {
     pub policy: RetryPolicy,
-    inner: Mutex<RetryInner>,
+    /// Send-side shards, indexed by destination rank.
+    dst: Vec<Mutex<DstShard>>,
+    /// Receive-side dedup windows, indexed by source rank.
+    src: Vec<Mutex<DedupWindow>>,
+    ctl: Mutex<Ctl>,
     /// Latched when a sub-message exhausts its retries.
     failed: AtomicBool,
     /// Set by deadline wake-up events; progress passes clear it after
@@ -204,31 +231,32 @@ pub(crate) struct RetryState {
 }
 
 impl RetryState {
-    pub fn new(policy: RetryPolicy) -> RetryState {
+    pub fn new(policy: RetryPolicy, nranks: usize) -> RetryState {
+        let nranks = nranks.max(1);
         RetryState {
             policy,
-            inner: Mutex::new(RetryInner {
-                pending: BTreeMap::new(),
-                next_seq: HashMap::new(),
-                queued_bytes: HashMap::new(),
-                dedup: HashMap::new(),
-                waiters: Vec::new(),
-                failure: None,
-            }),
+            dst: (0..nranks).map(|_| Mutex::new(DstShard::default())).collect(),
+            src: (0..nranks).map(|_| Mutex::new(DedupWindow::default())).collect(),
+            ctl: Mutex::new(Ctl::default()),
             failed: AtomicBool::new(false),
             due_flag: AtomicBool::new(false),
             nic_rr: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
+    fn shard(&self, dst: usize) -> &Mutex<DstShard> {
+        self.dst.get(dst).unwrap_or_else(|| {
+            panic!("destination rank {dst} outside the {}-rank world", self.dst.len())
+        })
+    }
+
     // ---- sender side ----------------------------------------------------
 
     /// Allocate the next sequence number for `dst`.
     pub fn alloc_seq(&self, dst: usize) -> u64 {
-        let mut inner = self.inner.lock();
-        let n = inner.next_seq.entry(dst).or_insert(0);
-        let seq = *n;
-        *n += 1;
+        let mut sh = self.shard(dst).lock();
+        let seq = sh.next_seq;
+        sh.next_seq += 1;
         seq
     }
 
@@ -243,7 +271,7 @@ impl RetryState {
     /// Bytes currently unacked toward `dst` (deadline scaling).
     #[cfg(test)]
     pub fn queued_bytes(&self, dst: usize) -> u64 {
-        *self.inner.lock().queued_bytes.get(&dst).unwrap_or(&0)
+        self.shard(dst).lock().queued_bytes
     }
 
     /// Buffer a posted sub-message until its ack arrives.
@@ -256,19 +284,17 @@ impl RetryState {
     /// an ack can never outrun it.
     pub fn register(&self, mut sub: PendingSub) {
         sub.deadline = Ns::MAX;
-        let mut inner = self.inner.lock();
-        *inner.queued_bytes.entry(sub.dst_rank).or_insert(0) += sub.payload.len() as u64;
-        inner.pending.insert((sub.dst_rank, sub.seq), sub);
+        let mut sh = self.shard(sub.dst_rank).lock();
+        sh.queued_bytes += sub.payload.len() as u64;
+        sh.pending.insert(sub.seq, sub);
     }
 
     /// Roll back a registration whose post failed locally (bounds
     /// error): drop the entry so it is never retransmitted.
     pub fn unregister(&self, dst: usize, seq: u64) {
-        let mut inner = self.inner.lock();
-        if let Some(p) = inner.pending.remove(&(dst, seq)) {
-            if let Some(q) = inner.queued_bytes.get_mut(&dst) {
-                *q = q.saturating_sub(p.payload.len() as u64);
-            }
+        let mut sh = self.shard(dst).lock();
+        if let Some(p) = sh.pending.remove(&seq) {
+            sh.queued_bytes = sh.queued_bytes.saturating_sub(p.payload.len() as u64);
         }
     }
 
@@ -276,11 +302,11 @@ impl RetryState {
     /// (called in scheduler context right after the posts). Returns
     /// each entry's deadline so the caller can schedule wake-ups.
     pub fn arm(&self, t: Ns, entries: &[(usize, u64)]) -> Vec<Ns> {
-        let mut inner = self.inner.lock();
         let mut deadlines = Vec::with_capacity(entries.len());
         for &(dst, seq) in entries {
-            let queued = *inner.queued_bytes.get(&dst).unwrap_or(&0);
-            if let Some(p) = inner.pending.get_mut(&(dst, seq)) {
+            let mut sh = self.shard(dst).lock();
+            let queued = sh.queued_bytes;
+            if let Some(p) = sh.pending.get_mut(&seq) {
                 let rto = self.policy.rto(p.payload.len(), queued, 0);
                 p.first_post = t;
                 p.deadline = t + rto;
@@ -295,11 +321,9 @@ impl RetryState {
     /// when the entry was acked before [`RetryState::arm`] stamped it —
     /// callers should skip the latency sample then).
     pub fn ack(&self, src: usize, seq: u64) -> Option<Ns> {
-        let mut inner = self.inner.lock();
-        let p = inner.pending.remove(&(src, seq))?;
-        if let Some(q) = inner.queued_bytes.get_mut(&src) {
-            *q = q.saturating_sub(p.payload.len() as u64);
-        }
+        let mut sh = self.shard(src).lock();
+        let p = sh.pending.remove(&seq)?;
+        sh.queued_bytes = sh.queued_bytes.saturating_sub(p.payload.len() as u64);
         Some(p.first_post)
     }
 
@@ -307,6 +331,10 @@ impl RetryState {
     /// NICs, reroute to the fallback channel, build retransmissions,
     /// mark exhaustion. Pure bookkeeping — the caller posts the
     /// resends and schedules wake-ups for `new_deadlines`.
+    ///
+    /// Shards are visited in destination-rank order and entries in
+    /// sequence order, reproducing the single-map implementation's
+    /// `(dst, seq)` total order exactly.
     pub fn sweep(&self, now: Ns, build_dgram: impl Fn(&PendingSub) -> Vec<u8>,
                  build_companion: impl Fn(&PendingSub) -> Vec<u8>) -> SweepOutcome {
         self.due_flag.store(false, Ordering::SeqCst);
@@ -317,52 +345,60 @@ impl RetryState {
             fallback_reroutes: 0,
             exhausted: 0,
         };
-        let mut inner = self.inner.lock();
-        let expired: Vec<(usize, u64)> = inner
-            .pending
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(k, _)| *k)
-            .collect();
-        for key in expired {
-            let p = inner.pending.get_mut(&key).expect("key just listed");
-            p.attempts += 1;
-            if p.attempts > self.policy.max_retries {
-                out.exhausted += 1;
-                inner.failure.get_or_insert((key.0, self.policy.max_retries));
-                let p = inner.pending.remove(&key).expect("still present");
-                if let Some(q) = inner.queued_bytes.get_mut(&key.0) {
-                    *q = q.saturating_sub(p.payload.len() as u64);
+        let mut first_failure: Option<usize> = None;
+        for (dst, shard) in self.dst.iter().enumerate() {
+            let mut sh = shard.lock();
+            let expired: Vec<u64> = sh
+                .pending
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in expired {
+                let p = sh.pending.get_mut(&seq).expect("seq just listed");
+                p.attempts += 1;
+                if p.attempts > self.policy.max_retries {
+                    out.exhausted += 1;
+                    if first_failure.is_none() {
+                        first_failure = Some(dst);
+                    }
+                    let p = sh.pending.remove(&seq).expect("still present");
+                    sh.queued_bytes = sh.queued_bytes.saturating_sub(p.payload.len() as u64);
+                    continue;
                 }
-                continue;
+                if p.route == Route::Rma && p.attempts >= self.policy.fallback_after {
+                    p.route = Route::Dgram;
+                    out.fallback_reroutes += 1;
+                }
+                if p.route == Route::Rma && self.policy.nics > 1 {
+                    p.nic = (p.nic + 1) % self.policy.nics;
+                    out.nic_rotations += 1;
+                }
+                let queued = 0; // backoff already covers congestion growth
+                p.deadline = now + self.policy.rto(p.payload.len(), queued, p.attempts);
+                out.new_deadlines.push(p.deadline);
+                out.resends.push(match p.route {
+                    Route::Rma => Resend::Rma {
+                        payload: p.payload.clone(),
+                        dst_rkey: p.dst_rkey,
+                        dst_offset: p.dst_offset,
+                        nic: p.nic,
+                        companion: build_companion(p),
+                    },
+                    Route::Dgram => Resend::Dgram {
+                        dst: p.dst_rank,
+                        bytes: build_dgram(p),
+                    },
+                });
             }
-            if p.route == Route::Rma && p.attempts >= self.policy.fallback_after {
-                p.route = Route::Dgram;
-                out.fallback_reroutes += 1;
-            }
-            if p.route == Route::Rma && self.policy.nics > 1 {
-                p.nic = (p.nic + 1) % self.policy.nics;
-                out.nic_rotations += 1;
-            }
-            let queued = 0; // backoff already covers congestion growth
-            p.deadline = now + self.policy.rto(p.payload.len(), queued, p.attempts);
-            out.new_deadlines.push(p.deadline);
-            out.resends.push(match p.route {
-                Route::Rma => Resend::Rma {
-                    payload: p.payload.clone(),
-                    dst_rkey: p.dst_rkey,
-                    dst_offset: p.dst_offset,
-                    nic: p.nic,
-                    companion: build_companion(p),
-                },
-                Route::Dgram => Resend::Dgram {
-                    dst: p.dst_rank,
-                    bytes: build_dgram(p),
-                },
-            });
         }
         if out.exhausted > 0 {
-            drop(inner);
+            if let Some(dst) = first_failure {
+                self.ctl
+                    .lock()
+                    .failure
+                    .get_or_insert((dst, self.policy.max_retries));
+            }
             self.failed.store(true, Ordering::SeqCst);
         }
         out
@@ -370,14 +406,20 @@ impl RetryState {
 
     /// Number of unacked sub-messages (diagnostics, tests).
     pub fn in_flight(&self) -> usize {
-        self.inner.lock().pending.len()
+        self.dst.iter().map(|s| s.lock().pending.len()).sum()
     }
 
     // ---- receive side ---------------------------------------------------
 
     /// Exactly-once check: `true` iff (`src`, `seq`) is fresh.
     pub fn accept(&self, src: usize, seq: u64) -> bool {
-        self.inner.lock().dedup.entry(src).or_default().insert(seq)
+        self.src
+            .get(src)
+            .unwrap_or_else(|| {
+                panic!("source rank {src} outside the {}-rank world", self.src.len())
+            })
+            .lock()
+            .insert(seq)
     }
 
     // ---- failure / wake-up plumbing -------------------------------------
@@ -389,21 +431,21 @@ impl RetryState {
 
     /// Detail of the first failure: `(dst_rank, attempts)`.
     pub fn failure(&self) -> Option<(usize, u32)> {
-        self.inner.lock().failure
+        self.ctl.lock().failure
     }
 
     /// Register a parked actor to be woken by deadline expiry or
     /// channel failure.
     pub fn add_waiter(&self, me: ActorId) {
-        let mut inner = self.inner.lock();
-        if !inner.waiters.contains(&me) {
-            inner.waiters.push(me);
+        let mut ctl = self.ctl.lock();
+        if !ctl.waiters.contains(&me) {
+            ctl.waiters.push(me);
         }
     }
 
     /// Drain the waiter list for waking (scheduler context).
     pub fn take_waiters(&self) -> Vec<ActorId> {
-        std::mem::take(&mut self.inner.lock().waiters)
+        std::mem::take(&mut self.ctl.lock().waiters)
     }
 
     /// Mark that a deadline has expired (deadline wake-up events set
@@ -457,11 +499,16 @@ mod tests {
         }
     }
 
+    /// A 4-rank world covers every destination the tests address.
+    fn state() -> RetryState {
+        RetryState::new(policy(), 4)
+    }
+
     fn sub(dst: usize, seq: u64, len: usize) -> PendingSub {
         PendingSub {
             dst_rank: dst,
             seq,
-            payload: vec![0xAB; len],
+            payload: Bytes::from(vec![0xAB; len]),
             dst_rkey: RKey {
                 rank: dst,
                 id: 0,
@@ -491,7 +538,7 @@ mod tests {
 
     #[test]
     fn ack_clears_pending_and_returns_post_time() {
-        let st = RetryState::new(policy());
+        let st = state();
         let seq = st.alloc_seq(1);
         st.register(sub(1, seq, 64));
         st.arm(500, &[(1, seq)]);
@@ -504,8 +551,40 @@ mod tests {
     }
 
     #[test]
+    fn sequence_numbers_are_per_destination() {
+        let st = state();
+        assert_eq!(st.alloc_seq(1), 0);
+        assert_eq!(st.alloc_seq(1), 1);
+        assert_eq!(st.alloc_seq(2), 0, "each destination has its own stream");
+    }
+
+    #[test]
+    fn resend_shares_the_buffered_payload() {
+        // Zero-copy check: the Resend's payload must be the same
+        // allocation as the registered snapshot, not a copy.
+        let st = state();
+        let seq = st.alloc_seq(1);
+        let snap = Bytes::from(vec![0xCD; 256]);
+        let mut s = sub(1, seq, 0);
+        s.payload = snap.clone();
+        st.register(s);
+        let dl = st.arm(0, &[(1, seq)]);
+        let bytes = |p: &PendingSub| vec![p.attempts as u8];
+        let o = st.sweep(dl[0], bytes, bytes);
+        match &o.resends[0] {
+            Resend::Rma { payload, .. } => {
+                assert!(
+                    std::ptr::eq(payload.as_ref() as *const [u8], snap.as_ref() as *const [u8]),
+                    "resend must alias the registered snapshot"
+                );
+            }
+            _ => panic!("expected an RMA resend"),
+        }
+    }
+
+    #[test]
     fn sweep_escalates_nic_then_fallback_then_exhausts() {
-        let st = RetryState::new(policy());
+        let st = state();
         let seq = st.alloc_seq(1);
         st.register(sub(1, seq, 64));
         let dl = st.arm(0, &[(1, seq)]);
@@ -532,8 +611,38 @@ mod tests {
     }
 
     #[test]
+    fn sweep_visits_destinations_in_rank_order() {
+        // Entries to ranks 2 and 1 expire together; the resend list must
+        // come out (dst 1, then dst 2) regardless of registration order,
+        // matching the old single-map (dst, seq) iteration order.
+        let st = state();
+        let s2 = st.alloc_seq(2);
+        st.register(sub(2, s2, 64));
+        let s1 = st.alloc_seq(1);
+        st.register(sub(1, s1, 64));
+        let dl = st.arm(0, &[(2, s2), (1, s1)]);
+        let bytes = |p: &PendingSub| vec![p.dst_rank as u8];
+        // Attempt 1 (both expired): still RMA, NICs rotate.
+        let o1 = st.sweep(*dl.iter().max().unwrap(), bytes, bytes);
+        assert_eq!(o1.resends.len(), 2);
+        // Attempt 2: both reroute to the fallback channel, which carries
+        // the destination rank in the resend.
+        let o2 = st.sweep(*o1.new_deadlines.iter().max().unwrap(), bytes, bytes);
+        assert_eq!(o2.fallback_reroutes, 2);
+        let dsts: Vec<usize> = o2
+            .resends
+            .iter()
+            .map(|r| match r {
+                Resend::Dgram { dst, .. } => *dst,
+                Resend::Rma { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(dsts, vec![1, 2], "sweep order must be by destination rank");
+    }
+
+    #[test]
     fn sweep_ignores_unexpired_entries() {
-        let st = RetryState::new(policy());
+        let st = state();
         let seq = st.alloc_seq(2);
         st.register(sub(2, seq, 64));
         let dl = st.arm(0, &[(2, seq)]);
@@ -551,7 +660,7 @@ mod tests {
         // treating the provisional deadline as expired would retransmit
         // a message that was just posted — and do so or not depending on
         // OS thread interleaving, breaking bit-reproducibility.
-        let st = RetryState::new(policy());
+        let st = state();
         let seq = st.alloc_seq(1);
         st.register(sub(1, seq, 64));
         let bytes = |p: &PendingSub| vec![p.attempts as u8];
@@ -566,7 +675,7 @@ mod tests {
 
     #[test]
     fn unregister_rolls_back_a_failed_post() {
-        let st = RetryState::new(policy());
+        let st = state();
         let seq = st.alloc_seq(1);
         st.register(sub(1, seq, 64));
         assert_eq!(st.queued_bytes(1), 64);
@@ -578,7 +687,7 @@ mod tests {
 
     #[test]
     fn accept_is_per_source() {
-        let st = RetryState::new(policy());
+        let st = state();
         assert!(st.accept(0, 0));
         assert!(st.accept(1, 0), "sources have independent windows");
         assert!(!st.accept(0, 0));

@@ -23,14 +23,45 @@
 //!
 //! The signal **triggers** when the counter equals zero.
 //!
-//! Signals live in a [`SignalTable`]; the table index (the paper's
+//! Signals live in a [`SignalTable`]; the table key (the paper's
 //! pointer `p`) is what travels in the NIC custom bits, and
 //! [`SignalTable::apply`] is the polling thread's / level-4 NIC's
 //! `*p += a`.
+//!
+//! # Lock-free completion path
+//!
+//! The table is a segmented slot array with geometric growth: segment
+//! `s` holds `1024 << s` slots behind one atomic pointer, so a slot
+//! index maps to its slot with two atomic loads and no locking, and
+//! slots never move once published. `apply` — the hottest operation in
+//! the library, executed for every NIC completion — reads the slot's
+//! state word, checks liveness + generation, and `fetch_add`s the
+//! counter directly; it takes no lock and clones no `Arc`.
+//! Allocation and release are the cold path and serialize on one small
+//! mutex (free-list + segment growth), which also makes slot index
+//! assignment deterministic: fresh indices are sequential from 1 and
+//! freed indices are reused LIFO, exactly like the previous
+//! mutex-per-lookup implementation — allocation-order determinism is
+//! what keeps seeded traces byte-identical across the refactor.
+//!
+//! # Generation-tagged keys
+//!
+//! A freed slot's index is recycled, so a *stale* key captured before
+//! the free could silently alias the next signal allocated into that
+//! slot. Keys therefore carry a generation field above the index
+//! (`key = gen << shift | idx`); `apply` rejects mismatches as
+//! [`SignalError::Stale`]. The generation width adapts to the
+//! channel's wire capacity ([`SignalTable::with_key_capacity`]): 64-bit
+//! key channels get 16 generation bits, 32-bit channels get 8, and
+//! narrower channels (level-1/2 custom bits) get none — there the first
+//! generation's keys are bit-identical to the un-tagged scheme and
+//! stale-key aliasing remains a documented hardware limitation, exactly
+//! the paper's "maximum number of signals is limited" caveat.
 
-use unr_simnet::sync::Mutex;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::ptr::null_mut;
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use unr_simnet::sync::Mutex;
 
 use unr_simnet::{ActorId, Endpoint, Ns, Sched};
 
@@ -49,6 +80,12 @@ pub enum SignalError {
         /// Raw counter value, overflow bit included.
         counter: i64,
     },
+    /// The key's generation does not match the slot: the signal it
+    /// referred to was freed (and possibly reallocated) — a stale key.
+    Stale {
+        /// The offending wire key.
+        key: u64,
+    },
 }
 
 impl std::fmt::Display for SignalError {
@@ -63,6 +100,11 @@ impl std::fmt::Display for SignalError {
                 f,
                 "synchronization error: more events than num_event received \
                  (overflow bit set, counter = {counter})"
+            ),
+            SignalError::Stale { key } => write!(
+                f,
+                "stale signal key {key}: the signal was freed (slot generation \
+                 mismatch)"
             ),
         }
     }
@@ -159,13 +201,59 @@ pub struct SignalStats {
     pub overflow_errors: AtomicU64,
     /// Total `apply` executions (events processed).
     pub events_applied: AtomicU64,
+    /// `apply` calls rejected because the key was stale (freed slot or
+    /// generation mismatch).
+    pub stale_rejects: AtomicU64,
+}
+
+/// Slot state word: `gen << 2 | used << 1 | live`. `used`
+/// distinguishes a never-allocated slot (generation starts at 0, so
+/// first-generation keys are bit-identical to the un-tagged scheme)
+/// from a freed one (generation bumps on reallocation).
+const SLOT_LIVE: u64 = 0b01;
+const SLOT_USED: u64 = 0b10;
+const SLOT_GEN_SHIFT: u32 = 2;
+
+struct Slot {
+    state: AtomicU64,
+    /// The table's own strong reference to the slot's `SignalInner`
+    /// (created on first allocation, *reused* across generations,
+    /// dropped only when the table drops). Reuse — rather than
+    /// free/realloc — is what makes the lock-free `apply` below safe:
+    /// a racing stale apply can only ever touch memory the table still
+    /// owns.
+    inner: AtomicPtr<SignalInner>,
+}
+
+/// Segment 0 holds `1 << SEG0_BITS` slots; segment `s` holds
+/// `1 << (SEG0_BITS + s)`. 23 segments cover every index a `u32` free
+/// list can name.
+const SEG0_BITS: u32 = 10;
+const NUM_SEGS: usize = 23;
+
+struct AllocState {
+    /// Freed slot indices, reused LIFO (matches the seed implementation
+    /// so allocation order — and therefore every seeded trace — is
+    /// unchanged).
+    free: Vec<u32>,
+    /// Next never-used index; starts at 1 (0 is the null key).
+    next_idx: u32,
 }
 
 /// The per-rank signal slab. `key` 0 is reserved as the null signal.
+///
+/// See the module docs for the concurrency design: `apply`/`try_apply`
+/// are lock-free; `alloc`/`release` serialize on one mutex.
 pub struct SignalTable {
-    slots: Mutex<Vec<Option<Arc<SignalInner>>>>,
-    free: Mutex<Vec<u32>>,
+    segs: [AtomicPtr<Slot>; NUM_SEGS],
+    alloc: Mutex<AllocState>,
+    live: AtomicUsize,
     n_bits: u32,
+    /// Bits of generation tag carried above the index in each key
+    /// (0 on channels whose custom bits cannot spare any).
+    gen_bits: u32,
+    /// Bit position of the generation field.
+    gen_shift: u32,
     /// Counters for the bug-avoiding interfaces (reset/overflow errors).
     pub stats: SignalStats,
 }
@@ -174,13 +262,40 @@ impl SignalTable {
     /// Create a table whose signals use `n_bits` event bits (the paper's
     /// `N`). `n_bits` bounds `num_event` at `2^N - 1`; smaller values
     /// leave more room for the sub-message field — mandatory when the
-    /// NIC's custom bits are short (level-2 mode 2).
+    /// NIC's custom bits are short (level-2 mode 2). Keys are assumed to
+    /// have the full 64 bits of wire capacity; see
+    /// [`SignalTable::with_key_capacity`] when they do not.
     pub fn new(n_bits: u32) -> Arc<SignalTable> {
+        SignalTable::with_key_capacity(n_bits, u64::MAX)
+    }
+
+    /// Like [`SignalTable::new`], but sized to a channel whose wire can
+    /// carry keys only up to `max_key` (the minimum
+    /// [`Encoding::max_key`](crate::level::Encoding::max_key) across the
+    /// channel's directions). The generation field shrinks to fit:
+    /// 16 bits above a 32-bit index for full-width channels, 8 bits
+    /// above a 24-bit index for 32-bit-key channels, none below that
+    /// (level-1-style wires keep the historical alias-on-reuse
+    /// semantics — the paper's documented signal-count limitation).
+    pub fn with_key_capacity(n_bits: u32, max_key: u64) -> Arc<SignalTable> {
         assert!((1..62).contains(&n_bits), "n_bits must be in 1..62");
+        let (gen_bits, gen_shift) = if max_key == u64::MAX {
+            (16u32, 32u32)
+        } else if max_key >= u32::MAX as u64 {
+            (8, 24)
+        } else {
+            (0, 64)
+        };
         Arc::new(SignalTable {
-            slots: Mutex::new(vec![None]), // slot 0 = null signal
-            free: Mutex::new(Vec::new()),
+            segs: std::array::from_fn(|_| AtomicPtr::new(null_mut())),
+            alloc: Mutex::new(AllocState {
+                free: Vec::new(),
+                next_idx: 1,
+            }),
+            live: AtomicUsize::new(0),
             n_bits,
+            gen_bits,
+            gen_shift,
             stats: SignalStats::default(),
         })
     }
@@ -192,7 +307,61 @@ impl SignalTable {
 
     /// Number of live signals (diagnostics).
     pub fn live(&self) -> usize {
-        self.slots.lock().iter().flatten().count()
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Width of the generation field in keys (diagnostics/tests).
+    pub fn gen_bits(&self) -> u32 {
+        self.gen_bits
+    }
+
+    fn split_key(&self, key: u64) -> (u64, u64) {
+        if self.gen_bits == 0 {
+            (0, key)
+        } else {
+            (key >> self.gen_shift, key & ((1u64 << self.gen_shift) - 1))
+        }
+    }
+
+    /// Segment + offset of a slot index. Returns `None` for indices no
+    /// segment covers (never-allocated territory).
+    fn slot(&self, idx: u64) -> Option<&Slot> {
+        if idx == 0 || idx > u32::MAX as u64 {
+            return None;
+        }
+        let adj = idx + (1 << SEG0_BITS);
+        let bit = 63 - adj.leading_zeros();
+        let seg = (bit - SEG0_BITS) as usize;
+        debug_assert!(seg < NUM_SEGS);
+        let p = self.segs[seg].load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        let off = (adj - (1u64 << bit)) as usize;
+        // SAFETY: published segments are immutable boxed slices of
+        // length `1 << bit` > off; they live until the table drops.
+        Some(unsafe { &*p.add(off) })
+    }
+
+    /// Get (allocating if needed) the slot for `idx`. Cold path; must
+    /// run under the alloc lock (single writer for segment growth).
+    fn ensure_slot(&self, idx: u32) -> &Slot {
+        if let Some(s) = self.slot(idx as u64) {
+            return s;
+        }
+        let adj = idx as u64 + (1 << SEG0_BITS);
+        let bit = 63 - adj.leading_zeros();
+        let seg = (bit - SEG0_BITS) as usize;
+        let len = 1usize << bit;
+        let boxed: Box<[Slot]> = (0..len)
+            .map(|_| Slot {
+                state: AtomicU64::new(0),
+                inner: AtomicPtr::new(null_mut()),
+            })
+            .collect();
+        let ptr = Box::into_raw(boxed) as *mut Slot;
+        self.segs[seg].store(ptr, Ordering::Release);
+        self.slot(idx as u64).expect("segment just published")
     }
 
     /// Allocate a signal that triggers after `num_event` events.
@@ -204,44 +373,116 @@ impl SignalTable {
             num_event,
             self.n_bits
         );
-        let mut slots = self.slots.lock();
-        let idx = match self.free.lock().pop() {
-            Some(i) => i as usize,
+        let mut a = self.alloc.lock();
+        let idx = match a.free.pop() {
+            Some(i) => i,
             None => {
-                slots.push(None);
-                slots.len() - 1
+                let i = a.next_idx;
+                a.next_idx = a.next_idx.checked_add(1).expect("signal table exhausted");
+                i
             }
         };
-        let inner = Arc::new(SignalInner {
-            counter: AtomicI64::new(num_event),
-            num_event: AtomicI64::new(num_event),
-            waiter: Mutex::new(None),
-        });
-        slots[idx] = Some(Arc::clone(&inner));
-        drop(slots);
+        let slot = self.ensure_slot(idx);
+        let old = slot.state.load(Ordering::Relaxed);
+        debug_assert_eq!(old & SLOT_LIVE, 0, "allocating a live slot");
+        // First use keeps generation 0 (keys identical to the un-tagged
+        // scheme); reallocation bumps it, wrapping within gen_bits.
+        let gen = if old & SLOT_USED == 0 || self.gen_bits == 0 {
+            old >> SLOT_GEN_SHIFT
+        } else {
+            ((old >> SLOT_GEN_SHIFT) + 1) & ((1u64 << self.gen_bits) - 1)
+        };
+        let inner = match unsafe { slot.inner.load(Ordering::Relaxed).as_ref() } {
+            // Reuse: re-arm the slot's existing SignalInner. Safe — the
+            // previous Signal handle was dropped (release ran), so no
+            // live handle observes the reset.
+            Some(existing) => {
+                existing.counter.store(num_event, Ordering::SeqCst);
+                existing.num_event.store(num_event, Ordering::SeqCst);
+                *existing.waiter.lock() = None;
+                let ptr = existing as *const SignalInner;
+                // SAFETY: `ptr` came from Arc::into_raw and the table
+                // still holds that strong reference.
+                unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                }
+            }
+            None => {
+                let arc = Arc::new(SignalInner {
+                    counter: AtomicI64::new(num_event),
+                    num_event: AtomicI64::new(num_event),
+                    waiter: Mutex::new(None),
+                });
+                slot.inner
+                    .store(Arc::into_raw(Arc::clone(&arc)) as *mut _, Ordering::Release);
+                arc
+            }
+        };
+        slot.state.store(
+            (gen << SLOT_GEN_SHIFT) | SLOT_USED | SLOT_LIVE,
+            Ordering::Release,
+        );
+        self.live.fetch_add(1, Ordering::Relaxed);
+        drop(a);
+        let key = if self.gen_bits == 0 {
+            idx as u64
+        } else {
+            (gen << self.gen_shift) | idx as u64
+        };
         Signal {
             inner,
             table: Arc::clone(self),
-            key: idx as u64,
+            key,
         }
     }
 
-    fn lookup(&self, key: u64) -> Option<Arc<SignalInner>> {
-        self.slots.lock().get(key as usize)?.clone()
-    }
-
-    /// The polling agent's / level-4 NIC's `*p += a`. Must run in
-    /// scheduler context (it may wake a waiting actor). `key` 0 is the
-    /// null signal (no-op).
+    /// The polling agent's / level-4 NIC's `*p += a`, lock-free. Must
+    /// run in scheduler context (it may wake a waiting actor). `key` 0
+    /// is the null signal (no-op); a stale key — freed slot, or freed
+    /// and reallocated under a new generation — is tolerated and
+    /// counted, like RMA writes to deregistered memory.
     pub fn apply(&self, sched: &mut Sched, t: Ns, key: u64, addend: i64) {
-        if key == 0 {
-            return;
+        if self.try_apply(sched, t, key, addend).is_err() {
+            self.stats.stale_rejects.fetch_add(1, Ordering::Relaxed);
         }
-        let Some(inner) = self.lookup(key) else {
-            // Signal freed with traffic still in flight: tolerated, like
-            // writes to deregistered memory.
-            return;
+    }
+
+    /// [`SignalTable::apply`] that reports stale keys to the caller
+    /// instead of just counting them.
+    ///
+    /// Concurrency contract: the live/generation check and the counter
+    /// add are two separate atomics, so an apply racing a *free +
+    /// reallocate* of the same slot (from another thread, in the
+    /// nanoseconds between check and add) could deposit a stale addend
+    /// on the new generation — the same hazard as real RDMA traffic
+    /// in flight to a re-registered buffer. Freeing a signal while its
+    /// notifications are still in flight was undefined before this
+    /// refactor too (the addend landed on a detached counter); the
+    /// generation tag narrows the exposure to that release/realloc
+    /// window instead of the whole slot lifetime.
+    pub fn try_apply(
+        &self,
+        sched: &mut Sched,
+        t: Ns,
+        key: u64,
+        addend: i64,
+    ) -> Result<(), SignalError> {
+        if key == 0 {
+            return Ok(());
+        }
+        let (gen, idx) = self.split_key(key);
+        let Some(slot) = self.slot(idx) else {
+            return Err(SignalError::Stale { key });
         };
+        let state = slot.state.load(Ordering::Acquire);
+        if state & SLOT_LIVE == 0 || state >> SLOT_GEN_SHIFT != gen {
+            return Err(SignalError::Stale { key });
+        }
+        // SAFETY: live slots have a published inner (stored before the
+        // state flipped live, with Release/Acquire pairing), and the
+        // table never frees it while it exists.
+        let inner = unsafe { &*slot.inner.load(Ordering::Acquire) };
         self.stats.events_applied.fetch_add(1, Ordering::Relaxed);
         let new = inner.counter.fetch_add(addend, Ordering::SeqCst) + addend;
         if new == 0 || (new >> self.n_bits) & 1 == 1 {
@@ -250,14 +491,46 @@ impl SignalTable {
                 sched.wake(w, t);
             }
         }
+        Ok(())
     }
 
     fn release(&self, key: u64) {
         if key == 0 {
             return;
         }
-        self.slots.lock()[key as usize] = None;
-        self.free.lock().push(key as u32);
+        let (gen, idx) = self.split_key(key);
+        let a = self.alloc.lock();
+        let slot = self.slot(idx).expect("releasing an unallocated slot");
+        debug_assert_eq!(slot.state.load(Ordering::Relaxed) >> SLOT_GEN_SHIFT, gen);
+        slot.state
+            .store((gen << SLOT_GEN_SHIFT) | SLOT_USED, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        let mut a = a;
+        a.free.push(idx as u32);
+    }
+}
+
+impl Drop for SignalTable {
+    fn drop(&mut self) {
+        for (seg, slot_ptr) in self.segs.iter().enumerate() {
+            let p = slot_ptr.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            let len = 1usize << (SEG0_BITS as usize + seg);
+            // SAFETY: reconstruct the boxed slice published by
+            // ensure_slot; drop each slot's table-owned Arc reference.
+            unsafe {
+                let slice = std::slice::from_raw_parts_mut(p, len);
+                for s in slice.iter() {
+                    let ip = s.inner.load(Ordering::Relaxed);
+                    if !ip.is_null() {
+                        drop(Arc::from_raw(ip));
+                    }
+                }
+                drop(Box::from_raw(slice as *mut [Slot]));
+            }
+        }
     }
 }
 
@@ -303,16 +576,14 @@ impl Signal {
     /// `num_event` events arrived, returns
     /// [`SignalError::EventOverflow`].
     pub fn wait(&self, ep: &Endpoint) -> Result<(), SignalError> {
-        let inner = Arc::clone(&self.inner);
-        let inner2 = Arc::clone(&self.inner);
         let n_bits = self.table.n_bits;
         ep.actor().wait_until(
-            move |_st| {
-                let c = inner.counter.load(Ordering::SeqCst);
+            |_st| {
+                let c = self.inner.counter.load(Ordering::SeqCst);
                 c == 0 || (c >> n_bits) & 1 == 1
             },
-            move |_st, me| {
-                *inner2.waiter.lock() = Some(me);
+            |_st, me| {
+                *self.inner.waiter.lock() = Some(me);
             },
         );
         if self.overflowed() {
@@ -337,12 +608,9 @@ impl Signal {
         self.table.n_bits
     }
 
-    /// A cheap cloneable handle for multi-signal waits.
-    pub(crate) fn probe(&self) -> SignalProbe {
-        SignalProbe {
-            inner: Arc::clone(&self.inner),
-            n_bits: self.table.n_bits,
-        }
+    /// Park `me` as this signal's waiter (for borrowed wait closures).
+    pub(crate) fn register_waiter(&self, me: ActorId) {
+        *self.inner.waiter.lock() = Some(me);
     }
 
     /// Re-arm the signal for the next epoch (`UNR_Sig_Reset`).
@@ -371,26 +639,6 @@ impl Signal {
         assert!(num_event >= 1 && num_event < (1i64 << self.table.n_bits));
         self.inner.num_event.store(num_event, Ordering::SeqCst);
         self.reset()
-    }
-}
-
-/// Cloneable ready-check + waiter-registration handle used by
-/// `Unr::sig_wait_any` (the closures it hands to the scheduler must be
-/// `'static`).
-#[derive(Clone)]
-pub(crate) struct SignalProbe {
-    inner: Arc<SignalInner>,
-    n_bits: u32,
-}
-
-impl SignalProbe {
-    pub(crate) fn ready(&self) -> bool {
-        let c = self.inner.counter.load(Ordering::SeqCst);
-        c == 0 || (c >> self.n_bits) & 1 == 1
-    }
-
-    pub(crate) fn register(&self, me: ActorId) {
-        *self.inner.waiter.lock() = Some(me);
     }
 }
 
@@ -659,18 +907,88 @@ mod tests {
             move |st, _| t.apply(st, 0, 0, -1)
         });
         assert_eq!(table.stats.events_applied.load(Ordering::Relaxed), 0);
+        assert_eq!(table.stats.stale_rejects.load(Ordering::Relaxed), 0);
     }
 
     #[test]
-    fn freed_slot_is_reused() {
+    fn freed_slot_is_reused_under_a_new_generation() {
         let table = SignalTable::new(32);
         let k1 = {
             let s = table.alloc(1);
-            s.key()
+            s.key().raw()
         };
         let s2 = table.alloc(1);
-        assert_eq!(s2.key(), k1, "slot must be recycled");
+        let k2 = s2.key().raw();
+        // Same slot index (the slab recycles), different generation
+        // (stale keys must not alias the new signal).
+        assert_eq!(k2 & 0xFFFF_FFFF, k1 & 0xFFFF_FFFF, "slot must be recycled");
+        assert_ne!(k2, k1, "recycled slot must get a fresh generation");
+        assert_eq!(k2 >> 32, (k1 >> 32) + 1);
         assert_eq!(table.live(), 1);
+    }
+
+    #[test]
+    fn stale_key_is_rejected_after_realloc() {
+        // The satellite regression: free -> realloc -> apply with the
+        // *old* key. The new signal's counter must not move, the stale
+        // apply must be counted, and try_apply must say Stale.
+        let table = SignalTable::new(32);
+        let k1 = {
+            let s = table.alloc(1);
+            s.key().raw()
+        };
+        let s2 = table.alloc(1);
+        with_sched({
+            let t = Arc::clone(&table);
+            move |st, _| {
+                assert!(matches!(
+                    t.try_apply(st, 0, k1, -1),
+                    Err(SignalError::Stale { key }) if key == k1
+                ));
+                t.apply(st, 0, k1, -1); // tolerated, counted
+            }
+        });
+        assert_eq!(s2.counter(), 1, "stale key must not touch the new signal");
+        assert_eq!(table.stats.stale_rejects.load(Ordering::Relaxed), 1);
+        assert_eq!(table.stats.events_applied.load(Ordering::Relaxed), 0);
+        // The *current* key still works.
+        let k2 = s2.key().raw();
+        with_sched({
+            let t = Arc::clone(&table);
+            move |st, _| t.apply(st, 0, k2, -1)
+        });
+        assert!(s2.test());
+    }
+
+    #[test]
+    fn narrow_key_capacity_disables_generation_tags() {
+        // Level-1-style wire (8-bit keys): no room for a generation
+        // field, so reuse aliases exactly like the historical scheme —
+        // the paper's documented limitation for such NICs.
+        let table = SignalTable::with_key_capacity(4, 255);
+        assert_eq!(table.gen_bits(), 0);
+        let k1 = {
+            let s = table.alloc(1);
+            s.key().raw()
+        };
+        let s2 = table.alloc(1);
+        assert_eq!(s2.key().raw(), k1, "narrow keys must stay bit-identical");
+        assert_eq!(table.live(), 1);
+    }
+
+    #[test]
+    fn mid_capacity_gets_a_narrow_generation_field() {
+        // 32-bit-key wire (Split64 / verbs): 8 generation bits above a
+        // 24-bit index — reuse is tagged and the key still encodes.
+        let table = SignalTable::with_key_capacity(8, u32::MAX as u64);
+        assert_eq!(table.gen_bits(), 8);
+        let k1 = {
+            let s = table.alloc(1);
+            s.key().raw()
+        };
+        let s2 = table.alloc(1);
+        assert_ne!(s2.key().raw(), k1);
+        assert!(s2.key().raw() <= u32::MAX as u64, "key must fit the wire");
     }
 
     #[test]
@@ -686,6 +1004,28 @@ mod tests {
         });
         // No panic; no event counted against a live signal.
         assert_eq!(table.live(), 0);
+        assert_eq!(table.stats.events_applied.load(Ordering::Relaxed), 0);
+        assert_eq!(table.stats.stale_rejects.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn slots_span_segment_boundaries() {
+        // Allocate past the first 1024-slot segment to exercise the
+        // geometric growth path, then verify a far slot still applies
+        // lock-free and that indices are assigned sequentially.
+        let table = SignalTable::new(32);
+        let sigs: Vec<Signal> = (0..3000).map(|_| table.alloc(1)).collect();
+        for (i, s) in sigs.iter().enumerate() {
+            assert_eq!(s.key().raw(), i as u64 + 1, "sequential index assignment");
+        }
+        let far = sigs.last().unwrap();
+        let key = far.key().raw();
+        with_sched({
+            let t = Arc::clone(&table);
+            move |st, _| t.apply(st, 0, key, -1)
+        });
+        assert!(far.test());
+        assert_eq!(table.live(), 3000);
     }
 
     #[test]

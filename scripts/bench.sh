@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Wall-clock hot-path benchmark driver with a regression gate.
+#
+# Runs `unr-bench --bin hotpath`, extracts its machine-readable
+# `BENCH_PERF_JSON {...}` line into target/bench/BENCH_PERF.json, and
+# compares the gate metric (reliable-storm ops/sec) against the
+# checked-in reference in BENCH_PERF.json at the repo root. The run
+# fails if throughput regressed by more than 20%.
+#
+# Usage:
+#   scripts/bench.sh            # full run, gate against .gate.full
+#   scripts/bench.sh --quick    # CI smoke, gate against .gate.quick
+#
+# Deliberately dependency-free: JSON fields are pulled with sed/awk
+# (the emitted JSON is single-line with known key names), no jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+ARGS=()
+for a in "$@"; do
+  case "$a" in
+    --quick) MODE=quick; ARGS+=(--quick) ;;
+    *) echo "unknown argument: $a" >&2; exit 2 ;;
+  esac
+done
+
+OUT_DIR=target/bench
+mkdir -p "$OUT_DIR"
+RAW="$OUT_DIR/hotpath_$MODE.txt"
+FRESH="$OUT_DIR/BENCH_PERF.json"
+
+echo "== hotpath ($MODE)"
+cargo run --release -q -p unr-bench --bin hotpath -- "${ARGS[@]}" | tee "$RAW"
+
+# The benchmark prints exactly one "BENCH_PERF_JSON {...}" line.
+grep '^BENCH_PERF_JSON ' "$RAW" | sed 's/^BENCH_PERF_JSON //' > "$FRESH"
+[ -s "$FRESH" ] || { echo "error: no BENCH_PERF_JSON line in output" >&2; exit 1; }
+echo "wrote $FRESH"
+
+# Gate metric: top-level "ops_per_sec" (the reliable storm).
+fresh_ops=$(sed -n 's/.*"ops_per_sec":\([0-9.]*\).*/\1/p' "$FRESH" | head -n1)
+[ -n "$fresh_ops" ] || { echo "error: ops_per_sec missing from $FRESH" >&2; exit 1; }
+
+BASELINE=BENCH_PERF.json
+if [ ! -f "$BASELINE" ]; then
+  echo "no checked-in $BASELINE — skipping regression gate"
+  exit 0
+fi
+
+# Reference value for this mode from the baseline's gate block:
+#   "gate": {..., "full": <ops>, "quick": <ops>}
+base_ops=$(sed -n 's/.*"gate": *{[^}]*"'"$MODE"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
+if [ -z "$base_ops" ]; then
+  echo "warning: no gate.$MODE in $BASELINE — skipping regression gate"
+  exit 0
+fi
+
+echo "gate: $fresh_ops ops/sec vs reference $base_ops ($MODE, 20% tolerance)"
+awk -v fresh="$fresh_ops" -v base="$base_ops" 'BEGIN {
+  floor = 0.80 * base;
+  if (fresh < floor) {
+    printf "FAIL: %.1f ops/sec is below the regression floor %.1f (80%% of %.1f)\n",
+           fresh, floor, base;
+    exit 1;
+  }
+  printf "OK: %.1f ops/sec >= floor %.1f (%.2fx of reference)\n",
+         fresh, floor, fresh / base;
+}'

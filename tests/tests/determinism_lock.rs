@@ -3,7 +3,10 @@
 //! jittered fabric runs on the paper's TH-XY platform preset are
 //! bit-identical across repeats.
 
-use unr_simnet::{run_world, NicSel, Platform, SimRng};
+use unr_core::{convert, Unr, UnrConfig, UNR_PORT};
+use unr_minimpi::{coll, run_mpi_on_fabric, MpiConfig};
+use unr_powerllel::{Backend, Solver, SolverConfig};
+use unr_simnet::{run_world, Fabric, FaultConfig, NicSel, Platform, SimRng};
 
 /// Two generators with the same seed produce identical streams — the
 /// foundation of the fabric's reproducible jitter.
@@ -59,5 +62,150 @@ fn th_xy_fabric_runs_bit_identical_across_repeats() {
         first.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
         other.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
         "jitter must depend on the fabric seed"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Golden Chrome-trace hashes: the regression oracle for data-path
+// refactors. The engine's hot path may be reorganized for wall-clock
+// speed, but the *virtual-time* behavior — every transfer's post,
+// service and arrival times, sizes, NIC choices — must stay
+// byte-identical. These tests pin an FNV-1a hash of the full Chrome
+// trace JSON for one seeded fault-free fig6-style run and one seeded
+// faulty run; any change to either hash means the refactor altered
+// observable scheduling, not just host-side cost.
+//
+// To re-capture after an *intentional* protocol change, run with
+// `UNR_PRINT_TRACE_HASH=1 cargo test -p unr-integration golden -- --nocapture`
+// and update the constants (call it out in the PR).
+// ---------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn trace_hash(fabric: &Fabric, label: &str) -> u64 {
+    let json = fabric
+        .tracer
+        .as_ref()
+        .expect("fabric must be built with trace: true")
+        .to_chrome_json();
+    let h = fnv1a(json.as_bytes());
+    if std::env::var("UNR_PRINT_TRACE_HASH").is_ok() {
+        println!("TRACE_HASH {label} = {h:#018x} ({} bytes)", json.len());
+    }
+    h
+}
+
+/// Seeded fig6-style PowerLLEL run (TH-XY, 4 nodes x 2 ranks, 64x64x32
+/// grid, UNR backend) with tracing on; returns the trace hash.
+fn fig6_trace_hash() -> u64 {
+    let mut cfg = Platform::th_xy().fabric_config(4, 2);
+    cfg.seed = 2024;
+    cfg.trace = true;
+    let mut scfg = SolverConfig::small(4, 2);
+    scfg.nx = 64;
+    scfg.ny = 64;
+    scfg.nz = 32;
+    scfg.dt = 1e-3;
+    let fab = Fabric::new(cfg);
+    run_mpi_on_fabric(&fab, MpiConfig::default(), move |comm| {
+        let backend = Backend::Unr(Unr::init(comm.ep_shared(), UnrConfig::default()));
+        let mut s = Solver::new(&backend, comm, scfg);
+        s.init_taylor_green();
+        for _ in 0..2 {
+            s.step();
+        }
+    });
+    trace_hash(&fab, "fig6_fault_free")
+}
+
+/// Seeded faulty run: reliable pingpong under pinned drop/duplicate
+/// faults scoped to the UNR port; returns the trace hash.
+fn faulty_trace_hash() -> u64 {
+    let mut cfg = Platform::th_xy().fabric_config(2, 1);
+    cfg.seed = 99;
+    cfg.trace = true;
+    cfg.faults = FaultConfig {
+        seed: 0xFA17,
+        dup_prob: 0.02,
+        dgram_ports: Some(vec![UNR_PORT]),
+        ..FaultConfig::drops(0.05)
+    };
+    let fab = Fabric::new(cfg);
+    let sizes = [4usize << 10, 96 << 10, 1 << 10, 32 << 10, 512, 64 << 10];
+    run_mpi_on_fabric(&fab, MpiConfig::default(), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        assert!(unr.reliable());
+        let cap: usize = sizes.iter().sum();
+        let mem = unr.mem_reg(cap);
+        if comm.rank() == 0 {
+            let full = convert::recv_blk(comm, 1, 0);
+            let mut off = 0;
+            for (it, &size) in sizes.iter().enumerate() {
+                let pattern: Vec<u8> = (0..size).map(|i| (i ^ (it * 31)) as u8).collect();
+                mem.write_bytes(off, &pattern);
+                let blk = unr.blk_init(&mem, off, size, None);
+                let mut rmt = full;
+                rmt.offset = off;
+                rmt.len = size;
+                unr.put(&blk, &rmt).unwrap();
+                comm.recv(Some(1), 7);
+                off += size;
+            }
+            for _ in 0..10_000 {
+                if unr.retries_in_flight() == 0 {
+                    break;
+                }
+                unr.ep().sleep(unr_simnet::us(50.0));
+            }
+            assert_eq!(unr.retries_in_flight(), 0);
+        } else {
+            let sig = unr.sig_init(1);
+            let recv = unr.blk_init(&mem, 0, cap, Some(&sig));
+            convert::send_blk(comm, 0, 0, &recv);
+            let mut off = 0;
+            for (it, &size) in sizes.iter().enumerate() {
+                unr.sig_wait(&sig).unwrap();
+                sig.reset().unwrap();
+                let mut got = vec![0u8; size];
+                mem.read_bytes(off, &mut got);
+                for (i, &b) in got.iter().enumerate() {
+                    assert_eq!(b, (i ^ (it * 31)) as u8);
+                }
+                off += size;
+                comm.send(0, 7, &[]);
+            }
+        }
+        coll::barrier(comm);
+    });
+    trace_hash(&fab, "faulty_pingpong")
+}
+
+const GOLDEN_FIG6_TRACE: u64 = 0xb16119501e2ede74;
+const GOLDEN_FAULTY_TRACE: u64 = 0x035375fabb67dceb;
+
+#[test]
+fn golden_fig6_trace_is_stable() {
+    let h = fig6_trace_hash();
+    assert_eq!(fig6_trace_hash(), h, "fig6 trace not even self-consistent");
+    assert_eq!(
+        h, GOLDEN_FIG6_TRACE,
+        "seeded fault-free fig6 trace diverged from the golden hash"
+    );
+}
+
+#[test]
+fn golden_faulty_trace_is_stable() {
+    let h = faulty_trace_hash();
+    assert_eq!(faulty_trace_hash(), h, "faulty trace not even self-consistent");
+    assert_eq!(
+        h, GOLDEN_FAULTY_TRACE,
+        "seeded faulty trace diverged from the golden hash"
     );
 }
