@@ -11,8 +11,12 @@
 //! `BENCH_PERF_JSON {...}` line consumed by `scripts/bench.sh`, which
 //! writes `BENCH_PERF.json` and gates CI on ops/sec regressions.
 //!
-//! Flags: `--quick` (CI smoke: smaller iteration counts).
+//! Flags: `--quick` (CI smoke: smaller iteration counts) and
+//! `--backend netfab` (run the storm over real TCP-loopback processes
+//! via `unr-netfab` instead of the simulated fabric; its JSON carries
+//! `"backend":"netfab"` and gates against `gate.netfab_*`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use unr_bench::print_table;
@@ -135,8 +139,142 @@ fn powerllel_step(steps: usize) -> f64 {
     wall_ns as f64 / 1e6 / steps as f64
 }
 
+/// Netfab storm scale: 4 processes × 2 NICs, 64 KiB messages (at the
+/// striping threshold, so each put fans out over both sockets).
+const NETFAB_RANKS: usize = 4;
+const NETFAB_NICS: usize = 2;
+const NETFAB_MSG: usize = 64 * 1024;
+
+fn netfab_opts(quick: bool, reliable: bool) -> unr_netfab::StormOpts {
+    unr_netfab::StormOpts {
+        iters: if quick { 16 } else { 64 },
+        epochs: if quick { 3 } else { 8 },
+        msg: NETFAB_MSG,
+        reliable,
+        drop_every: None, // throughput run: reliable protocol, no faults
+    }
+}
+
+/// Child side of `--backend netfab`: run the storm on this rank and
+/// report one machine-readable line for the parent to aggregate.
+fn netfab_child(world: unr_netfab::NetWorld, quick: bool, reliable: bool) {
+    let out = unr_netfab::run_storm(Arc::new(world), netfab_opts(quick, reliable))
+        .expect("netfab storm rank");
+    println!(
+        "NETFAB_RANK_JSON {{\"ops\":{},\"wall_ns\":{}}}",
+        out.ops, out.wall_ns
+    );
+}
+
+/// Aggregate of one netfab storm variant across all ranks.
+struct NetfabVariant {
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+}
+
+fn netfab_run(quick: bool, reliable: bool) -> NetfabVariant {
+    let mut args: Vec<String> = vec!["--backend".into(), "netfab".into()];
+    if quick {
+        args.push("--quick".into());
+    }
+    if reliable {
+        args.push("--netfab-reliable".into());
+    }
+    let res = unr_netfab::spawn_world(NETFAB_RANKS, NETFAB_NICS, &args).expect("netfab launch");
+    assert!(res.success(), "a netfab rank failed");
+    let field = |line: &str, key: &str| -> u64 {
+        let at = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+        line[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("numeric field")
+    };
+    let mut ops = 0u64;
+    let mut wall_ns = 1u64;
+    let mut ranks_seen = 0;
+    for out in &res.outputs {
+        for line in out.lines() {
+            if let Some(json) = line.strip_prefix("NETFAB_RANK_JSON ") {
+                ops += field(json, "\"ops\":");
+                wall_ns = wall_ns.max(field(json, "\"wall_ns\":"));
+                ranks_seen += 1;
+            }
+        }
+    }
+    assert_eq!(ranks_seen, NETFAB_RANKS, "every rank reports once");
+    NetfabVariant {
+        ops,
+        wall_ms: wall_ns as f64 / 1e6,
+        ops_per_sec: ops as f64 / (wall_ns as f64 / 1e9),
+    }
+}
+
+/// Parent side of `--backend netfab`: run both variants, print the
+/// table and the gate JSON.
+fn netfab_main(quick: bool) {
+    let reliable = netfab_run(quick, true);
+    let rma = netfab_run(quick, false);
+    let opts = netfab_opts(quick, true);
+    let row = |name: &str, v: &NetfabVariant| {
+        vec![
+            name.to_string(),
+            v.ops.to_string(),
+            format!("{:.1}", v.wall_ms),
+            format!("{:.0}", v.ops_per_sec),
+        ]
+    };
+    print_table(
+        &format!(
+            "Hot path — netfab {}-process put/signal storm ({} NICs, {} KiB msgs, TCP loopback)",
+            NETFAB_RANKS,
+            NETFAB_NICS,
+            NETFAB_MSG / 1024
+        ),
+        &["variant", "ops", "wall ms", "ops/sec"],
+        &[row("reliable", &reliable), row("rma", &rma)],
+    );
+    // Gate metric: the reliable storm, as on the simnet backend.
+    println!(
+        "BENCH_PERF_JSON {{\"schema\":1,\"backend\":\"netfab\",\"quick\":{quick},\
+         \"ops_per_sec\":{:.1},\
+         \"storm\":{{\"ranks\":{NETFAB_RANKS},\"nics\":{NETFAB_NICS},\"msg_bytes\":{NETFAB_MSG},\
+         \"iters\":{},\"epochs\":{},\
+         \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}},\
+         \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}}}}}}",
+        reliable.ops_per_sec,
+        opts.iters,
+        opts.epochs,
+        reliable.ops_per_sec,
+        reliable.wall_ms,
+        rma.ops_per_sec,
+        rma.wall_ms,
+    );
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let netfab = args.iter().any(|a| a == "--backend=netfab")
+        || args
+            .windows(2)
+            .any(|w| w[0] == "--backend" && w[1] == "netfab");
+
+    // Netfab rank? (spawn_world re-executes this binary with the
+    // UNR_NETFAB_* environment set.)
+    if let Some(world) = unr_netfab::NetWorld::from_env() {
+        let world = world.expect("netfab bootstrap");
+        let reliable = args.iter().any(|a| a == "--netfab-reliable");
+        netfab_child(world, quick, reliable);
+        return;
+    }
+    if netfab {
+        netfab_main(quick);
+        return;
+    }
+
     let iters = if quick { 250 } else { 1500 };
     let steps = if quick { 1 } else { 3 };
 

@@ -1,0 +1,137 @@
+//! `unr-launch` — bootstrap a local multi-process netfab world and run
+//! the loopback storm.
+//!
+//! ```text
+//! unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E]
+//!                  [--msg BYTES] [--reliable] [--drop-every N]
+//! ```
+//!
+//! The parent binds a rendezvous listener, spawns `N` copies of itself
+//! (rank and rendezvous address passed via `UNR_NETFAB_*` environment
+//! variables), serves the port-table exchange and barrier rounds, and
+//! exits non-zero if any rank fails. Children bootstrap the TCP mesh,
+//! run the storm, and print one `STORM_OK {...}` JSON line each.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use unr_netfab::{run_storm, spawn_world, NetWorld, StormOpts};
+
+struct Cli {
+    ranks: usize,
+    nics: usize,
+    opts: StormOpts,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E] \
+         [--msg BYTES] [--reliable] [--drop-every N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    if args.first().map(String::as_str) != Some("storm") {
+        usage();
+    }
+    let mut cli = Cli {
+        ranks: 4,
+        nics: 2,
+        opts: StormOpts::default(),
+    };
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a number");
+                    usage()
+                })
+        };
+        match a.as_str() {
+            "--ranks" => cli.ranks = num("--ranks") as usize,
+            "--nics" => cli.nics = num("--nics") as usize,
+            "--iters" => cli.opts.iters = num("--iters") as usize,
+            "--epochs" => cli.opts.epochs = num("--epochs") as usize,
+            "--msg" => cli.opts.msg = num("--msg") as usize,
+            "--reliable" => cli.opts.reliable = true,
+            "--drop-every" => cli.opts.drop_every = Some(num("--drop-every")),
+            _ => usage(),
+        }
+    }
+    if cli.ranks == 0 || cli.nics == 0 || cli.opts.iters == 0 || cli.opts.epochs == 0 {
+        usage();
+    }
+    if cli.opts.drop_every.is_some() {
+        cli.opts.reliable = true; // drops without replay would just lose data
+    }
+    cli
+}
+
+fn child(world: NetWorld, cli: &Cli) -> ExitCode {
+    let world = Arc::new(world);
+    match run_storm(world, cli.opts) {
+        Ok(o) => {
+            println!(
+                "STORM_OK {{\"ops\":{},\"wall_ns\":{},\"retransmits\":{},\
+                 \"dup_suppressed\":{},\"drops_injected\":{}}}",
+                o.ops, o.wall_ns, o.retransmits, o.dup_suppressed, o.drops_injected
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("STORM_FAIL {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+
+    if let Some(world) = NetWorld::from_env() {
+        match world {
+            Ok(w) => return child(w, &cli),
+            Err(e) => {
+                eprintln!("bootstrap failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "launching {} ranks x {} NICs: {} epochs x {} iters of {} B ({}{})",
+        cli.ranks,
+        cli.nics,
+        cli.opts.epochs,
+        cli.opts.iters,
+        cli.opts.msg,
+        if cli.opts.reliable { "reliable" } else { "rma" },
+        match cli.opts.drop_every {
+            Some(n) => format!(", drop every {n}"),
+            None => String::new(),
+        }
+    );
+    let res = match spawn_world(cli.ranks, cli.nics, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let all_ok = res.success() && res.outputs.iter().all(|o| o.contains("STORM_OK"));
+    if all_ok {
+        eprintln!("storm complete: all {} ranks OK", cli.ranks);
+        ExitCode::SUCCESS
+    } else {
+        for (rank, status) in res.statuses.iter().enumerate() {
+            if *status != 0 {
+                eprintln!("rank {rank} exited {status}");
+            }
+        }
+        ExitCode::FAILURE
+    }
+}

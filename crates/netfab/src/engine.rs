@@ -1,0 +1,695 @@
+//! `NetUnr` — the UNR engine over the TCP-loopback fabric.
+//!
+//! The data path mirrors `unr_core::Unr` on the netfab
+//! [`unr_core::Backend`]:
+//!
+//! * **Unreliable** (default): each message (or stripe) rides one `PUT`
+//!   frame whose header carries the remote notification as 128-bit
+//!   custom bits; the receiver's reader thread deposits the payload and
+//!   applies the custom bits through the fabric's atomic-add sink —
+//!   level-2 emulation of the paper's level-4 hardware.
+//! * **Reliable** ([`Reliability::On`], or `Auto` with fault injection
+//!   enabled): stripes become `unr_core::wire` `SEQ_DATA` control
+//!   messages with per-destination sequence numbers, buffered until
+//!   acked, deduplicated at the receiver with
+//!   [`unr_core::DedupWindow`], and retransmitted with
+//!   exponential backoff by a progress thread. Exhausted retries latch
+//!   the channel down ([`UnrError::RetryExhausted`]).
+//!
+//! Signals come from the same lock-free
+//! [`unr_core::SignalTable`] the simnet engine uses;
+//! `sig_wait` parks on the fabric's event bell instead of a simulated
+//! scheduler. Local PUT completion is buffered-send: the local signal
+//! receives a single `-1` when the message has been posted (payload
+//! snapshot taken), matching the simnet engine's buffered semantics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use unr_core::signal::{Signal, SignalError, SignalTable};
+use unr_core::wire::{self, CtrlMsg};
+use unr_core::{
+    striped_addends, Backend, Blk, Channel, DedupWindow, Encoding, Notif, Reliability, SigKey,
+    UnrConfig, UnrError,
+};
+use unr_simnet::FabricError;
+
+use crate::fabric::{NetAddSink, NetFabric, NetRegion, TransportMetrics};
+use crate::launch::NetWorld;
+
+/// Fault injection for the netfab transport: deterministic sender-side
+/// drops of *first transmissions* (retransmissions always go out), so a
+/// reliable-mode storm is guaranteed to exercise the replay path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetFaults {
+    /// Silently drop every `n`-th first transmission of a reliable
+    /// data message. `None`: no drops.
+    pub drop_every: Option<u64>,
+}
+
+impl NetFaults {
+    /// Whether any fault injection is enabled.
+    pub fn any(&self) -> bool {
+        self.drop_every.is_some()
+    }
+}
+
+/// One unacked reliable sub-message, buffered for replay.
+struct Pending {
+    bytes: Vec<u8>,
+    nic: usize,
+    deadline: Instant,
+    attempts: u32,
+}
+
+/// Reliable-transport state shared with the progress thread.
+struct RelState {
+    next_seq: Mutex<Vec<u64>>,
+    pending: Mutex<BTreeMap<(usize, u64), Pending>>,
+    dedup: Mutex<Vec<DedupWindow>>,
+    /// First exhausted destination: `(dst, attempts)`.
+    failed: Mutex<Option<(usize, u32)>>,
+    /// Reliable data messages posted (drop-injection cadence counter).
+    sends: AtomicU64,
+}
+
+/// A netfab-registered memory region (`UNR_Mem_Reg` over sockets).
+#[derive(Clone)]
+pub struct NetMem {
+    rank: usize,
+    region_id: u32,
+    region: Arc<NetRegion>,
+}
+
+impl NetMem {
+    /// Registered size in bytes.
+    pub fn len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Always `false`: zero-length registrations are rejected.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Copy `data` into the region at `offset` (panics out of bounds).
+    pub fn write_bytes(&self, offset: usize, data: &[u8]) {
+        assert!(self.region.write(offset, data), "write_bytes out of bounds");
+    }
+
+    /// Copy `out.len()` bytes from `offset` (panics out of bounds).
+    pub fn read_bytes(&self, offset: usize, out: &mut [u8]) {
+        assert!(self.region.read(offset, out), "read_bytes out of bounds");
+    }
+
+    /// The underlying region buffer.
+    pub fn region(&self) -> &Arc<NetRegion> {
+        &self.region
+    }
+
+    /// Describe a block of this region with an optional bound signal.
+    pub fn blk(&self, offset: usize, len: usize, sig: Option<&Signal>) -> Blk {
+        assert!(offset + len <= self.region.len(), "blk out of bounds");
+        Blk {
+            rank: self.rank,
+            region_id: self.region_id,
+            region_len: self.region.len(),
+            offset,
+            len,
+            sig_key: sig.map(|s| s.key()).unwrap_or(SigKey::NULL),
+        }
+    }
+}
+
+/// Sink that decodes inbound 128-bit custom bits into a [`Notif`] and
+/// applies it to the signal table — the emulated atomic-add unit.
+struct TableSink {
+    table: Arc<SignalTable>,
+}
+
+impl NetAddSink for TableSink {
+    fn apply(&self, custom: u128) {
+        let n: Notif = Encoding::Full128.decode(custom);
+        self.table.apply_counted(n.key, n.addend);
+    }
+}
+
+/// The UNR engine for the netfab backend.
+pub struct NetUnr {
+    world: Arc<NetWorld>,
+    fabric: Arc<NetFabric>,
+    cfg: UnrConfig,
+    channel: Channel,
+    table: Arc<SignalTable>,
+    reliable: bool,
+    faults: NetFaults,
+    rel: Arc<RelState>,
+    stop: Arc<AtomicBool>,
+    progress: Mutex<Option<JoinHandle<()>>>,
+    next_nic: AtomicUsize,
+    /// Wall-clock cap on one `sig_wait`.
+    wait_timeout: Duration,
+}
+
+/// Wall-clock floor for the retransmit timer: the config's virtual-time
+/// `retry_timeout` is tuned for the simulator's nanosecond clock and is
+/// far below a realistic TCP RTT, so netfab clamps it up.
+const MIN_RTO: Duration = Duration::from_millis(5);
+/// Wall-clock floor for the backoff cap.
+const MIN_BACKOFF_CAP: Duration = Duration::from_millis(100);
+/// Default wall-clock cap on one `sig_wait`.
+const DEFAULT_WAIT: Duration = Duration::from_secs(30);
+
+impl NetUnr {
+    /// Bring up the engine on an established [`NetWorld`].
+    ///
+    /// `cfg.backend` must be [`Backend::Netfab`]; reliability follows
+    /// [`Reliability`]: `Auto` turns the ack/replay protocol on iff
+    /// `faults` injects drops, mirroring the simnet engine's rule.
+    pub fn init(world: Arc<NetWorld>, cfg: UnrConfig, faults: NetFaults) -> Result<NetUnr, UnrError> {
+        assert_eq!(
+            cfg.backend,
+            Backend::Netfab,
+            "NetUnr::init drives the netfab backend; for Backend::Simnet use unr_core::Unr::init"
+        );
+        cfg.validate()?;
+        let fabric = Arc::clone(&world.fabric);
+        let channel = Channel::netfab();
+        let table = SignalTable::with_key_capacity(cfg.n_bits, Encoding::Full128.max_key());
+        fabric.set_add_sink(Arc::new(TableSink {
+            table: Arc::clone(&table),
+        }));
+        let reliable = match cfg.reliability {
+            Reliability::On => true,
+            Reliability::Off => false,
+            Reliability::Auto => faults.any(),
+        };
+        let rel = Arc::new(RelState {
+            next_seq: Mutex::new(vec![0; fabric.nranks()]),
+            pending: Mutex::new(BTreeMap::new()),
+            dedup: Mutex::new((0..fabric.nranks()).map(|_| DedupWindow::default()).collect()),
+            failed: Mutex::new(None),
+            sends: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let rto = MIN_RTO.max(Duration::from_nanos(cfg.retry_timeout));
+        let cap = MIN_BACKOFF_CAP.max(Duration::from_nanos(cfg.retry_max_backoff));
+        let progress = {
+            let fabric = Arc::clone(&fabric);
+            let table = Arc::clone(&table);
+            let rel = Arc::clone(&rel);
+            let stop = Arc::clone(&stop);
+            let max_retries = cfg.max_retries;
+            std::thread::Builder::new()
+                .name(format!("netfab-progress-r{}", fabric.rank()))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut worked = false;
+                        while let Some((src, bytes)) = fabric.pop_ctrl() {
+                            handle_ctrl(&fabric, &table, &rel, src, &bytes);
+                            worked = true;
+                        }
+                        sweep_retries(&fabric, &rel, rto, cap, max_retries);
+                        if worked {
+                            // Signals may have fired: wake sig_wait parkers.
+                            fabric.ring_bell();
+                        }
+                        fabric.wait_event(Duration::from_millis(1));
+                    }
+                })
+                .expect("spawn progress thread")
+        };
+
+        let wait_timeout = std::env::var("UNR_NETFAB_WAIT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_WAIT);
+
+        Ok(NetUnr {
+            world,
+            fabric,
+            cfg,
+            channel,
+            table,
+            reliable,
+            faults,
+            rel,
+            stop,
+            progress: Mutex::new(Some(progress)),
+            next_nic: AtomicUsize::new(0),
+            wait_timeout,
+        })
+    }
+
+    /// The world this engine runs in.
+    pub fn world(&self) -> &Arc<NetWorld> {
+        &self.world
+    }
+
+    /// The underlying TCP fabric.
+    pub fn fabric(&self) -> &Arc<NetFabric> {
+        &self.fabric
+    }
+
+    /// The selected transport channel (always [`Channel::netfab`]).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The engine's MMAS signal table.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// `unr.transport.*` counters.
+    pub fn met(&self) -> &TransportMetrics {
+        &self.fabric.met
+    }
+
+    /// Whether the ack/replay protocol is active.
+    pub fn reliable(&self) -> bool {
+        self.reliable
+    }
+
+    /// Register a memory region (`UNR_Mem_Reg`).
+    pub fn mem_reg(&self, len: usize) -> NetMem {
+        assert!(len > 0, "cannot register an empty region");
+        let (region_id, region) = self.fabric.register(len);
+        NetMem {
+            rank: self.fabric.rank(),
+            region_id,
+            region,
+        }
+    }
+
+    /// Allocate a signal expecting `num_event` events (`UNR_Sig_init`).
+    pub fn sig_init(&self, num_event: i64) -> Signal {
+        self.table.alloc(num_event)
+    }
+
+    /// Describe a block with an optional bound signal (`UNR_Blk_Init`).
+    pub fn blk_init(&self, mem: &NetMem, offset: usize, len: usize, sig: Option<&Signal>) -> Blk {
+        mem.blk(offset, len, sig)
+    }
+
+    fn check_channel_up(&self) -> Result<(), UnrError> {
+        if self.rel.failed.lock().expect("failed lock").is_some() {
+            return Err(UnrError::ChannelDown);
+        }
+        Ok(())
+    }
+
+    fn validate_pair(&self, local: &Blk, remote: &Blk) -> Result<Arc<NetRegion>, UnrError> {
+        let my_rank = self.fabric.rank();
+        if local.rank != my_rank {
+            return Err(UnrError::NotMyBlock {
+                blk_rank: local.rank,
+                my_rank,
+            });
+        }
+        if local.len != remote.len {
+            return Err(UnrError::LenMismatch {
+                local: local.len,
+                remote: remote.len,
+            });
+        }
+        let region = self
+            .fabric
+            .region(local.region_id)
+            .ok_or(UnrError::RegionUnknown(local.region_id))?;
+        if local.offset + local.len > region.len() {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "local block [{}, {}) exceeds region of {} bytes",
+                local.offset,
+                local.offset + local.len,
+                region.len()
+            ))));
+        }
+        if remote.offset + remote.len > remote.region_len {
+            return Err(UnrError::Fabric(FabricError::OutOfBounds(format!(
+                "remote block [{}, {}) exceeds region of {} bytes",
+                remote.offset,
+                remote.offset + remote.len,
+                remote.region_len
+            ))));
+        }
+        if remote.rank >= self.fabric.nranks() {
+            return Err(UnrError::Fabric(FabricError::BadRank(remote.rank)));
+        }
+        Ok(region)
+    }
+
+    fn pick_nic(&self, stripe: usize) -> usize {
+        match self.cfg.pin_nic {
+            Some(n) => (n + stripe) % self.fabric.nics(),
+            None => {
+                (self.next_nic.fetch_add(1, Ordering::Relaxed) + stripe) % self.fabric.nics()
+            }
+        }
+    }
+
+    fn stripe_count(&self, len: usize) -> usize {
+        if len >= self.cfg.stripe_threshold
+            && self.cfg.max_stripes > 1
+            && self.channel.multi_channel
+        {
+            self.cfg.max_stripes.min(self.fabric.nics()).min(len).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// `UNR_Put(local, remote)` using the blocks' bound signals.
+    pub fn put(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
+        self.put_keyed(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// `UNR_Put` with explicit signal keys.
+    pub fn put_keyed(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        if self.reliable {
+            self.check_channel_up()?;
+        }
+        let region = self.validate_pair(local, remote)?;
+        let k = self.stripe_count(local.len);
+        let addends = if remote_sig.raw() != 0 {
+            striped_addends(k, self.cfg.n_bits)
+        } else {
+            vec![0; k]
+        };
+        let base = local.len / k;
+        let rem = local.len % k;
+        let mut off = 0usize;
+        for (i, addend) in addends.iter().enumerate() {
+            let chunk = base + usize::from(i < rem);
+            let data = region.snapshot(local.offset + off, chunk);
+            let nic = self.pick_nic(i);
+            if self.reliable {
+                self.post_reliable(
+                    remote.rank,
+                    remote.region_id,
+                    remote.offset + off,
+                    remote_sig.raw(),
+                    *addend,
+                    &data,
+                    nic,
+                )?;
+            } else {
+                let custom = encode_sig(remote_sig, *addend)?;
+                self.fabric
+                    .put(
+                        remote.rank,
+                        nic,
+                        remote.region_id,
+                        (remote.offset + off) as u64,
+                        custom,
+                        &data,
+                    )
+                    .map_err(|_| UnrError::ChannelDown)?;
+            }
+            off += chunk;
+        }
+        // Buffered-send local completion: payload snapshots are taken.
+        self.table.apply_counted(local_sig.raw(), -1);
+        self.fabric.ring_bell();
+        Ok(())
+    }
+
+    /// `UNR_Get(local, remote)` using the blocks' bound signals.
+    /// GETs always ride the unreliable path (as in the simnet engine).
+    pub fn get(&self, local: &Blk, remote: &Blk) -> Result<(), UnrError> {
+        self.get_keyed(local, remote, local.sig_key, remote.sig_key)
+    }
+
+    /// `UNR_Get` with explicit signal keys.
+    pub fn get_keyed(
+        &self,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        self.validate_pair(local, remote)?;
+        let custom_remote = encode_sig(remote_sig, -1)?;
+        let custom_local = encode_sig(local_sig, -1)?;
+        let nic = self.pick_nic(0);
+        self.fabric
+            .get(
+                remote.rank,
+                nic,
+                remote.region_id,
+                remote.offset as u64,
+                remote.len as u64,
+                custom_remote,
+                local.region_id,
+                local.offset as u64,
+                custom_local,
+            )
+            .map_err(|_| UnrError::ChannelDown)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn post_reliable(
+        &self,
+        dst: usize,
+        region_id: u32,
+        offset: usize,
+        key: u64,
+        addend: i64,
+        payload: &[u8],
+        nic: usize,
+    ) -> Result<(), UnrError> {
+        let seq = {
+            let mut ns = self.rel.next_seq.lock().expect("next_seq lock");
+            let s = ns[dst];
+            ns[dst] += 1;
+            s
+        };
+        let msg = wire::seq_data_msg(seq, region_id, offset as u64, key, addend, payload);
+        let rto = MIN_RTO.max(Duration::from_nanos(self.cfg.retry_timeout));
+        self.rel.pending.lock().expect("pending lock").insert(
+            (dst, seq),
+            Pending {
+                bytes: msg.clone(),
+                nic,
+                deadline: Instant::now() + rto,
+                attempts: 0,
+            },
+        );
+        let nth = self.rel.sends.fetch_add(1, Ordering::Relaxed) + 1;
+        let dropped = self
+            .faults
+            .drop_every
+            .is_some_and(|n| n > 0 && nth.is_multiple_of(n));
+        if dropped {
+            self.fabric.met.drops_injected.inc();
+        } else {
+            self.fabric
+                .send_ctrl(dst, nic, &msg)
+                .map_err(|_| UnrError::ChannelDown)?;
+        }
+        Ok(())
+    }
+
+    /// Block until `sig` triggers. Errors: overflow, a latched reliable
+    /// failure ([`UnrError::RetryExhausted`]), or the wall-clock cap
+    /// (default 30 s; override with `UNR_NETFAB_WAIT_MS`).
+    pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
+        let start = Instant::now();
+        loop {
+            if sig.overflowed() {
+                self.table
+                    .stats
+                    .overflow_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(UnrError::Signal(SignalError::EventOverflow {
+                    counter: sig.counter(),
+                }));
+            }
+            if sig.test() {
+                return Ok(());
+            }
+            if let Some((dst, attempts)) = *self.rel.failed.lock().expect("failed lock") {
+                return Err(UnrError::RetryExhausted { dst, attempts });
+            }
+            let waited = start.elapsed();
+            if waited >= self.wait_timeout {
+                return Err(UnrError::Timeout {
+                    waited: waited.as_nanos() as unr_simnet::Ns,
+                });
+            }
+            self.fabric.wait_event(Duration::from_millis(1));
+        }
+    }
+
+    /// Number of unacked reliable sub-messages currently buffered.
+    pub fn pending_len(&self) -> usize {
+        self.rel.pending.lock().expect("pending lock").len()
+    }
+
+    /// Wait until every reliable sub-message has been acked (true) or
+    /// `timeout` elapses (false). No-op `true` when unreliable.
+    pub fn drain_pending(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while self.pending_len() > 0 {
+            if self.rel.failed.lock().expect("failed lock").is_some() {
+                return false;
+            }
+            if start.elapsed() >= timeout {
+                return false;
+            }
+            self.fabric.wait_event(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Tear down: stop the progress thread and close the fabric.
+    /// Called automatically on drop; idempotent.
+    pub fn finalize(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.fabric.ring_bell();
+        if let Some(h) = self.progress.lock().expect("progress lock").take() {
+            let _ = h.join();
+        }
+        self.fabric.shutdown();
+    }
+}
+
+impl Drop for NetUnr {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+fn encode_sig(key: SigKey, addend: i64) -> Result<u128, UnrError> {
+    if key.raw() == 0 {
+        return Ok(0);
+    }
+    Encoding::Full128
+        .encode(Notif {
+            key: key.raw(),
+            addend,
+        })
+        .map_err(UnrError::Encode)
+}
+
+/// Apply one inbound control message (progress-thread context).
+fn handle_ctrl(
+    fabric: &Arc<NetFabric>,
+    table: &Arc<SignalTable>,
+    rel: &Arc<RelState>,
+    src: usize,
+    bytes: &[u8],
+) {
+    match CtrlMsg::parse(bytes) {
+        CtrlMsg::SeqData {
+            seq,
+            region_id,
+            offset,
+            key,
+            addend,
+            payload,
+        } => {
+            let fresh = rel.dedup.lock().expect("dedup lock")[src].insert(seq);
+            if fresh {
+                if let Some(r) = fabric.region(region_id) {
+                    r.write(offset, payload);
+                }
+                table.apply_counted(key, addend);
+            } else {
+                fabric.met.dup_suppressed.inc();
+            }
+            // Always ack — the first ack may have been lost.
+            let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+        }
+        CtrlMsg::SeqNotif { seq, key, addend } => {
+            let fresh = rel.dedup.lock().expect("dedup lock")[src].insert(seq);
+            if fresh {
+                table.apply_counted(key, addend);
+            } else {
+                fabric.met.dup_suppressed.inc();
+            }
+            let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+        }
+        CtrlMsg::Ack { seq } => {
+            if rel
+                .pending
+                .lock()
+                .expect("pending lock")
+                .remove(&(src, seq))
+                .is_some()
+            {
+                fabric.met.acks.inc();
+            }
+        }
+        CtrlMsg::Companion { key, addend } => {
+            table.apply_counted(key, addend);
+        }
+        CtrlMsg::FallbackData {
+            region_id,
+            offset,
+            key,
+            addend,
+            payload,
+        } => {
+            if let Some(r) = fabric.region(region_id) {
+                r.write(offset, payload);
+            }
+            table.apply_counted(key, addend);
+        }
+        // Netfab GETs use the fabric's native GET_REQ/GET_REP frames;
+        // a fallback-get control message is never produced here.
+        CtrlMsg::FallbackGet { .. } => {}
+    }
+}
+
+/// Retransmit timed-out reliable sub-messages (progress-thread context).
+fn sweep_retries(
+    fabric: &Arc<NetFabric>,
+    rel: &Arc<RelState>,
+    rto: Duration,
+    cap: Duration,
+    max_retries: u32,
+) {
+    let now = Instant::now();
+    let mut pend = rel.pending.lock().expect("pending lock");
+    let mut dead: Option<(usize, u64, u32)> = None;
+    for ((dst, seq), p) in pend.iter_mut() {
+        if p.deadline > now {
+            continue;
+        }
+        p.attempts += 1;
+        if p.attempts > max_retries {
+            dead = Some((*dst, *seq, p.attempts));
+            break;
+        }
+        // Rotate NICs across attempts (a stuck stream should not doom
+        // the sub-message) and back off exponentially.
+        p.nic = (p.nic + 1) % fabric.nics();
+        let _ = fabric.send_ctrl(*dst, p.nic, &p.bytes);
+        fabric.met.retransmits.inc();
+        let backoff = rto
+            .saturating_mul(1u32 << p.attempts.min(16))
+            .min(cap);
+        p.deadline = now + backoff;
+    }
+    if let Some((dst, seq, attempts)) = dead {
+        pend.remove(&(dst, seq));
+        drop(pend);
+        let mut failed = rel.failed.lock().expect("failed lock");
+        if failed.is_none() {
+            *failed = Some((dst, attempts));
+        }
+        fabric.ring_bell();
+    }
+}

@@ -1,0 +1,655 @@
+//! The TCP-loopback fabric: per-rank NIC sockets, emulated RMA regions,
+//! and the atomic-add sink.
+//!
+//! A [`NetFabric`] owns, for each `(peer, nic)` pair, one bidirectional
+//! `TcpStream`: the writer half lives behind a mutex (whole frames are
+//! assembled before the single `write_all`, so writers never interleave
+//! mid-frame), and a dedicated reader thread drains the other half.
+//! Reader threads *apply* inbound traffic directly — payloads land in
+//! the destination [`NetRegion`], custom bits go to the installed
+//! [`NetAddSink`] — which is exactly the paper's level-2 emulation: an
+//! agent thread performs the `*p += a` the level-4 NIC would do in
+//! hardware.
+//!
+//! Region buffers are `AtomicU8` slices so a reader thread can store
+//! payload bytes while application threads load them without a data
+//! race; the MMAS signal protocol (not the buffer itself) provides the
+//! happens-before edge, mirroring how real RMA hardware writes memory.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use unr_obs::metrics::Counter;
+use unr_obs::Obs;
+
+use crate::frame;
+
+/// Consumer of inbound 128-bit custom bits — the emulated atomic-add
+/// unit. `NetUnr` installs a sink that decodes the bits into a
+/// [`unr_core::Notif`] and applies it to its signal table.
+pub trait NetAddSink: Send + Sync {
+    /// Apply one delivery of custom bits (`*p += a` on the MMAS table).
+    fn apply(&self, custom: u128);
+}
+
+/// `unr.transport.*` counters registered in the fabric's [`Obs`].
+pub struct TransportMetrics {
+    /// Frames written to peer sockets (all kinds).
+    pub tx_frames: Arc<Counter>,
+    /// Frames received and applied by reader threads.
+    pub rx_frames: Arc<Counter>,
+    /// Payload bytes sent in PUT / GET_REP frames.
+    pub tx_bytes: Arc<Counter>,
+    /// Payload bytes received in PUT / GET_REP frames.
+    pub rx_bytes: Arc<Counter>,
+    /// Established mesh streams (one per peer × NIC).
+    pub conns: Arc<Counter>,
+    /// Custom-bits deliveries applied through the atomic-add sink.
+    pub atomic_adds: Arc<Counter>,
+    /// Reliable-transport retransmissions (engine layer).
+    pub retransmits: Arc<Counter>,
+    /// Acks received by the reliable transport (engine layer).
+    pub acks: Arc<Counter>,
+    /// Duplicate deliveries suppressed by the dedup window.
+    pub dup_suppressed: Arc<Counter>,
+    /// First transmissions silently dropped by fault injection.
+    pub drops_injected: Arc<Counter>,
+}
+
+impl TransportMetrics {
+    /// Register all `unr.transport.*` instruments in `obs`.
+    pub fn register(obs: &Obs) -> TransportMetrics {
+        let c = |n: &str| obs.metrics.counter(n);
+        TransportMetrics {
+            tx_frames: c("unr.transport.tx_frames"),
+            rx_frames: c("unr.transport.rx_frames"),
+            tx_bytes: c("unr.transport.tx_bytes"),
+            rx_bytes: c("unr.transport.rx_bytes"),
+            conns: c("unr.transport.conns"),
+            atomic_adds: c("unr.transport.atomic_adds"),
+            retransmits: c("unr.transport.retransmits"),
+            acks: c("unr.transport.acks"),
+            dup_suppressed: c("unr.transport.dup_suppressed"),
+            drops_injected: c("unr.transport.drops_injected"),
+        }
+    }
+}
+
+/// A registered memory region backed by an `AtomicU8` buffer, so the
+/// reader threads (remote "DMA") and application threads can touch it
+/// concurrently without UB.
+pub struct NetRegion {
+    buf: Box<[AtomicU8]>,
+}
+
+impl NetRegion {
+    fn new(len: usize) -> NetRegion {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU8::new(0));
+        NetRegion {
+            buf: v.into_boxed_slice(),
+        }
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the region is zero-sized (never: registration rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Store `data` at `offset`; `false` if out of bounds (the frame is
+    /// dropped, like a NIC refusing a bad DMA).
+    pub fn write(&self, offset: usize, data: &[u8]) -> bool {
+        let Some(end) = offset.checked_add(data.len()) else {
+            return false;
+        };
+        if end > self.buf.len() {
+            return false;
+        }
+        for (i, b) in data.iter().enumerate() {
+            self.buf[offset + i].store(*b, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Load `out.len()` bytes from `offset`; `false` if out of bounds.
+    pub fn read(&self, offset: usize, out: &mut [u8]) -> bool {
+        let Some(end) = offset.checked_add(out.len()) else {
+            return false;
+        };
+        if end > self.buf.len() {
+            return false;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.buf[offset + i].load(Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Copy `len` bytes from `offset` into a fresh `Vec` (panics on
+    /// out-of-bounds; callers validate first).
+    pub fn snapshot(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        assert!(self.read(offset, &mut v), "snapshot out of bounds");
+        v
+    }
+}
+
+/// State shared between the fabric handle and its reader threads.
+/// Readers hold this `Arc` (plus a `Weak<NetFabric>` for replies), so
+/// dropping the last application-side `NetFabric` reference can never
+/// dead-lock on a reader joining itself.
+struct Shared {
+    /// Registered regions by id.
+    regions: Mutex<HashMap<u32, Arc<NetRegion>>>,
+    /// Inbound control messages: `(src_rank, wire bytes)`.
+    ctrl: Mutex<VecDeque<(usize, Vec<u8>)>>,
+    /// Event epoch + condvar: bumped after every applied frame so
+    /// waiters (`sig_wait`, progress loops) can sleep between events.
+    epoch: Mutex<u64>,
+    bell: Condvar,
+    /// The emulated atomic-add unit; installed once by the engine.
+    sink: OnceLock<Arc<dyn NetAddSink>>,
+    /// Custom bits that arrived before the sink was installed — drained
+    /// on installation so no addend is ever lost.
+    pre_sink: Mutex<Vec<u128>>,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn apply_custom(&self, custom: u128) {
+        if let Some(s) = self.sink.get() {
+            s.apply(custom);
+            return;
+        }
+        // Racy window before install: buffer, then re-check (the
+        // installer drains under the same lock).
+        let mut pend = self.pre_sink.lock().expect("pre_sink lock");
+        if let Some(s) = self.sink.get() {
+            drop(pend);
+            s.apply(custom);
+        } else {
+            pend.push(custom);
+        }
+    }
+
+    fn ring_bell(&self) {
+        let mut e = self.epoch.lock().expect("epoch lock");
+        *e += 1;
+        self.bell.notify_all();
+    }
+}
+
+/// The per-process TCP fabric: a full mesh of loopback streams to every
+/// peer over `nics` parallel sockets.
+pub struct NetFabric {
+    rank: usize,
+    nranks: usize,
+    nics: usize,
+    /// `writers[peer][nic]`; `None` on the diagonal (self).
+    writers: Vec<Vec<Option<Mutex<TcpStream>>>>,
+    next_region: AtomicU32,
+    shared: Arc<Shared>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Metrics registry shared by the fabric and its engine.
+    pub obs: Obs,
+    /// `unr.transport.*` counters.
+    pub met: TransportMetrics,
+}
+
+impl NetFabric {
+    /// Establish the mesh given every rank's per-NIC listener ports.
+    /// `listeners` are this rank's own bound listeners (one per NIC).
+    /// For each unordered pair `(i, j)` with `i < j`, rank `i` dials and
+    /// rank `j` accepts; the dialer sends a `HELLO` identifying itself.
+    pub fn connect(
+        rank: usize,
+        nranks: usize,
+        nics: usize,
+        ports: &[Vec<u16>],
+        listeners: Vec<std::net::TcpListener>,
+    ) -> io::Result<Arc<NetFabric>> {
+        assert_eq!(ports.len(), nranks, "one port row per rank");
+        assert_eq!(listeners.len(), nics, "one listener per NIC");
+        let obs = Obs::new();
+        let met = TransportMetrics::register(&obs);
+        let shared = Arc::new(Shared {
+            regions: Mutex::new(HashMap::new()),
+            ctrl: Mutex::new(VecDeque::new()),
+            epoch: Mutex::new(0),
+            bell: Condvar::new(),
+            sink: OnceLock::new(),
+            pre_sink: Mutex::new(Vec::new()),
+            stopping: AtomicBool::new(false),
+        });
+
+        let mut writers: Vec<Vec<Option<Mutex<TcpStream>>>> = (0..nranks)
+            .map(|_| (0..nics).map(|_| None).collect())
+            .collect();
+        let mut streams: Vec<(usize, usize, TcpStream)> = Vec::new();
+
+        // Dial every higher-ranked peer on every NIC. TCP completes the
+        // handshake in the peer's listener backlog, so a global
+        // dial-then-accept order cannot deadlock.
+        for (peer, peer_ports) in ports.iter().enumerate().take(nranks).skip(rank + 1) {
+            for (nic, &port) in peer_ports.iter().enumerate().take(nics) {
+                let s = TcpStream::connect(("127.0.0.1", port))?;
+                s.set_nodelay(true)?;
+                {
+                    let mut w = &s;
+                    frame::write_frame(&mut w, frame::FRAME_HELLO, &[&frame::hello_body(rank, nic)])?;
+                }
+                streams.push((peer, nic, s));
+            }
+        }
+        // Accept one stream per lower-ranked peer on each NIC listener.
+        for (nic, l) in listeners.iter().enumerate() {
+            for _ in 0..rank {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                let hello = {
+                    let mut r = &s;
+                    frame::read_frame(&mut r)?
+                };
+                if hello.kind != frame::FRAME_HELLO {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "expected HELLO as first frame",
+                    ));
+                }
+                let (peer, peer_nic) = frame::parse_hello(&hello.body);
+                if peer_nic != nic {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("peer {peer} dialed NIC {nic} but announced NIC {peer_nic}"),
+                    ));
+                }
+                streams.push((peer, nic, s));
+            }
+        }
+
+        let mut reader_streams = Vec::new();
+        for (peer, nic, s) in streams {
+            met.conns.inc();
+            let reader = s.try_clone()?;
+            writers[peer][nic] = Some(Mutex::new(s));
+            reader_streams.push((peer, nic, reader));
+        }
+
+        let fab = Arc::new(NetFabric {
+            rank,
+            nranks,
+            nics,
+            writers,
+            next_region: AtomicU32::new(1),
+            shared,
+            readers: Mutex::new(Vec::new()),
+            obs,
+            met,
+        });
+
+        let mut handles = Vec::new();
+        for (peer, nic, stream) in reader_streams {
+            let sh = Arc::clone(&fab.shared);
+            let weak = Arc::downgrade(&fab);
+            let rx_frames = Arc::clone(&fab.met.rx_frames);
+            let rx_bytes = Arc::clone(&fab.met.rx_bytes);
+            let atomic_adds = Arc::clone(&fab.met.atomic_adds);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("netfab-r{rank}-p{peer}-n{nic}"))
+                    .spawn(move || {
+                        reader_loop(weak, peer, nic, stream, sh, rx_frames, rx_bytes, atomic_adds)
+                    })
+                    .expect("spawn reader thread"),
+            );
+        }
+        *fab.readers.lock().expect("readers lock") = handles;
+        Ok(fab)
+    }
+
+    /// This process's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Parallel sockets ("NICs") per peer.
+    pub fn nics(&self) -> usize {
+        self.nics
+    }
+
+    /// Install the atomic-add sink (once), draining any deliveries that
+    /// raced ahead of installation.
+    pub fn set_add_sink(&self, sink: Arc<dyn NetAddSink>) {
+        let mut pend = self.shared.pre_sink.lock().expect("pre_sink lock");
+        self.shared
+            .sink
+            .set(sink)
+            .unwrap_or_else(|_| panic!("atomic-add sink installed twice"));
+        let sink = self.shared.sink.get().expect("just installed");
+        for custom in pend.drain(..) {
+            sink.apply(custom);
+        }
+        drop(pend);
+        self.shared.ring_bell();
+    }
+
+    /// Register a `len`-byte region; returns its id and buffer.
+    pub fn register(&self, len: usize) -> (u32, Arc<NetRegion>) {
+        assert!(len > 0, "cannot register an empty region");
+        let id = self.next_region.fetch_add(1, Ordering::Relaxed);
+        let region = Arc::new(NetRegion::new(len));
+        self.shared
+            .regions
+            .lock()
+            .expect("regions lock")
+            .insert(id, Arc::clone(&region));
+        (id, region)
+    }
+
+    /// Look up a registered region by id.
+    pub fn region(&self, id: u32) -> Option<Arc<NetRegion>> {
+        self.shared
+            .regions
+            .lock()
+            .expect("regions lock")
+            .get(&id)
+            .cloned()
+    }
+
+    fn writer(&self, dst: usize, nic: usize) -> io::Result<&Mutex<TcpStream>> {
+        self.writers
+            .get(dst)
+            .and_then(|row| row.get(nic % self.nics))
+            .and_then(|w| w.as_ref())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    format!("no stream to rank {dst} NIC {nic}"),
+                )
+            })
+    }
+
+    fn send(&self, dst: usize, nic: usize, kind: u8, parts: &[&[u8]]) -> io::Result<()> {
+        let w = self.writer(dst, nic)?;
+        let mut s = w.lock().expect("writer lock");
+        frame::write_frame(&mut *s, kind, parts)?;
+        self.met.tx_frames.inc();
+        Ok(())
+    }
+
+    /// Emulated RMA put: payload into `(region, offset)` on `dst`, with
+    /// the 128-bit custom bits delivered to `dst`'s atomic-add sink.
+    /// `dst == self.rank()` short-circuits through local memory.
+    pub fn put(
+        &self,
+        dst: usize,
+        nic: usize,
+        region: u32,
+        offset: u64,
+        custom: u128,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        self.met.tx_bytes.add(payload.len() as u64);
+        if dst == self.rank {
+            let r = self.region(region).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("unknown region {region}"))
+            })?;
+            r.write(offset as usize, payload);
+            self.deliver_custom(custom);
+            self.shared.ring_bell();
+            return Ok(());
+        }
+        self.send(
+            dst,
+            nic,
+            frame::FRAME_PUT,
+            &[&frame::put_header(region, offset, custom), payload],
+        )
+    }
+
+    /// Emulated RMA get: ask `dst` for `(region, offset, len)`; the
+    /// reply lands in this rank's `(reply_region, reply_offset)` and
+    /// `custom_local` is applied here; `custom_remote` is applied on
+    /// `dst` when it serves the request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &self,
+        dst: usize,
+        nic: usize,
+        region: u32,
+        offset: u64,
+        len: u64,
+        custom_remote: u128,
+        reply_region: u32,
+        reply_offset: u64,
+        custom_local: u128,
+    ) -> io::Result<()> {
+        if dst == self.rank {
+            let src = self.region(region).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("unknown region {region}"))
+            })?;
+            let data = src.snapshot(offset as usize, len as usize);
+            self.deliver_custom(custom_remote);
+            let dstr = self.region(reply_region).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("unknown region {reply_region}"),
+                )
+            })?;
+            dstr.write(reply_offset as usize, &data);
+            self.deliver_custom(custom_local);
+            self.shared.ring_bell();
+            return Ok(());
+        }
+        self.send(
+            dst,
+            nic,
+            frame::FRAME_GET_REQ,
+            &[&frame::get_req_body(
+                region,
+                offset,
+                len,
+                custom_remote,
+                reply_region,
+                reply_offset,
+                custom_local,
+            )],
+        )
+    }
+
+    /// Deliver bare custom bits to `dst`'s atomic-add sink — the
+    /// `AtomicAddSink` path (level-4 emulation without data).
+    pub fn send_atomic(&self, dst: usize, nic: usize, custom: u128) -> io::Result<()> {
+        if dst == self.rank {
+            self.deliver_custom(custom);
+            self.shared.ring_bell();
+            return Ok(());
+        }
+        self.send(dst, nic, frame::FRAME_ATOMIC, &[&frame::atomic_body(custom)])
+    }
+
+    /// Send an opaque `unr_core::wire` control message to `dst`.
+    pub fn send_ctrl(&self, dst: usize, nic: usize, bytes: &[u8]) -> io::Result<()> {
+        if dst == self.rank {
+            self.shared
+                .ctrl
+                .lock()
+                .expect("ctrl lock")
+                .push_back((self.rank, bytes.to_vec()));
+            self.shared.ring_bell();
+            return Ok(());
+        }
+        self.send(dst, nic, frame::FRAME_CTRL, &[bytes])
+    }
+
+    /// Pop one inbound control message: `(src_rank, wire bytes)`.
+    pub fn pop_ctrl(&self) -> Option<(usize, Vec<u8>)> {
+        self.shared.ctrl.lock().expect("ctrl lock").pop_front()
+    }
+
+    fn deliver_custom(&self, custom: u128) {
+        self.met.atomic_adds.inc();
+        self.shared.apply_custom(custom);
+    }
+
+    /// Bump the event epoch and wake every [`NetFabric::wait_event`]
+    /// sleeper. Reader threads ring after each applied frame; the
+    /// engine rings after applying control messages.
+    pub fn ring_bell(&self) {
+        self.shared.ring_bell();
+    }
+
+    /// Sleep until the event epoch changes or `timeout` elapses.
+    /// Returns `true` if an event arrived. Callers re-check their
+    /// predicate in a loop; the epoch only orders the sleep.
+    pub fn wait_event(&self, timeout: Duration) -> bool {
+        let guard = self.shared.epoch.lock().expect("epoch lock");
+        let start = *guard;
+        let (guard, _res) = self
+            .shared
+            .bell
+            .wait_timeout_while(guard, timeout, |e| *e == start)
+            .expect("epoch condvar");
+        *guard != start
+    }
+
+    /// Whether teardown has begun (reader threads exiting is expected).
+    pub fn stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Relaxed)
+    }
+
+    /// Tear down: close every stream and join the reader threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        for row in &self.writers {
+            for w in row.iter().flatten() {
+                let s = w.lock().expect("writer lock");
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        let handles = std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+        let me = std::thread::current().id();
+        for h in handles {
+            // A reader that briefly upgraded its Weak for a GET reply can
+            // end up running this drop path; never join ourselves.
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+        self.shared.ring_bell();
+    }
+}
+
+impl Drop for NetFabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-stream reader: drains frames until EOF/teardown, applying each
+/// one. Holds only `Weak<NetFabric>` (needed for GET replies), so the
+/// fabric can be dropped while readers are still parked in `read`.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    fab: Weak<NetFabric>,
+    peer: usize,
+    nic: usize,
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    rx_frames: Arc<Counter>,
+    rx_bytes: Arc<Counter>,
+    atomic_adds: Arc<Counter>,
+) {
+    // An Err from read_frame is EOF or teardown — either ends the loop.
+    while let Ok(f) = frame::read_frame(&mut stream) {
+        rx_frames.inc();
+        let region_of = |id: u32| {
+            shared
+                .regions
+                .lock()
+                .expect("regions lock")
+                .get(&id)
+                .cloned()
+        };
+        match f.kind {
+            frame::FRAME_PUT => {
+                let (region, offset, custom, payload) = frame::parse_put(&f.body);
+                rx_bytes.add(payload.len() as u64);
+                if let Some(r) = region_of(region) {
+                    r.write(offset as usize, payload);
+                }
+                atomic_adds.inc();
+                shared.apply_custom(custom);
+            }
+            frame::FRAME_GET_REQ => {
+                let g = frame::parse_get_req(&f.body);
+                let data = match region_of(g.region) {
+                    Some(r) if (g.offset as usize).checked_add(g.len as usize)
+                        .is_some_and(|end| end <= r.len()) =>
+                    {
+                        r.snapshot(g.offset as usize, g.len as usize)
+                    }
+                    _ => Vec::new(), // bad request: drop, like a NIC NAK
+                };
+                if !data.is_empty() || g.len == 0 {
+                    atomic_adds.inc();
+                    shared.apply_custom(g.custom_remote);
+                    if let Some(fab) = fab.upgrade() {
+                        let _ = fab.send(
+                            peer,
+                            nic,
+                            frame::FRAME_GET_REP,
+                            &[
+                                &frame::get_rep_header(
+                                    g.reply_region,
+                                    g.reply_offset,
+                                    g.custom_local,
+                                ),
+                                &data,
+                            ],
+                        );
+                        fab.met.tx_bytes.add(data.len() as u64);
+                    }
+                }
+            }
+            frame::FRAME_GET_REP => {
+                let (region, offset, custom, payload) = frame::parse_get_rep(&f.body);
+                rx_bytes.add(payload.len() as u64);
+                if let Some(r) = region_of(region) {
+                    r.write(offset as usize, payload);
+                }
+                atomic_adds.inc();
+                shared.apply_custom(custom);
+            }
+            frame::FRAME_ATOMIC => {
+                atomic_adds.inc();
+                shared.apply_custom(frame::parse_atomic(&f.body));
+            }
+            frame::FRAME_CTRL => {
+                shared
+                    .ctrl
+                    .lock()
+                    .expect("ctrl lock")
+                    .push_back((peer, f.body));
+            }
+            _ => {} // unknown kind post-handshake: ignore
+        }
+        shared.ring_bell();
+    }
+}

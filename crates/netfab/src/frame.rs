@@ -1,0 +1,281 @@
+//! Length-prefixed framing for the netfab wire protocol.
+//!
+//! Every message on a netfab socket — data-plane or bootstrap — is one
+//! frame:
+//!
+//! ```text
+//! [len: u32 LE][kind: u8][body: len-1 bytes]
+//! ```
+//!
+//! `len` counts the kind byte plus the body, so a frame occupies
+//! `4 + len` bytes on the wire. All integers are little-endian.
+//!
+//! ## Data-plane frame kinds
+//!
+//! | kind | name      | body layout                                                        |
+//! |------|-----------|--------------------------------------------------------------------|
+//! | 1    | `HELLO`   | `rank u32, nic u32` — stream identification after connect          |
+//! | 2    | `PUT`     | `region u32, offset u64, custom u128, payload…`                    |
+//! | 3    | `GET_REQ` | `region u32, offset u64, len u64, custom_remote u128, reply_region u32, reply_offset u64, custom_local u128` |
+//! | 4    | `GET_REP` | `reply_region u32, reply_offset u64, custom_local u128, payload…`  |
+//! | 5    | `ATOMIC`  | `custom u128` — bare atomic-add-sink delivery, no data             |
+//! | 6    | `CTRL`    | opaque `unr_core::wire` control message (seq/ack/companion)        |
+//!
+//! The `custom` fields are the 128-bit custom bits of the emulated RMA
+//! completion: a [`unr_core::Notif`] under the channel's
+//! `Encoding::Full128`. The receiver's reader thread hands them to the
+//! fabric's atomic-add sink, which applies `*p += a` on the signal
+//! table — the level-2/level-4 emulation path of the paper, over real
+//! sockets instead of simulated NICs.
+//!
+//! ## Bootstrap frame kinds (parent ⟷ child rendezvous)
+//!
+//! | kind | name      | body layout                                         |
+//! |------|-----------|-----------------------------------------------------|
+//! | 10   | `JOIN`    | `rank u32, nics u32, port u16 × nics`               |
+//! | 11   | `TABLE`   | `nranks u32, nics u32, port u16 × (nranks × nics)`  |
+//! | 12   | `GATHER`  | opaque contribution to a collective round           |
+//! | 13   | `ALLDATA` | `nranks × (len u32, bytes)` — concatenated results  |
+
+use std::io::{self, Read, Write};
+
+/// Stream identification right after connect: `rank u32, nic u32`.
+pub const FRAME_HELLO: u8 = 1;
+/// Emulated RMA put: header custom bits + payload.
+pub const FRAME_PUT: u8 = 2;
+/// Emulated RMA get request (carries the reply coordinates, so the
+/// target needs no per-request state).
+pub const FRAME_GET_REQ: u8 = 3;
+/// Emulated RMA get reply: payload plus the echoed local custom bits.
+pub const FRAME_GET_REP: u8 = 4;
+/// Bare custom-bits delivery straight into the atomic-add sink.
+pub const FRAME_ATOMIC: u8 = 5;
+/// Opaque `unr_core::wire` control message (reliable transport, acks).
+pub const FRAME_CTRL: u8 = 6;
+
+/// Bootstrap: child announces `rank` and its per-NIC listener ports.
+pub const FRAME_JOIN: u8 = 10;
+/// Bootstrap: parent broadcasts the full rank×NIC port table.
+pub const FRAME_TABLE: u8 = 11;
+/// Bootstrap: one rank's contribution to a collective round.
+pub const FRAME_GATHER: u8 = 12;
+/// Bootstrap: the concatenated contributions of all ranks.
+pub const FRAME_ALLDATA: u8 = 13;
+
+/// Upper bound on a frame body; larger prefixes indicate a corrupt or
+/// desynchronized stream and are rejected instead of allocated.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// One decoded frame: the kind byte and the raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (`FRAME_*`).
+    pub kind: u8,
+    /// Body bytes (everything after the kind byte).
+    pub body: Vec<u8>,
+}
+
+/// Write one frame, assembling `parts` as the body. The frame is
+/// buffered into a single `write_all` so concurrent writers holding the
+/// stream lock emit whole frames.
+pub fn write_frame(w: &mut impl Write, kind: u8, parts: &[&[u8]]) -> io::Result<()> {
+    let body_len: usize = parts.iter().map(|p| p.len()).sum();
+    let len = 1 + body_len;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(kind);
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    w.write_all(&buf)
+}
+
+/// Read one frame (blocking). `Err(UnexpectedEof)` on clean stream
+/// close between frames.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut lenb = [0u8; 4];
+    r.read_exact(&mut lenb)?;
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut kindb = [0u8; 1];
+    r.read_exact(&mut kindb)?;
+    let mut body = vec![0u8; len - 1];
+    r.read_exact(&mut body)?;
+    Ok(Frame {
+        kind: kindb[0],
+        body,
+    })
+}
+
+fn u32_at(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("u32 field"))
+}
+
+fn u64_at(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("u64 field"))
+}
+
+fn u128_at(b: &[u8], at: usize) -> u128 {
+    u128::from_le_bytes(b[at..at + 16].try_into().expect("u128 field"))
+}
+
+/// Encode a `HELLO` body.
+pub fn hello_body(rank: usize, nic: usize) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    b[0..4].copy_from_slice(&(rank as u32).to_le_bytes());
+    b[4..8].copy_from_slice(&(nic as u32).to_le_bytes());
+    b
+}
+
+/// Decode a `HELLO` body: `(rank, nic)`.
+pub fn parse_hello(b: &[u8]) -> (usize, usize) {
+    (u32_at(b, 0) as usize, u32_at(b, 4) as usize)
+}
+
+/// Encode a `PUT` header (payload appended separately).
+pub fn put_header(region: u32, offset: u64, custom: u128) -> [u8; 28] {
+    let mut b = [0u8; 28];
+    b[0..4].copy_from_slice(&region.to_le_bytes());
+    b[4..12].copy_from_slice(&offset.to_le_bytes());
+    b[12..28].copy_from_slice(&custom.to_le_bytes());
+    b
+}
+
+/// Decode a `PUT` body: `(region, offset, custom, payload)`.
+pub fn parse_put(b: &[u8]) -> (u32, u64, u128, &[u8]) {
+    (u32_at(b, 0), u64_at(b, 4), u128_at(b, 12), &b[28..])
+}
+
+/// Encode a `GET_REQ` body. The request carries the requester's reply
+/// coordinates and local custom bits so the target can answer
+/// statelessly.
+pub fn get_req_body(
+    region: u32,
+    offset: u64,
+    len: u64,
+    custom_remote: u128,
+    reply_region: u32,
+    reply_offset: u64,
+    custom_local: u128,
+) -> [u8; 64] {
+    let mut b = [0u8; 64];
+    b[0..4].copy_from_slice(&region.to_le_bytes());
+    b[4..12].copy_from_slice(&offset.to_le_bytes());
+    b[12..20].copy_from_slice(&len.to_le_bytes());
+    b[20..36].copy_from_slice(&custom_remote.to_le_bytes());
+    b[36..40].copy_from_slice(&reply_region.to_le_bytes());
+    b[40..48].copy_from_slice(&reply_offset.to_le_bytes());
+    b[48..64].copy_from_slice(&custom_local.to_le_bytes());
+    b
+}
+
+/// A decoded `GET_REQ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetReq {
+    /// Source region on the target rank.
+    pub region: u32,
+    /// Source offset inside the region.
+    pub offset: u64,
+    /// Bytes to read.
+    pub len: u64,
+    /// Custom bits applied on the *target* (remote GET notification).
+    pub custom_remote: u128,
+    /// Destination region back on the requester.
+    pub reply_region: u32,
+    /// Destination offset back on the requester.
+    pub reply_offset: u64,
+    /// Custom bits echoed in the reply and applied on the requester.
+    pub custom_local: u128,
+}
+
+/// Decode a `GET_REQ` body.
+pub fn parse_get_req(b: &[u8]) -> GetReq {
+    GetReq {
+        region: u32_at(b, 0),
+        offset: u64_at(b, 4),
+        len: u64_at(b, 12),
+        custom_remote: u128_at(b, 20),
+        reply_region: u32_at(b, 36),
+        reply_offset: u64_at(b, 40),
+        custom_local: u128_at(b, 48),
+    }
+}
+
+/// Encode a `GET_REP` header (payload appended separately).
+pub fn get_rep_header(reply_region: u32, reply_offset: u64, custom_local: u128) -> [u8; 28] {
+    let mut b = [0u8; 28];
+    b[0..4].copy_from_slice(&reply_region.to_le_bytes());
+    b[4..12].copy_from_slice(&reply_offset.to_le_bytes());
+    b[12..28].copy_from_slice(&custom_local.to_le_bytes());
+    b
+}
+
+/// Decode a `GET_REP` body: `(reply_region, reply_offset, custom_local,
+/// payload)`.
+pub fn parse_get_rep(b: &[u8]) -> (u32, u64, u128, &[u8]) {
+    (u32_at(b, 0), u64_at(b, 4), u128_at(b, 12), &b[28..])
+}
+
+/// Encode an `ATOMIC` body.
+pub fn atomic_body(custom: u128) -> [u8; 16] {
+    custom.to_le_bytes()
+}
+
+/// Decode an `ATOMIC` body.
+pub fn parse_atomic(b: &[u8]) -> u128 {
+    u128_at(b, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_PUT, &[&put_header(7, 96, 0xabcd), b"payload"]).unwrap();
+        let f = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(f.kind, FRAME_PUT);
+        let (region, offset, custom, payload) = parse_put(&f.body);
+        assert_eq!((region, offset, custom), (7, 96, 0xabcd));
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn get_req_roundtrip() {
+        let body = get_req_body(3, 128, 64, 1 << 80, 9, 256, 2 << 80);
+        let g = parse_get_req(&body);
+        assert_eq!(g.region, 3);
+        assert_eq!(g.offset, 128);
+        assert_eq!(g.len, 64);
+        assert_eq!(g.custom_remote, 1 << 80);
+        assert_eq!(g.reply_region, 9);
+        assert_eq!(g.reply_offset, 256);
+        assert_eq!(g.custom_local, 2 << 80);
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(FRAME_PUT);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let b = hello_body(3, 1);
+        assert_eq!(parse_hello(&b), (3, 1));
+    }
+}

@@ -1,0 +1,318 @@
+//! Multi-process bootstrap: `spawn_world` (parent) and
+//! [`NetWorld::from_env`] (child).
+//!
+//! The bootstrap sequence:
+//!
+//! 1. The parent binds a rendezvous `TcpListener` on `127.0.0.1:0` and
+//!    spawns `nranks` copies of the *current executable* with the
+//!    `UNR_NETFAB_*` environment variables set (rank, world size, NIC
+//!    count, and the rendezvous address).
+//! 2. Each child binds `nics` data listeners on `127.0.0.1:0`, connects
+//!    to the rendezvous address, and sends a `JOIN` frame carrying its
+//!    rank and listener ports.
+//! 3. Once all `JOIN`s are in, the parent broadcasts the full
+//!    `rank × NIC → port` `TABLE` to every child.
+//! 4. Children build the data mesh ([`NetFabric::connect`]): for each
+//!    pair `(i, j)` with `i < j`, rank `i` dials rank `j`, identifying
+//!    the stream with a `HELLO`.
+//! 5. The rendezvous connection stays open as an out-of-band collective
+//!    channel: `GATHER`/`ALLDATA` rounds implement [`NetWorld::barrier`],
+//!    [`NetWorld::allgather`] and BLK-handle exchange.
+//!
+//! Keeping collectives on the parent connection (not the data mesh)
+//! means barriers still work while the data path is being storm-tested
+//! or deliberately dropping frames.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+use unr_core::{Blk, BLK_WIRE_LEN};
+
+use crate::fabric::NetFabric;
+use crate::frame::{self, FRAME_ALLDATA, FRAME_GATHER, FRAME_JOIN, FRAME_TABLE};
+
+/// Child-side env var: this process's rank.
+pub const ENV_RANK: &str = "UNR_NETFAB_RANK";
+/// Child-side env var: world size.
+pub const ENV_NRANKS: &str = "UNR_NETFAB_NRANKS";
+/// Child-side env var: sockets ("NICs") per peer.
+pub const ENV_NICS: &str = "UNR_NETFAB_NICS";
+/// Child-side env var: `host:port` of the parent's rendezvous listener.
+pub const ENV_BOOTSTRAP: &str = "UNR_NETFAB_BOOTSTRAP";
+
+/// A child process's view of the world: the data-plane fabric plus the
+/// out-of-band collective channel to the launching parent.
+pub struct NetWorld {
+    /// The established TCP mesh.
+    pub fabric: Arc<NetFabric>,
+    parent: Mutex<TcpStream>,
+}
+
+impl NetWorld {
+    /// Detect child mode: `Some(world)` iff the `UNR_NETFAB_*` variables
+    /// are set, in which case the full bootstrap (join, table, mesh) is
+    /// run before returning. Call this first in `main`; `None` means
+    /// "not a netfab child" and the caller proceeds as parent/CLI.
+    pub fn from_env() -> Option<io::Result<NetWorld>> {
+        let rank: usize = std::env::var(ENV_RANK).ok()?.parse().ok()?;
+        let nranks: usize = std::env::var(ENV_NRANKS).ok()?.parse().ok()?;
+        let nics: usize = std::env::var(ENV_NICS).ok()?.parse().ok()?;
+        let bootstrap = std::env::var(ENV_BOOTSTRAP).ok()?;
+        Some(Self::bootstrap(rank, nranks, nics, &bootstrap))
+    }
+
+    fn bootstrap(rank: usize, nranks: usize, nics: usize, parent_addr: &str) -> io::Result<NetWorld> {
+        // Bind the data listeners first so their ports can ride the JOIN.
+        let mut listeners = Vec::with_capacity(nics);
+        let mut ports = Vec::with_capacity(nics);
+        for _ in 0..nics {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            ports.push(l.local_addr()?.port());
+            listeners.push(l);
+        }
+
+        let mut parent = TcpStream::connect(parent_addr)?;
+        parent.set_nodelay(true)?;
+        let mut join = Vec::with_capacity(8 + nics * 2);
+        join.extend_from_slice(&(rank as u32).to_le_bytes());
+        join.extend_from_slice(&(nics as u32).to_le_bytes());
+        for p in &ports {
+            join.extend_from_slice(&p.to_le_bytes());
+        }
+        frame::write_frame(&mut parent, FRAME_JOIN, &[&join])?;
+
+        let table = frame::read_frame(&mut parent)?;
+        if table.kind != FRAME_TABLE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected TABLE from parent",
+            ));
+        }
+        let b = &table.body;
+        let t_nranks = u32::from_le_bytes(b[0..4].try_into().expect("table nranks")) as usize;
+        let t_nics = u32::from_le_bytes(b[4..8].try_into().expect("table nics")) as usize;
+        if t_nranks != nranks || t_nics != nics {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "TABLE shape does not match the environment",
+            ));
+        }
+        let mut all_ports = vec![vec![0u16; nics]; nranks];
+        let mut at = 8;
+        for row in all_ports.iter_mut() {
+            for p in row.iter_mut() {
+                *p = u16::from_le_bytes(b[at..at + 2].try_into().expect("table port"));
+                at += 2;
+            }
+        }
+
+        let fabric = NetFabric::connect(rank, nranks, nics, &all_ports, listeners)?;
+        Ok(NetWorld {
+            fabric,
+            parent: Mutex::new(parent),
+        })
+    }
+
+    /// This process's world rank.
+    pub fn rank(&self) -> usize {
+        self.fabric.rank()
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.fabric.nranks()
+    }
+
+    /// Sockets ("NICs") per peer.
+    pub fn nics(&self) -> usize {
+        self.fabric.nics()
+    }
+
+    /// All-gather `bytes` across the world via the parent: returns one
+    /// entry per rank, in rank order. Collective: every rank must call.
+    pub fn allgather(&self, bytes: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+        let mut s = self.parent.lock().expect("parent lock");
+        frame::write_frame(&mut *s, FRAME_GATHER, &[bytes])?;
+        let f = frame::read_frame(&mut *s)?;
+        if f.kind != FRAME_ALLDATA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected ALLDATA from parent",
+            ));
+        }
+        let b = &f.body;
+        let mut out = Vec::with_capacity(self.nranks());
+        let mut at = 0;
+        for _ in 0..self.nranks() {
+            let len = u32::from_le_bytes(b[at..at + 4].try_into().expect("alldata len")) as usize;
+            at += 4;
+            out.push(b[at..at + len].to_vec());
+            at += len;
+        }
+        Ok(out)
+    }
+
+    /// Barrier: an empty all-gather round.
+    pub fn barrier(&self) -> io::Result<()> {
+        self.allgather(&[]).map(|_| ())
+    }
+
+    /// Exchange BLK handles: every rank contributes one [`Blk`], gets
+    /// back all of them in rank order (the out-of-band handle exchange
+    /// of the paper's Code 2, over the bootstrap channel).
+    pub fn exchange_blks(&self, blk: &Blk) -> io::Result<Vec<Blk>> {
+        let all = self.allgather(&blk.to_bytes())?;
+        all.iter()
+            .map(|b| {
+                Blk::from_bytes(b).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("BLK frame of {} bytes (want {BLK_WIRE_LEN})", b.len()),
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// Result of a [`spawn_world`] run.
+pub struct WorldResult {
+    /// Captured stdout of each rank, in rank order.
+    pub outputs: Vec<String>,
+    /// Exit codes of each rank (`-1`: killed by signal).
+    pub statuses: Vec<i32>,
+}
+
+impl WorldResult {
+    /// Whether every rank exited 0.
+    pub fn success(&self) -> bool {
+        self.statuses.iter().all(|&s| s == 0)
+    }
+}
+
+/// Parent side: spawn `nranks` copies of the current executable as
+/// netfab children (passing `args` through verbatim), serve the
+/// rendezvous + collective rounds until every child closes its
+/// bootstrap connection, and collect outputs and exit codes.
+///
+/// Children echo their stdout live, prefixed `[rank N]`, and the raw
+/// text is also returned for parsing (`BENCH`/`STORM` result lines).
+pub fn spawn_world(nranks: usize, nics: usize, args: &[String]) -> io::Result<WorldResult> {
+    assert!(nranks >= 1 && nics >= 1, "need at least one rank and NIC");
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let exe = std::env::current_exe()?;
+
+    let mut children = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let child = Command::new(&exe)
+            .args(args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, nranks.to_string())
+            .env(ENV_NICS, nics.to_string())
+            .env(ENV_BOOTSTRAP, addr.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        children.push(child);
+    }
+
+    // Echo each child's stdout live and capture it for the caller.
+    let mut pumps = Vec::with_capacity(nranks);
+    for (rank, child) in children.iter_mut().enumerate() {
+        let out = child.stdout.take().expect("child stdout is piped");
+        pumps.push(std::thread::spawn(move || {
+            let mut captured = String::new();
+            for line in BufReader::new(out).lines() {
+                let Ok(line) = line else { break };
+                println!("[rank {rank}] {line}");
+                captured.push_str(&line);
+                captured.push('\n');
+            }
+            captured
+        }));
+    }
+
+    // Rendezvous: accept one JOIN per rank.
+    let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+    let mut table = vec![vec![0u16; nics]; nranks];
+    for _ in 0..nranks {
+        let (mut s, _) = listener.accept()?;
+        s.set_nodelay(true)?;
+        let f = frame::read_frame(&mut s)?;
+        if f.kind != FRAME_JOIN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected JOIN from child",
+            ));
+        }
+        let b = &f.body;
+        let rank = u32::from_le_bytes(b[0..4].try_into().expect("join rank")) as usize;
+        let j_nics = u32::from_le_bytes(b[4..8].try_into().expect("join nics")) as usize;
+        if rank >= nranks || j_nics != nics || conns[rank].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad JOIN from rank {rank}"),
+            ));
+        }
+        for nic in 0..nics {
+            table[rank][nic] =
+                u16::from_le_bytes(b[8 + nic * 2..10 + nic * 2].try_into().expect("join port"));
+        }
+        conns[rank] = Some(s);
+    }
+    let mut conns: Vec<TcpStream> = conns.into_iter().map(|c| c.expect("all joined")).collect();
+
+    // Broadcast the port table.
+    let mut tbl = Vec::with_capacity(8 + nranks * nics * 2);
+    tbl.extend_from_slice(&(nranks as u32).to_le_bytes());
+    tbl.extend_from_slice(&(nics as u32).to_le_bytes());
+    for row in &table {
+        for p in row {
+            tbl.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    for c in conns.iter_mut() {
+        frame::write_frame(c, FRAME_TABLE, &[&tbl])?;
+    }
+
+    // Collective service: lockstep GATHER -> ALLDATA rounds until the
+    // children hang up (their natural exit closes the stream).
+    'rounds: loop {
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(nranks);
+        for c in conns.iter_mut() {
+            match frame::read_frame(c) {
+                Ok(f) if f.kind == FRAME_GATHER => parts.push(f.body),
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "expected GATHER from child",
+                    ))
+                }
+                Err(_) => break 'rounds, // EOF: world is shutting down
+            }
+        }
+        let mut all = Vec::new();
+        for p in &parts {
+            all.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            all.extend_from_slice(p);
+        }
+        for c in conns.iter_mut() {
+            frame::write_frame(c, FRAME_ALLDATA, &[&all])?;
+        }
+    }
+    drop(conns);
+
+    let mut outputs = Vec::with_capacity(nranks);
+    for p in pumps {
+        outputs.push(p.join().expect("stdout pump"));
+    }
+    let mut statuses = Vec::with_capacity(nranks);
+    for mut child in children {
+        let st = child.wait()?;
+        statuses.push(st.code().unwrap_or(-1));
+    }
+    Ok(WorldResult { outputs, statuses })
+}

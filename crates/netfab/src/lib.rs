@@ -1,0 +1,65 @@
+//! # unr-netfab — the TCP-loopback fabric backend for UNR
+//!
+//! Everything the UNR engine consumes from the deterministic simulator
+//! (`unr-simnet`), rebuilt over real OS primitives: per-rank "NICs" are
+//! loopback TCP sockets, completion processing is reader threads, and
+//! the notifiable-RMA custom bits ride a length-prefixed wire protocol
+//! ([`frame`]). The result is the paper's software emulation story
+//! (§V): a level-3 interface (full 128-bit custom bits both ways,
+//! [`Channel::netfab`](unr_core::Channel::netfab)) whose receiving side
+//! applies `*p += a` in an agent thread — the [`NetAddSink`] — exactly
+//! as a level-2 system emulates the proposed level-4 hardware.
+//!
+//! ## Layers
+//!
+//! * [`frame`] — framing + frame kinds (data plane and bootstrap);
+//! * [`fabric`] — [`NetFabric`]: the socket mesh, emulated RMA regions,
+//!   reader threads, the atomic-add sink, `unr.transport.*` metrics;
+//! * [`launch`] — [`spawn_world`] / [`NetWorld`]: multi-process
+//!   bootstrap (rank/port rendezvous) and out-of-band collectives;
+//! * [`engine`] — [`NetUnr`]: puts/gets with striping, MMAS signals
+//!   from the shared lock-free [`SignalTable`](unr_core::SignalTable),
+//!   and an ack/replay reliable transport reusing `unr_core::wire`
+//!   control messages and [`DedupWindow`](unr_core::DedupWindow).
+//!
+//! ## Quick start
+//!
+//! A binary that wants to run as a netfab world checks
+//! [`NetWorld::from_env`] first; `Some` means "I am rank *i* of *n*,
+//! bootstrap and go", `None` means "I am the launcher":
+//!
+//! ```no_run
+//! use unr_netfab::{spawn_world, NetFaults, NetUnr, NetWorld};
+//! use unr_core::{Backend, UnrConfig};
+//! use std::sync::Arc;
+//!
+//! if let Some(world) = NetWorld::from_env() {
+//!     let world = Arc::new(world.expect("bootstrap"));
+//!     let cfg = UnrConfig::builder()
+//!         .backend(Backend::Netfab)
+//!         .build()
+//!         .unwrap();
+//!     let unr = NetUnr::init(world, cfg, NetFaults::default()).unwrap();
+//!     // ... register memory, exchange BLKs, put/get, sig_wait ...
+//!     unr.finalize();
+//! } else {
+//!     let res = spawn_world(4, 2, &[]).expect("launch");
+//!     assert!(res.success());
+//! }
+//! ```
+//!
+//! The `unr-launch` binary packages this pattern as a CLI (see the
+//! workspace README).
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod fabric;
+pub mod frame;
+pub mod launch;
+pub mod storm;
+
+pub use engine::{NetFaults, NetMem, NetUnr};
+pub use fabric::{NetAddSink, NetFabric, NetRegion, TransportMetrics};
+pub use launch::{spawn_world, NetWorld, WorldResult};
+pub use storm::{run_storm, StormOpts, StormOutcome};

@@ -1,0 +1,185 @@
+//! The loopback storm: the netfab correctness + throughput workload.
+//!
+//! Every rank fires `iters` notified PUTs per epoch at its ring
+//! neighbour, each into a distinct slot of the neighbour's receive
+//! window, then waits for its own arrivals and verifies:
+//!
+//! * **exact MMAS accounting** — the receive signal triggers exactly
+//!   (counter back to zero, overflow bit clear), every payload byte
+//!   matches the sender's deterministic pattern, and `Sig_Reset`
+//!   succeeds (a non-zero counter at reset is the paper's
+//!   pre-synchronization bug and fails the storm);
+//! * **clean teardown** — zero stale-key rejects over the whole run,
+//!   and in reliable mode the pending-retransmit table drains empty.
+//!
+//! With `drop_every` set, the reliable transport is forced to heal
+//! injected first-transmission drops; the storm then also asserts the
+//! replay path actually fired (drops > 0, retransmits > 0).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unr_core::{Backend, Reliability, UnrConfig};
+
+use crate::engine::{NetFaults, NetUnr};
+use crate::launch::NetWorld;
+
+/// Storm parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StormOpts {
+    /// Notified PUTs per rank per epoch.
+    pub iters: usize,
+    /// Epochs (each ends with verify + reset + barrier).
+    pub epochs: usize,
+    /// Message size in bytes.
+    pub msg: usize,
+    /// Run the ack/replay reliable transport.
+    pub reliable: bool,
+    /// Drop every n-th first transmission (forces replay; reliable only).
+    pub drop_every: Option<u64>,
+}
+
+impl Default for StormOpts {
+    fn default() -> Self {
+        StormOpts {
+            iters: 8,
+            epochs: 3,
+            msg: 4096,
+            reliable: false,
+            drop_every: None,
+        }
+    }
+}
+
+/// Per-rank storm outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct StormOutcome {
+    /// Completed notified PUTs on this rank.
+    pub ops: u64,
+    /// Wall nanoseconds between the opening and closing barriers.
+    pub wall_ns: u64,
+    /// Reliable-transport retransmissions performed.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by the dedup window.
+    pub dup_suppressed: u64,
+    /// First transmissions dropped by fault injection.
+    pub drops_injected: u64,
+}
+
+fn pattern(rank: usize, epoch: usize, iter: usize, i: usize) -> u8 {
+    (rank.wrapping_mul(151))
+        .wrapping_add(epoch.wrapping_mul(31))
+        .wrapping_add(iter.wrapping_mul(7))
+        .wrapping_add(i) as u8
+}
+
+/// Run the storm on this rank; collective across the world.
+pub fn run_storm(world: Arc<NetWorld>, opts: StormOpts) -> Result<StormOutcome, String> {
+    let me = world.rank();
+    let n = world.nranks();
+    let err = |e: String| format!("rank {me}: {e}");
+
+    let cfg = UnrConfig::builder()
+        .backend(Backend::Netfab)
+        .reliability(if opts.reliable {
+            Reliability::On
+        } else {
+            Reliability::Off
+        })
+        .build()
+        .map_err(|e| err(format!("config: {e}")))?;
+    let faults = NetFaults {
+        drop_every: if opts.reliable { opts.drop_every } else { None },
+    };
+    let unr = NetUnr::init(Arc::clone(&world), cfg, faults).map_err(|e| err(format!("init: {e}")))?;
+
+    let recv_mem = unr.mem_reg(opts.iters * opts.msg);
+    let send_mem = unr.mem_reg(opts.msg);
+    let recv_sig = unr.sig_init(opts.iters as i64);
+    let send_sig = unr.sig_init(opts.iters as i64);
+
+    // One out-of-band handle exchange before the main loop (Code 2).
+    let recv_window = recv_mem.blk(0, opts.iters * opts.msg, Some(&recv_sig));
+    let blks = world
+        .exchange_blks(&recv_window)
+        .map_err(|e| err(format!("blk exchange: {e}")))?;
+    let dst = (me + 1) % n;
+    let src = (me + n - 1) % n;
+    let rmt = blks[dst];
+
+    world.barrier().map_err(|e| err(format!("barrier: {e}")))?;
+    let t0 = Instant::now();
+    let mut buf = vec![0u8; opts.msg];
+
+    for epoch in 0..opts.epochs {
+        for iter in 0..opts.iters {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = pattern(me, epoch, iter, i);
+            }
+            send_mem.write_bytes(0, &buf);
+            let send_blk = send_mem.blk(0, opts.msg, Some(&send_sig));
+            unr.put(&send_blk, &rmt.slice(iter * opts.msg, opts.msg))
+                .map_err(|e| err(format!("put e{epoch} i{iter}: {e}")))?;
+        }
+        unr.sig_wait(&send_sig)
+            .map_err(|e| err(format!("send sig_wait e{epoch}: {e}")))?;
+        unr.sig_wait(&recv_sig)
+            .map_err(|e| err(format!("recv sig_wait e{epoch}: {e}")))?;
+
+        for iter in 0..opts.iters {
+            recv_mem.read_bytes(iter * opts.msg, &mut buf);
+            for (i, b) in buf.iter().enumerate() {
+                let want = pattern(src, epoch, iter, i);
+                if *b != want {
+                    return Err(err(format!(
+                        "payload mismatch e{epoch} i{iter} byte {i}: got {b:#04x}, want {want:#04x}"
+                    )));
+                }
+            }
+        }
+
+        // Exact accounting: both counters must be exactly back at zero.
+        send_sig
+            .reset()
+            .map_err(|e| err(format!("send reset e{epoch}: {e}")))?;
+        recv_sig
+            .reset()
+            .map_err(|e| err(format!("recv reset e{epoch}: {e}")))?;
+
+        if opts.reliable && !unr.drain_pending(Duration::from_secs(20)) {
+            return Err(err(format!(
+                "pending retransmits did not drain in e{epoch} ({} left)",
+                unr.pending_len()
+            )));
+        }
+        world.barrier().map_err(|e| err(format!("barrier e{epoch}: {e}")))?;
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let stale = unr.table().stats.stale_rejects.load(Ordering::Relaxed);
+    if stale != 0 {
+        return Err(err(format!("{stale} stale-key rejects — accounting leak")));
+    }
+    let met = unr.met();
+    let out = StormOutcome {
+        ops: (opts.iters * opts.epochs) as u64,
+        wall_ns,
+        retransmits: met.retransmits.get(),
+        dup_suppressed: met.dup_suppressed.get(),
+        drops_injected: met.drops_injected.get(),
+    };
+    if opts.reliable && opts.drop_every.is_some() {
+        if out.drops_injected == 0 {
+            return Err(err("fault injection armed but no drops happened".into()));
+        }
+        if out.retransmits == 0 {
+            return Err(err("drops injected but nothing was retransmitted".into()));
+        }
+    }
+    // Final rendezvous before sockets close, so no rank tears down the
+    // mesh while a peer still owes it traffic.
+    world.barrier().map_err(|e| err(format!("final barrier: {e}")))?;
+    unr.finalize();
+    Ok(out)
+}

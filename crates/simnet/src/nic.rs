@@ -59,6 +59,11 @@ pub enum InterfaceKind {
     /// No RMA primitives at all; everything over two-sided messaging.
     /// Exercises UNR's MPI fallback channel.
     MpiOnly,
+    /// TCP loopback sockets between OS processes (the `unr-netfab`
+    /// backend). Emulated RMA with full 128-bit custom bits carried in
+    /// the frame header; no hardware atomic add (the receiver's reader
+    /// thread applies `*p += a`, which is level-2/level-4 *emulation*).
+    TcpLoopback,
 }
 
 /// Static description of an interface's notifiable RMA primitives.
@@ -78,8 +83,8 @@ pub struct InterfaceSpec {
 }
 
 impl InterfaceSpec {
-    /// Table II registry.
-    pub const fn registry() -> [InterfaceSpec; 7] {
+    /// Table II registry (plus this reproduction's TCP-loopback row).
+    pub const fn registry() -> [InterfaceSpec; 8] {
         [
             InterfaceSpec {
                 kind: InterfaceKind::Glex,
@@ -163,6 +168,15 @@ impl InterfaceSpec {
                 custom_bits: CustomBits::symmetric(0),
                 hardware_atomic_add: false,
                 rma_capable: false,
+            },
+            InterfaceSpec {
+                kind: InterfaceKind::TcpLoopback,
+                name: "TCP-loopback",
+                interconnect: "kernel loopback (unr-netfab)",
+                representative_systems: "any POSIX host",
+                custom_bits: CustomBits::symmetric(128),
+                hardware_atomic_add: false,
+                rma_capable: true,
             },
         ]
     }

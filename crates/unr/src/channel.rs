@@ -182,8 +182,31 @@ impl Channel {
         }
     }
 
+    /// The `unr-netfab` TCP-loopback channel: emulated RMA whose frame
+    /// header carries full 128-bit custom bits in both directions, so
+    /// it behaves like a level-3 interface (GLEX encodings) over real
+    /// sockets. Striping across the per-rank socket "NICs" is allowed.
+    pub fn netfab() -> Channel {
+        let e = DirEncodings {
+            put_local: Encoding::Full128,
+            put_remote: Encoding::Full128,
+            get_local: Encoding::Full128,
+            get_remote: Some(Encoding::Full128),
+        };
+        Channel {
+            name: "netfab-tcp",
+            level: SupportLevel::Level3,
+            mech: Mechanism::Rma(e),
+            hardware: false,
+            multi_channel: true,
+        }
+    }
+
     /// Table II: pick the channel for an interface.
     pub fn auto_select(spec: &InterfaceSpec, mode2_key_bits: Option<u16>) -> Channel {
+        if spec.kind == unr_simnet::InterfaceKind::TcpLoopback {
+            return Channel::netfab();
+        }
         if !spec.rma_capable {
             return Channel::fallback();
         }

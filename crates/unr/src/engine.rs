@@ -18,24 +18,14 @@ use crate::retry::{
     PendingSub, Reliability, Resend, RetryPolicy, RetryState, Route,
 };
 use crate::signal::{striped_addends, SigKey, Signal, SignalError, SignalTable};
+use crate::transport::{Backend, SubPut, Transport};
+use crate::wire::{self, CtrlMsg};
 
 /// Fabric port carrying UNR control traffic (fallback data, level-0
 /// companion messages, fallback GET requests, and the self-healing
-/// transport's sequenced sub-messages and acks).
+/// transport's sequenced sub-messages and acks). Frame layouts live in
+/// [`crate::wire`].
 pub const UNR_PORT: u32 = 0x554E; // "UN"
-
-const MSG_FALLBACK_DATA: u8 = 1;
-const MSG_FALLBACK_GET: u8 = 2;
-const MSG_COMPANION: u8 = 3;
-/// Sequenced fallback data: `seq u64, region u32, offset u64, key u64,
-/// addend i64, payload` — the reliable transport's datagram route.
-const MSG_SEQ_DATA: u8 = 4;
-/// Sequenced delivery notification riding an RMA put as its companion:
-/// `seq u64, key u64, addend i64`. Receipt implies the RMA payload of
-/// the same fabric delivery landed; it drives dedup + ack.
-const MSG_SEQ_NOTIF: u8 = 5;
-/// Receiver ack of a sequenced sub-message: `seq u64`.
-const MSG_ACK: u8 = 6;
 
 /// How notification events are progressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +91,11 @@ pub struct UnrConfig {
     /// Attempt number from which retransmissions abandon the RMA path
     /// and reroute through the datagram fallback channel.
     pub fallback_after: u32,
+    /// Which fabric backend this context runs on: the deterministic
+    /// simulator ([`Backend::Simnet`], consumed by [`Unr::init`]) or
+    /// real TCP processes ([`Backend::Netfab`], consumed by
+    /// `unr-netfab`'s `NetUnr::init`).
+    pub backend: Backend,
 }
 
 impl Default for UnrConfig {
@@ -121,6 +116,7 @@ impl Default for UnrConfig {
             retry_max_backoff: 2_000_000,
             max_retries: 10,
             fallback_after: 3,
+            backend: Backend::Simnet,
         }
     }
 }
@@ -212,6 +208,12 @@ impl UnrConfigBuilder {
     /// Attempt number from which retransmits use the fallback channel.
     pub fn fallback_after(mut self, n: u32) -> Self {
         self.cfg.fallback_after = n;
+        self
+    }
+
+    /// Select the fabric backend (default [`Backend::Simnet`]).
+    pub fn backend(mut self, v: Backend) -> Self {
+        self.cfg.backend = v;
         self
     }
 
@@ -646,7 +648,7 @@ impl UnrCore {
         drop(events);
         while let Some(d) = self.port.try_pop() {
             n += 1;
-            if matches!(d.bytes[0], MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA) {
+            if CtrlMsg::is_data_bearing(d.bytes[0]) {
                 fb_bytes += d.bytes.len();
                 fb_msgs += 1;
             }
@@ -710,35 +712,22 @@ impl UnrCore {
         }
     }
 
-    /// `MSG_SEQ_DATA` image of a buffered sub-message (fallback route
-    /// and retransmissions over it).
+    /// [`wire::MSG_SEQ_DATA`] image of a buffered sub-message (fallback
+    /// route and retransmissions over it).
     fn build_seq_data(p: &PendingSub) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(37 + p.payload.len());
-        msg.push(MSG_SEQ_DATA);
-        msg.extend_from_slice(&p.seq.to_le_bytes());
-        msg.extend_from_slice(&p.dst_rkey.id.to_le_bytes());
-        msg.extend_from_slice(&(p.dst_offset as u64).to_le_bytes());
-        msg.extend_from_slice(&p.remote_key.to_le_bytes());
-        msg.extend_from_slice(&p.addend.to_le_bytes());
-        msg.extend_from_slice(&p.payload);
-        msg
+        wire::seq_data_msg(
+            p.seq,
+            p.dst_rkey.id,
+            p.dst_offset as u64,
+            p.remote_key,
+            p.addend,
+            &p.payload,
+        )
     }
 
-    /// `MSG_SEQ_NOTIF` companion of a buffered RMA sub-message.
+    /// [`wire::MSG_SEQ_NOTIF`] companion of a buffered RMA sub-message.
     fn build_seq_notif(p: &PendingSub) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(25);
-        msg.push(MSG_SEQ_NOTIF);
-        msg.extend_from_slice(&p.seq.to_le_bytes());
-        msg.extend_from_slice(&p.remote_key.to_le_bytes());
-        msg.extend_from_slice(&p.addend.to_le_bytes());
-        msg
-    }
-
-    fn ack_msg(seq: u64) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(9);
-        msg.push(MSG_ACK);
-        msg.extend_from_slice(&seq.to_le_bytes());
-        msg
+        wire::seq_notif_msg(p.seq, p.remote_key, p.addend)
     }
 
     fn handle_ctrl(
@@ -749,23 +738,18 @@ impl UnrCore {
         bytes: &[u8],
         replies: &mut Vec<Reply>,
     ) {
-        match bytes[0] {
-            MSG_COMPANION => {
-                let key = u64::from_le_bytes(bytes[1..9].try_into().expect("companion key"));
-                let addend =
-                    i64::from_le_bytes(bytes[9..17].try_into().expect("companion addend"));
+        match CtrlMsg::parse(bytes) {
+            CtrlMsg::Companion { key, addend } => {
                 self.table.apply(sched, t, key, addend);
                 self.met.sig_adds.inc();
             }
-            MSG_FALLBACK_DATA => {
-                let region_id =
-                    u32::from_le_bytes(bytes[1..5].try_into().expect("fallback region"));
-                let offset =
-                    u64::from_le_bytes(bytes[5..13].try_into().expect("fallback offset")) as usize;
-                let key = u64::from_le_bytes(bytes[13..21].try_into().expect("fallback key"));
-                let addend =
-                    i64::from_le_bytes(bytes[21..29].try_into().expect("fallback addend"));
-                let payload = &bytes[29..];
+            CtrlMsg::FallbackData {
+                region_id,
+                offset,
+                key,
+                addend,
+                payload,
+            } => {
                 let region = self.regions.get(region_id);
                 match region {
                     Some(r) => {
@@ -780,43 +764,41 @@ impl UnrCore {
                     }
                 }
             }
-            MSG_FALLBACK_GET => {
-                let region_id = u32::from_le_bytes(bytes[1..5].try_into().expect("get region"));
-                let offset = u64::from_le_bytes(bytes[5..13].try_into().expect("get off")) as usize;
-                let len = u64::from_le_bytes(bytes[13..21].try_into().expect("get len")) as usize;
-                let reply_region = u32::from_le_bytes(bytes[21..25].try_into().expect("reply r"));
-                let reply_offset =
-                    u64::from_le_bytes(bytes[25..33].try_into().expect("reply off"));
-                let reply_key = u64::from_le_bytes(bytes[33..41].try_into().expect("reply key"));
-                let reply_addend =
-                    i64::from_le_bytes(bytes[41..49].try_into().expect("reply add"));
-                let remote_key = u64::from_le_bytes(bytes[49..57].try_into().expect("rkey"));
-                let remote_addend =
-                    i64::from_le_bytes(bytes[57..65].try_into().expect("radd"));
+            CtrlMsg::FallbackGet {
+                region_id,
+                offset,
+                len,
+                reply_region,
+                reply_offset,
+                reply_key,
+                reply_addend,
+                remote_key,
+                remote_addend,
+            } => {
                 let region = self.regions.get(region_id);
                 if let Some(r) = region {
                     let data = r.snapshot(offset, len).expect("fallback get in bounds");
                     // Notify the exposer side (GET remote completion).
                     self.table.apply(sched, t, remote_key, remote_addend);
                     self.met.sig_adds.inc();
-                    let mut msg = Vec::with_capacity(29 + data.len());
-                    msg.push(MSG_FALLBACK_DATA);
-                    msg.extend_from_slice(&reply_region.to_le_bytes());
-                    msg.extend_from_slice(&reply_offset.to_le_bytes());
-                    msg.extend_from_slice(&reply_key.to_le_bytes());
-                    msg.extend_from_slice(&reply_addend.to_le_bytes());
-                    msg.extend_from_slice(&data);
+                    let msg = wire::fallback_data_msg(
+                        reply_region,
+                        reply_offset,
+                        reply_key,
+                        reply_addend,
+                        &data,
+                    );
                     replies.push(Reply::Dgram { dst: src, bytes: msg });
                 }
             }
-            MSG_SEQ_DATA => {
-                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("seq"));
-                let region_id = u32::from_le_bytes(bytes[9..13].try_into().expect("seq region"));
-                let offset =
-                    u64::from_le_bytes(bytes[13..21].try_into().expect("seq offset")) as usize;
-                let key = u64::from_le_bytes(bytes[21..29].try_into().expect("seq key"));
-                let addend = i64::from_le_bytes(bytes[29..37].try_into().expect("seq addend"));
-                let payload = &bytes[37..];
+            CtrlMsg::SeqData {
+                seq,
+                region_id,
+                offset,
+                key,
+                addend,
+                payload,
+            } => {
                 let retry = self
                     .retry
                     .as_ref()
@@ -837,13 +819,10 @@ impl UnrCore {
                 // previous ack was lost.
                 replies.push(Reply::Dgram {
                     dst: src,
-                    bytes: Self::ack_msg(seq),
+                    bytes: wire::ack_msg(seq),
                 });
             }
-            MSG_SEQ_NOTIF => {
-                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("notif seq"));
-                let key = u64::from_le_bytes(bytes[9..17].try_into().expect("notif key"));
-                let addend = i64::from_le_bytes(bytes[17..25].try_into().expect("notif addend"));
+            CtrlMsg::SeqNotif { seq, key, addend } => {
                 let retry = self
                     .retry
                     .as_ref()
@@ -858,11 +837,10 @@ impl UnrCore {
                 }
                 replies.push(Reply::Dgram {
                     dst: src,
-                    bytes: Self::ack_msg(seq),
+                    bytes: wire::ack_msg(seq),
                 });
             }
-            MSG_ACK => {
-                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("ack seq"));
+            CtrlMsg::Ack { seq } => {
                 if let Some(retry) = &self.retry {
                     if let Some(first_post) = retry.ack(src, seq) {
                         if let Some(rm) = &self.rmet {
@@ -876,7 +854,6 @@ impl UnrCore {
                     }
                 }
             }
-            other => panic!("unknown UNR control message kind {other}"),
         }
     }
 }
@@ -901,6 +878,12 @@ impl Unr {
     /// Initialize UNR on this rank. The channel is selected from the
     /// fabric's interface (Table II) unless forced by `cfg.channel`.
     pub fn init(ep: Arc<Endpoint>, cfg: UnrConfig) -> Arc<Unr> {
+        assert_eq!(
+            cfg.backend,
+            Backend::Simnet,
+            "Unr::init drives the simnet backend; for Backend::Netfab \
+             use unr-netfab's NetUnr::init"
+        );
         let spec = ep.iface();
         let channel = Channel::select(&spec, cfg.channel);
         let table = SignalTable::with_key_capacity(cfg.n_bits, Self::key_capacity(&channel));
@@ -1164,15 +1147,14 @@ impl Unr {
                 self.ep.advance(
                     self.core.copy_bw.transfer_time(len) + self.core.cfg.fallback_overhead,
                 );
-                let mut msg = Vec::with_capacity(29 + len);
-                msg.push(MSG_FALLBACK_DATA);
-                msg.extend_from_slice(&remote.region_id.to_le_bytes());
-                msg.extend_from_slice(&(remote.offset as u64).to_le_bytes());
-                msg.extend_from_slice(&remote_sig.to_le_bytes());
-                msg.extend_from_slice(&(-1i64).to_le_bytes());
-                msg.extend_from_slice(&data);
-                self.ep
-                    .send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                let msg = wire::fallback_data_msg(
+                    remote.region_id,
+                    remote.offset as u64,
+                    remote_sig,
+                    -1,
+                    &data,
+                );
+                self.ep.send_ctrl(remote.rank, msg, self.default_nic());
                 self.apply_local_now(local_sig, -1);
                 Ok(())
             }
@@ -1185,13 +1167,8 @@ impl Unr {
                         key: local_sig,
                         addend: if local_sig == 0 { 0 } else { -1 },
                     })?;
-                let companion = (remote_sig != 0).then(|| {
-                    let mut msg = Vec::with_capacity(17);
-                    msg.push(MSG_COMPANION);
-                    msg.extend_from_slice(&remote_sig.to_le_bytes());
-                    msg.extend_from_slice(&(-1i64).to_le_bytes());
-                    (UNR_PORT, msg)
-                });
+                let companion =
+                    (remote_sig != 0).then(|| (UNR_PORT, wire::companion_msg(remote_sig, -1)));
                 self.ep.put(PutOp {
                     src: &region,
                     src_offset: local.offset,
@@ -1328,7 +1305,7 @@ impl Unr {
                 let msg = UnrCore::build_seq_data(&sub);
                 retry.register(sub);
                 entries.push((dst, seq));
-                self.ep.send_dgram(dst, UNR_PORT, msg, self.default_nic());
+                self.ep.send_ctrl(dst, msg, self.default_nic());
             }
             Mechanism::RmaCompanion | Mechanism::Rma(_) => {
                 let k = self.stripes_for_reliable(len);
@@ -1370,13 +1347,13 @@ impl Unr {
                     // this state concurrently, and the ack must never be
                     // able to outrun the registration it settles.
                     retry.register(sub);
-                    if let Err(e) = self.ep.put_bytes(
+                    if let Err(e) = self.ep.post_put(SubPut {
                         payload,
-                        remote.rkey(),
-                        remote.offset + off,
-                        NicSel::Index(nic),
-                        Some((UNR_PORT, companion)),
-                    ) {
+                        dst: remote.rkey(),
+                        dst_offset: remote.offset + off,
+                        nic,
+                        companion,
+                    }) {
                         retry.unregister(dst, seq);
                         return Err(e.into());
                     }
@@ -1404,23 +1381,6 @@ impl Unr {
         });
         self.apply_local_now(local_sig, -1);
         Ok(())
-    }
-
-    /// Raw-`u64`-keyed `UNR_Put` kept for source compatibility.
-    #[deprecated(note = "use `put_with` (typed signals) or `put_keyed` (`SigKey`)")]
-    pub fn put_with_keys(
-        &self,
-        local: &Blk,
-        remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
-    ) -> Result<(), UnrError> {
-        self.put_keyed(
-            local,
-            remote,
-            SigKey::from_raw(local_sig),
-            SigKey::from_raw(remote_sig),
-        )
     }
 
     /// Refuse new work once the reliable transport has declared the
@@ -1457,23 +1417,6 @@ impl Unr {
             remote,
             local_sig.map(Signal::key).unwrap_or(SigKey::NULL),
             remote_sig,
-        )
-    }
-
-    /// Raw-`u64`-keyed `UNR_Get` kept for source compatibility.
-    #[deprecated(note = "use `get_with` (typed signals) or `get_keyed` (`SigKey`)")]
-    pub fn get_with_keys(
-        &self,
-        local: &Blk,
-        remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
-    ) -> Result<(), UnrError> {
-        self.get_keyed(
-            local,
-            remote,
-            SigKey::from_raw(local_sig),
-            SigKey::from_raw(remote_sig),
         )
     }
 
@@ -1532,19 +1475,18 @@ impl Unr {
             Mechanism::Dgram => {
                 self.core.stats.fallback_msgs.fetch_add(1, Ordering::Relaxed);
                 self.core.met.fallback_msgs.inc();
-                let mut msg = Vec::with_capacity(65);
-                msg.push(MSG_FALLBACK_GET);
-                msg.extend_from_slice(&remote.region_id.to_le_bytes());
-                msg.extend_from_slice(&(remote.offset as u64).to_le_bytes());
-                msg.extend_from_slice(&(len as u64).to_le_bytes());
-                msg.extend_from_slice(&local.region_id.to_le_bytes());
-                msg.extend_from_slice(&(local.offset as u64).to_le_bytes());
-                msg.extend_from_slice(&local_sig.to_le_bytes());
-                msg.extend_from_slice(&(-1i64).to_le_bytes());
-                msg.extend_from_slice(&remote_sig.to_le_bytes());
-                msg.extend_from_slice(&(-1i64).to_le_bytes());
-                self.ep
-                    .send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                let msg = wire::fallback_get_msg(
+                    remote.region_id,
+                    remote.offset as u64,
+                    len as u64,
+                    local.region_id,
+                    local.offset as u64,
+                    local_sig,
+                    -1,
+                    remote_sig,
+                    -1,
+                );
+                self.ep.send_ctrl(remote.rank, msg, self.default_nic());
                 Ok(())
             }
             Mechanism::RmaCompanion => {
@@ -1552,11 +1494,8 @@ impl Unr {
                     // Level-0 remote GET notification: a plain control
                     // message racing the remote read — correctness-
                     // verification channel only.
-                    let mut msg = Vec::with_capacity(17);
-                    msg.push(MSG_COMPANION);
-                    msg.extend_from_slice(&remote_sig.to_le_bytes());
-                    msg.extend_from_slice(&(-1i64).to_le_bytes());
-                    self.ep.send_dgram(remote.rank, UNR_PORT, msg, self.default_nic());
+                    let msg = wire::companion_msg(remote_sig, -1);
+                    self.ep.send_ctrl(remote.rank, msg, self.default_nic());
                 }
                 let custom_local = Encoding::Split64.encode(Notif {
                     key: local_sig,
@@ -1745,7 +1684,7 @@ impl Unr {
         }
         for r in replies {
             match r {
-                Reply::Dgram { dst, bytes } => ep.send_dgram(dst, UNR_PORT, bytes, NicSel::Auto),
+                Reply::Dgram { dst, bytes } => ep.send_ctrl(dst, bytes, NicSel::Auto),
                 Reply::RmaPut {
                     payload,
                     dst_rkey,
@@ -1753,13 +1692,13 @@ impl Unr {
                     nic,
                     companion,
                 } => {
-                    ep.put_bytes(
+                    ep.post_put(SubPut {
                         payload,
-                        dst_rkey,
+                        dst: dst_rkey,
                         dst_offset,
-                        NicSel::Index(nic),
-                        Some((UNR_PORT, companion)),
-                    )
+                        nic,
+                        companion,
+                    })
                     .expect("retransmit targets a validated region");
                 }
             }

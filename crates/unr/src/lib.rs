@@ -73,6 +73,8 @@ pub mod pack;
 pub mod plan;
 pub mod retry;
 pub mod signal;
+pub mod transport;
+pub mod wire;
 
 pub use blk::{Blk, UnrMem, BLK_WIRE_LEN};
 pub use channel::{Channel, ChannelSelect, Mechanism};
@@ -83,4 +85,7 @@ pub use level::{EncodeError, Encoding, Notif, SupportLevel};
 pub use pack::{PackChannel, PackReceiver, PackSender};
 pub use plan::{PlanOp, RmaPlan};
 pub use retry::{DedupWindow, Reliability};
-pub use signal::{striped_addends, SigKey, Signal, SignalError, SignalStats, SignalTable};
+pub use signal::{
+    striped_addends, Applied, SigKey, Signal, SignalError, SignalStats, SignalTable,
+};
+pub use transport::{Backend, SubPut, Transport};

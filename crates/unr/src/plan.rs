@@ -71,23 +71,6 @@ impl RmaPlan {
         self
     }
 
-    /// Record a put with raw `u64` signal keys (source compatibility).
-    #[deprecated(note = "use `put_keyed` with typed `SigKey`s")]
-    pub fn put_with(
-        &mut self,
-        local: &Blk,
-        remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
-    ) -> &mut Self {
-        self.put_keyed(
-            local,
-            remote,
-            SigKey::from_raw(local_sig),
-            SigKey::from_raw(remote_sig),
-        )
-    }
-
     /// Record a get using the blocks' bound signals.
     pub fn get(&mut self, local: &Blk, remote: &Blk) -> &mut Self {
         self.get_keyed(local, remote, local.sig_key, remote.sig_key)
@@ -108,23 +91,6 @@ impl RmaPlan {
             remote_sig,
         });
         self
-    }
-
-    /// Record a get with raw `u64` signal keys (source compatibility).
-    #[deprecated(note = "use `get_keyed` with typed `SigKey`s")]
-    pub fn get_with(
-        &mut self,
-        local: &Blk,
-        remote: &Blk,
-        local_sig: u64,
-        remote_sig: u64,
-    ) -> &mut Self {
-        self.get_keyed(
-            local,
-            remote,
-            SigKey::from_raw(local_sig),
-            SigKey::from_raw(remote_sig),
-        )
     }
 
     /// Number of recorded operations.
@@ -207,16 +173,4 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn raw_key_shims_still_record() {
-        let mut p = RmaPlan::new();
-        p.put_with(&blk(0), &blk(1), 7, 8).get_with(&blk(0), &blk(2), 9, 0);
-        assert!(
-            matches!(p.ops()[0], PlanOp::Put { local_sig, .. } if local_sig.raw() == 7)
-        );
-        assert!(
-            matches!(p.ops()[1], PlanOp::Get { remote_sig, .. } if remote_sig.is_null())
-        );
-    }
 }

@@ -65,6 +65,19 @@ use unr_simnet::sync::Mutex;
 
 use unr_simnet::{ActorId, Endpoint, Ns, Sched};
 
+/// Outcome of a detached (scheduler-free) signal apply: whether the
+/// addend brought the counter to its trigger/overflow condition, and
+/// the parked simnet actor (if any) that the caller must now wake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    /// The add reached zero or set the overflow-detect bit.
+    pub triggered: bool,
+    /// Waiter registered on the signal, taken atomically; `Some` only
+    /// when `triggered`. Simnet callers wake it through the scheduler;
+    /// real-time backends have no parked actors and always see `None`.
+    pub waiter: Option<ActorId>,
+}
+
 /// Errors reported by the bug-avoiding interfaces (paper §IV-D).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SignalError {
@@ -468,8 +481,29 @@ impl SignalTable {
         key: u64,
         addend: i64,
     ) -> Result<(), SignalError> {
+        let applied = self.apply_detached(key, addend)?;
+        if let Some(w) = applied.waiter {
+            sched.wake(w, t);
+        }
+        Ok(())
+    }
+
+    /// The scheduler-free core of [`SignalTable::try_apply`]: performs
+    /// the lock-free liveness/generation check and the counter
+    /// `fetch_add`, takes the parked waiter (if the add triggered or
+    /// overflowed the signal) and hands it back instead of waking it.
+    ///
+    /// Simnet backends wrap this and wake through [`Sched`]; real-time
+    /// backends (`unr-netfab`) wrap it and notify a condvar. The atomic
+    /// sequence is identical either way, which is what keeps the
+    /// simulated schedule — and the golden determinism traces —
+    /// byte-stable across backends.
+    pub fn apply_detached(&self, key: u64, addend: i64) -> Result<Applied, SignalError> {
         if key == 0 {
-            return Ok(());
+            return Ok(Applied {
+                triggered: false,
+                waiter: None,
+            });
         }
         let (gen, idx) = self.split_key(key);
         let Some(slot) = self.slot(idx) else {
@@ -486,12 +520,32 @@ impl SignalTable {
         self.stats.events_applied.fetch_add(1, Ordering::Relaxed);
         let new = inner.counter.fetch_add(addend, Ordering::SeqCst) + addend;
         if new == 0 || (new >> self.n_bits) & 1 == 1 {
-            // Triggered (or overflowed): wake the waiter if any.
-            if let Some(w) = inner.waiter.lock().take() {
-                sched.wake(w, t);
+            // Triggered (or overflowed): take the waiter for the caller.
+            return Ok(Applied {
+                triggered: true,
+                waiter: inner.waiter.lock().take(),
+            });
+        }
+        Ok(Applied {
+            triggered: false,
+            waiter: None,
+        })
+    }
+
+    /// [`SignalTable::apply_detached`] that counts stale keys like
+    /// [`SignalTable::apply`] instead of reporting them. Backend-neutral
+    /// sink entry point for real-transport completion threads.
+    pub fn apply_counted(&self, key: u64, addend: i64) -> Applied {
+        match self.apply_detached(key, addend) {
+            Ok(a) => a,
+            Err(_) => {
+                self.stats.stale_rejects.fetch_add(1, Ordering::Relaxed);
+                Applied {
+                    triggered: false,
+                    waiter: None,
+                }
             }
         }
-        Ok(())
     }
 
     fn release(&self, key: u64) {

@@ -1,0 +1,345 @@
+//! UNR control-message wire format, shared by every transport backend.
+//!
+//! All control traffic — level-0 companion notifications, fallback
+//! (two-sided) data and GET emulation, and the self-healing transport's
+//! sequenced sub-messages and acks — travels as a one-byte kind tag
+//! followed by little-endian fixed-width fields and an optional
+//! payload. The simnet backend carries these frames over fabric
+//! datagrams on [`crate::engine::UNR_PORT`]; the `unr-netfab` TCP
+//! backend carries the identical bytes inside its `CTRL` frames, which
+//! is what keeps the reliable-transport layer transport-agnostic.
+//!
+//! | kind | name            | body (LE)                                                            |
+//! |------|-----------------|----------------------------------------------------------------------|
+//! | 1    | `FALLBACK_DATA` | `region u32, offset u64, key u64, addend i64, payload`               |
+//! | 2    | `FALLBACK_GET`  | `region u32, offset u64, len u64, reply_region u32, reply_offset u64, reply_key u64, reply_addend i64, remote_key u64, remote_addend i64` |
+//! | 3    | `COMPANION`     | `key u64, addend i64`                                                |
+//! | 4    | `SEQ_DATA`      | `seq u64, region u32, offset u64, key u64, addend i64, payload`      |
+//! | 5    | `SEQ_NOTIF`     | `seq u64, key u64, addend i64`                                       |
+//! | 6    | `ACK`           | `seq u64`                                                            |
+
+/// Fallback data: two-sided emulation of a notifiable PUT (also the
+/// reply leg of a fallback GET).
+pub const MSG_FALLBACK_DATA: u8 = 1;
+/// Fallback GET request: the exposer snapshots the block and replies
+/// with a [`MSG_FALLBACK_DATA`] frame aimed at the requester's buffer.
+pub const MSG_FALLBACK_GET: u8 = 2;
+/// Level-0 companion message: a bare `*p += a` notification racing the
+/// RMA payload it describes.
+pub const MSG_COMPANION: u8 = 3;
+/// Sequenced fallback data — the reliable transport's datagram route.
+pub const MSG_SEQ_DATA: u8 = 4;
+/// Sequenced delivery notification riding an RMA put as its companion.
+/// Receipt implies the RMA payload of the same fabric delivery landed;
+/// it drives dedup + ack.
+pub const MSG_SEQ_NOTIF: u8 = 5;
+/// Receiver ack of a sequenced sub-message.
+pub const MSG_ACK: u8 = 6;
+
+/// A parsed UNR control message borrowing its payload from the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMsg<'a> {
+    /// [`MSG_COMPANION`].
+    Companion {
+        /// Signal-table key to bump.
+        key: u64,
+        /// MMAS addend.
+        addend: i64,
+    },
+    /// [`MSG_FALLBACK_DATA`].
+    FallbackData {
+        /// Destination region id on the receiver.
+        region_id: u32,
+        /// Byte offset into that region.
+        offset: usize,
+        /// Signal-table key to bump after the write.
+        key: u64,
+        /// MMAS addend.
+        addend: i64,
+        /// Bytes to deposit.
+        payload: &'a [u8],
+    },
+    /// [`MSG_FALLBACK_GET`].
+    FallbackGet {
+        /// Region to read on the exposer.
+        region_id: u32,
+        /// Byte offset of the read.
+        offset: usize,
+        /// Read length in bytes.
+        len: usize,
+        /// Requester-side region the reply lands in.
+        reply_region: u32,
+        /// Requester-side offset of the reply.
+        reply_offset: u64,
+        /// Requester-side (local) completion signal key.
+        reply_key: u64,
+        /// Addend for the requester's local signal.
+        reply_addend: i64,
+        /// Exposer-side (remote) notification signal key.
+        remote_key: u64,
+        /// Addend for the exposer's signal.
+        remote_addend: i64,
+    },
+    /// [`MSG_SEQ_DATA`].
+    SeqData {
+        /// Per-(src, dst) sequence number for dedup + ack.
+        seq: u64,
+        /// Destination region id on the receiver.
+        region_id: u32,
+        /// Byte offset into that region.
+        offset: usize,
+        /// Signal-table key to bump after the write.
+        key: u64,
+        /// MMAS addend.
+        addend: i64,
+        /// Bytes to deposit.
+        payload: &'a [u8],
+    },
+    /// [`MSG_SEQ_NOTIF`].
+    SeqNotif {
+        /// Per-(src, dst) sequence number for dedup + ack.
+        seq: u64,
+        /// Signal-table key to bump.
+        key: u64,
+        /// MMAS addend.
+        addend: i64,
+    },
+    /// [`MSG_ACK`].
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+}
+
+fn u32_at(bytes: &[u8], at: usize, what: &str) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect(what))
+}
+
+fn u64_at(bytes: &[u8], at: usize, what: &str) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect(what))
+}
+
+fn i64_at(bytes: &[u8], at: usize, what: &str) -> i64 {
+    i64::from_le_bytes(bytes[at..at + 8].try_into().expect(what))
+}
+
+impl<'a> CtrlMsg<'a> {
+    /// Parse a control frame. Panics on truncated frames or an unknown
+    /// kind tag — control traffic is library-internal, so a malformed
+    /// frame is a bug (or config skew between ranks), not an input.
+    pub fn parse(bytes: &'a [u8]) -> CtrlMsg<'a> {
+        match bytes[0] {
+            MSG_COMPANION => CtrlMsg::Companion {
+                key: u64_at(bytes, 1, "companion key"),
+                addend: i64_at(bytes, 9, "companion addend"),
+            },
+            MSG_FALLBACK_DATA => CtrlMsg::FallbackData {
+                region_id: u32_at(bytes, 1, "fallback region"),
+                offset: u64_at(bytes, 5, "fallback offset") as usize,
+                key: u64_at(bytes, 13, "fallback key"),
+                addend: i64_at(bytes, 21, "fallback addend"),
+                payload: &bytes[29..],
+            },
+            MSG_FALLBACK_GET => CtrlMsg::FallbackGet {
+                region_id: u32_at(bytes, 1, "get region"),
+                offset: u64_at(bytes, 5, "get off") as usize,
+                len: u64_at(bytes, 13, "get len") as usize,
+                reply_region: u32_at(bytes, 21, "reply r"),
+                reply_offset: u64_at(bytes, 25, "reply off"),
+                reply_key: u64_at(bytes, 33, "reply key"),
+                reply_addend: i64_at(bytes, 41, "reply add"),
+                remote_key: u64_at(bytes, 49, "rkey"),
+                remote_addend: i64_at(bytes, 57, "radd"),
+            },
+            MSG_SEQ_DATA => CtrlMsg::SeqData {
+                seq: u64_at(bytes, 1, "seq"),
+                region_id: u32_at(bytes, 9, "seq region"),
+                offset: u64_at(bytes, 13, "seq offset") as usize,
+                key: u64_at(bytes, 21, "seq key"),
+                addend: i64_at(bytes, 29, "seq addend"),
+                payload: &bytes[37..],
+            },
+            MSG_SEQ_NOTIF => CtrlMsg::SeqNotif {
+                seq: u64_at(bytes, 1, "notif seq"),
+                key: u64_at(bytes, 9, "notif key"),
+                addend: i64_at(bytes, 17, "notif addend"),
+            },
+            MSG_ACK => CtrlMsg::Ack {
+                seq: u64_at(bytes, 1, "ack seq"),
+            },
+            other => panic!("unknown UNR control message kind {other}"),
+        }
+    }
+
+    /// Whether a frame of this kind carries application data (used by
+    /// fault-injection accounting: data-bearing drops are the ones the
+    /// reliable transport must recover).
+    pub fn is_data_bearing(kind: u8) -> bool {
+        matches!(kind, MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA)
+    }
+}
+
+/// Build a [`MSG_COMPANION`] frame.
+pub fn companion_msg(key: u64, addend: i64) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(17);
+    msg.push(MSG_COMPANION);
+    msg.extend_from_slice(&key.to_le_bytes());
+    msg.extend_from_slice(&addend.to_le_bytes());
+    msg
+}
+
+/// Build a [`MSG_FALLBACK_DATA`] frame.
+pub fn fallback_data_msg(
+    region_id: u32,
+    offset: u64,
+    key: u64,
+    addend: i64,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(29 + payload.len());
+    msg.push(MSG_FALLBACK_DATA);
+    msg.extend_from_slice(&region_id.to_le_bytes());
+    msg.extend_from_slice(&offset.to_le_bytes());
+    msg.extend_from_slice(&key.to_le_bytes());
+    msg.extend_from_slice(&addend.to_le_bytes());
+    msg.extend_from_slice(payload);
+    msg
+}
+
+/// Build a [`MSG_FALLBACK_GET`] frame.
+#[allow(clippy::too_many_arguments)]
+pub fn fallback_get_msg(
+    region_id: u32,
+    offset: u64,
+    len: u64,
+    reply_region: u32,
+    reply_offset: u64,
+    reply_key: u64,
+    reply_addend: i64,
+    remote_key: u64,
+    remote_addend: i64,
+) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(65);
+    msg.push(MSG_FALLBACK_GET);
+    msg.extend_from_slice(&region_id.to_le_bytes());
+    msg.extend_from_slice(&offset.to_le_bytes());
+    msg.extend_from_slice(&len.to_le_bytes());
+    msg.extend_from_slice(&reply_region.to_le_bytes());
+    msg.extend_from_slice(&reply_offset.to_le_bytes());
+    msg.extend_from_slice(&reply_key.to_le_bytes());
+    msg.extend_from_slice(&reply_addend.to_le_bytes());
+    msg.extend_from_slice(&remote_key.to_le_bytes());
+    msg.extend_from_slice(&remote_addend.to_le_bytes());
+    msg
+}
+
+/// Build a [`MSG_SEQ_DATA`] frame.
+pub fn seq_data_msg(
+    seq: u64,
+    region_id: u32,
+    offset: u64,
+    key: u64,
+    addend: i64,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(37 + payload.len());
+    msg.push(MSG_SEQ_DATA);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.extend_from_slice(&region_id.to_le_bytes());
+    msg.extend_from_slice(&offset.to_le_bytes());
+    msg.extend_from_slice(&key.to_le_bytes());
+    msg.extend_from_slice(&addend.to_le_bytes());
+    msg.extend_from_slice(payload);
+    msg
+}
+
+/// Build a [`MSG_SEQ_NOTIF`] frame.
+pub fn seq_notif_msg(seq: u64, key: u64, addend: i64) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(25);
+    msg.push(MSG_SEQ_NOTIF);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.extend_from_slice(&key.to_le_bytes());
+    msg.extend_from_slice(&addend.to_le_bytes());
+    msg
+}
+
+/// Build a [`MSG_ACK`] frame.
+pub fn ack_msg(seq: u64) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(9);
+    msg.push(MSG_ACK);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let payload = [0xAAu8, 0xBB, 0xCC];
+        let cases: Vec<(Vec<u8>, CtrlMsg<'_>)> = vec![
+            (
+                companion_msg(7, -1),
+                CtrlMsg::Companion { key: 7, addend: -1 },
+            ),
+            (
+                fallback_data_msg(3, 64, 9, -5, &payload),
+                CtrlMsg::FallbackData {
+                    region_id: 3,
+                    offset: 64,
+                    key: 9,
+                    addend: -5,
+                    payload: &payload,
+                },
+            ),
+            (
+                fallback_get_msg(1, 2, 3, 4, 5, 6, -7, 8, -9),
+                CtrlMsg::FallbackGet {
+                    region_id: 1,
+                    offset: 2,
+                    len: 3,
+                    reply_region: 4,
+                    reply_offset: 5,
+                    reply_key: 6,
+                    reply_addend: -7,
+                    remote_key: 8,
+                    remote_addend: -9,
+                },
+            ),
+            (
+                seq_data_msg(11, 3, 64, 9, -5, &payload),
+                CtrlMsg::SeqData {
+                    seq: 11,
+                    region_id: 3,
+                    offset: 64,
+                    key: 9,
+                    addend: -5,
+                    payload: &payload,
+                },
+            ),
+            (
+                seq_notif_msg(11, 9, -5),
+                CtrlMsg::SeqNotif {
+                    seq: 11,
+                    key: 9,
+                    addend: -5,
+                },
+            ),
+            (ack_msg(11), CtrlMsg::Ack { seq: 11 }),
+        ];
+        for (bytes, want) in cases {
+            assert_eq!(CtrlMsg::parse(&bytes), want);
+        }
+    }
+
+    #[test]
+    fn data_bearing_kinds() {
+        assert!(CtrlMsg::is_data_bearing(MSG_FALLBACK_DATA));
+        assert!(CtrlMsg::is_data_bearing(MSG_FALLBACK_GET));
+        assert!(CtrlMsg::is_data_bearing(MSG_SEQ_DATA));
+        assert!(!CtrlMsg::is_data_bearing(MSG_COMPANION));
+        assert!(!CtrlMsg::is_data_bearing(MSG_SEQ_NOTIF));
+        assert!(!CtrlMsg::is_data_bearing(MSG_ACK));
+    }
+}

@@ -318,29 +318,6 @@ fn config_builder_validates() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn raw_u64_key_shims_still_work() {
-    // The pre-SigKey surface (`*_with_keys(u64, u64)`) must keep
-    // compiling and behaving until callers migrate.
-    let results = run_mpi_world(fabric(InterfaceKind::Glex, 2), |comm| {
-        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
-        let mem = unr.mem_reg(64);
-        if comm.rank() == 0 {
-            let blk = unr.blk_init(&mem, 0, 8, None);
-            let rmt = convert::recv_blk(comm, 1, 0);
-            unr.put_with_keys(&blk, &rmt, 0, rmt.sig_key.raw()).unwrap();
-            true
-        } else {
-            let sig = unr.sig_init(1);
-            let blk = unr.blk_init(&mem, 0, 8, Some(&sig));
-            convert::send_blk(comm, 0, 0, &blk);
-            unr.sig_wait(&sig).is_ok()
-        }
-    });
-    assert!(results.into_iter().all(|b| b));
-}
-
-#[test]
 fn sig_wait_timeout_reports_elapsed_wait() {
     let results = run_mpi_world(fabric(InterfaceKind::Glex, 1), |comm| {
         let unr = Unr::init(comm.ep_shared(), UnrConfig::default());

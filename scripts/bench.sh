@@ -2,14 +2,17 @@
 # Wall-clock hot-path benchmark driver with a regression gate.
 #
 # Runs `unr-bench --bin hotpath`, extracts its machine-readable
-# `BENCH_PERF_JSON {...}` line into target/bench/BENCH_PERF.json, and
-# compares the gate metric (reliable-storm ops/sec) against the
-# checked-in reference in BENCH_PERF.json at the repo root. The run
-# fails if throughput regressed by more than 20%.
+# `BENCH_PERF_JSON {...}` line into target/bench/, and compares the gate
+# metric (reliable-storm ops/sec) against the checked-in reference in
+# BENCH_PERF.json at the repo root. The run fails if throughput
+# regressed by more than 20%.
 #
 # Usage:
-#   scripts/bench.sh            # full run, gate against .gate.full
-#   scripts/bench.sh --quick    # CI smoke, gate against .gate.quick
+#   scripts/bench.sh                      # full simnet run, gate .gate.full
+#   scripts/bench.sh --quick              # CI smoke, gate .gate.quick
+#   scripts/bench.sh --backend netfab     # TCP-loopback processes,
+#                                         #   gate .gate.netfab_full
+#   scripts/bench.sh --quick --backend netfab   # gate .gate.netfab_quick
 #
 # Deliberately dependency-free: JSON fields are pulled with sed/awk
 # (the emitted JSON is single-line with known key names), no jq.
@@ -17,29 +20,60 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE=full
+BACKEND=simnet
 ARGS=()
-for a in "$@"; do
-  case "$a" in
+while [ $# -gt 0 ]; do
+  case "$1" in
     --quick) MODE=quick; ARGS+=(--quick) ;;
-    *) echo "unknown argument: $a" >&2; exit 2 ;;
+    --backend)
+      shift
+      [ $# -gt 0 ] || { echo "error: --backend needs a value (simnet|netfab)" >&2; exit 2; }
+      BACKEND="$1" ;;
+    --backend=*) BACKEND="${1#--backend=}" ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
+  shift
 done
+case "$BACKEND" in
+  simnet) ;;
+  netfab) ARGS+=(--backend netfab) ;;
+  *) echo "error: unknown backend '$BACKEND' (want simnet or netfab)" >&2; exit 2 ;;
+esac
+
+# Gate key inside the baseline's "gate" object; netfab runs gate
+# against their own reference (different machine physics entirely).
+GATE_KEY="$MODE"
+OUT_NAME=BENCH_PERF.json
+if [ "$BACKEND" = netfab ]; then
+  GATE_KEY="netfab_$MODE"
+  OUT_NAME=BENCH_PERF_netfab.json
+fi
 
 OUT_DIR=target/bench
 mkdir -p "$OUT_DIR"
-RAW="$OUT_DIR/hotpath_$MODE.txt"
-FRESH="$OUT_DIR/BENCH_PERF.json"
+RAW="$OUT_DIR/hotpath_${BACKEND}_$MODE.txt"
+FRESH="$OUT_DIR/$OUT_NAME"
 
-echo "== hotpath ($MODE)"
+echo "== hotpath ($BACKEND, $MODE)"
 cargo run --release -q -p unr-bench --bin hotpath -- "${ARGS[@]}" | tee "$RAW"
 
-# The benchmark prints exactly one "BENCH_PERF_JSON {...}" line.
-grep '^BENCH_PERF_JSON ' "$RAW" | sed 's/^BENCH_PERF_JSON //' > "$FRESH"
-[ -s "$FRESH" ] || { echo "error: no BENCH_PERF_JSON line in output" >&2; exit 1; }
+# The benchmark prints exactly one "BENCH_PERF_JSON {...}" line. The
+# `|| true` keeps a missing line from tripping pipefail before we can
+# print a useful error.
+grep '^BENCH_PERF_JSON ' "$RAW" | sed 's/^BENCH_PERF_JSON //' > "$FRESH" || true
+if [ ! -s "$FRESH" ]; then
+  echo "error: no BENCH_PERF_JSON line in benchmark output ($RAW)." >&2
+  echo "       The hotpath binary must print one machine-readable line" >&2
+  echo "       starting with 'BENCH_PERF_JSON ' — it did not. Inspect the" >&2
+  echo "       raw output above (or $RAW) for a crash or format change." >&2
+  exit 1
+fi
 echo "wrote $FRESH"
 
-# Gate metric: top-level "ops_per_sec" (the reliable storm).
-fresh_ops=$(sed -n 's/.*"ops_per_sec":\([0-9.]*\).*/\1/p' "$FRESH" | head -n1)
+# Gate metric: top-level "ops_per_sec" (the reliable storm). The JSON
+# nests more "ops_per_sec" keys inside the storm block, so take the
+# *first* match — a greedy sed would silently gate on the last (rma).
+fresh_ops=$(grep -o '"ops_per_sec":[0-9.]*' "$FRESH" | head -n1 | cut -d: -f2)
 [ -n "$fresh_ops" ] || { echo "error: ops_per_sec missing from $FRESH" >&2; exit 1; }
 
 BASELINE=BENCH_PERF.json
@@ -48,15 +82,16 @@ if [ ! -f "$BASELINE" ]; then
   exit 0
 fi
 
-# Reference value for this mode from the baseline's gate block:
-#   "gate": {..., "full": <ops>, "quick": <ops>}
-base_ops=$(sed -n 's/.*"gate": *{[^}]*"'"$MODE"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
+# Reference value for this backend+mode from the baseline's gate block:
+#   "gate": {..., "full": <ops>, "quick": <ops>,
+#            "netfab_full": <ops>, "netfab_quick": <ops>}
+base_ops=$(sed -n 's/.*"gate": *{[^}]*"'"$GATE_KEY"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
 if [ -z "$base_ops" ]; then
-  echo "warning: no gate.$MODE in $BASELINE — skipping regression gate"
+  echo "warning: no gate.$GATE_KEY in $BASELINE — skipping regression gate"
   exit 0
 fi
 
-echo "gate: $fresh_ops ops/sec vs reference $base_ops ($MODE, 20% tolerance)"
+echo "gate: $fresh_ops ops/sec vs reference $base_ops ($GATE_KEY, 20% tolerance)"
 awk -v fresh="$fresh_ops" -v base="$base_ops" 'BEGIN {
   floor = 0.80 * base;
   if (fresh < floor) {
