@@ -46,38 +46,38 @@ const STORM_RANKS_PER_NODE: usize = 2;
 const STORM_NODES: usize = 4;
 const STORM_NICS: usize = 4;
 const STORM_MSG: usize = 128 * 1024;
+/// Small-message storm: sub-MTU payloads under the eager-coalescing
+/// threshold, the workload the sender-side aggregation path targets.
+const SMALL_MSG: usize = 256;
+const SMALL_AGG_MAX: usize = 512;
 
 /// Run one put/signal storm: every rank fires `iters` notified PUTs of
-/// `STORM_MSG` bytes at its ring neighbour, then waits for all of its
-/// own arrivals. 8 ranks on 4 nodes, 4 NICs per node, GLEX channel, so
-/// each message stripes into 4 sub-messages.
-fn storm(iters: usize, reliability: Reliability) -> StormResult {
+/// `msg` bytes at its ring neighbour, then waits for all of its own
+/// arrivals. 8 ranks on 4 nodes, 4 NICs per node, GLEX channel, so
+/// large messages stripe into 4 sub-messages.
+fn storm(iters: usize, msg: usize, ucfg: UnrConfig) -> StormResult {
     let mut cfg = Platform::th_xy().fabric_config(STORM_NODES, STORM_RANKS_PER_NODE);
     cfg.nics_per_node = STORM_NICS;
     cfg.seed = 0xB0B0;
     let fabric = Fabric::new(cfg);
-    let ucfg = UnrConfig {
-        reliability,
-        ..UnrConfig::default()
-    };
     let per_rank: Vec<RankStorm> = run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
         let unr = Unr::init(comm.ep_shared(), ucfg);
         let n = comm.size();
         let me = comm.rank();
-        let mem = unr.mem_reg(2 * STORM_MSG);
+        let mem = unr.mem_reg(2 * msg);
         // Receive window: second half of the region, armed with a
         // signal expecting every neighbour put.
         let recv_sig = unr.sig_init(iters as i64);
-        let recv_blk = unr.blk_init(&mem, STORM_MSG, STORM_MSG, Some(&recv_sig));
+        let recv_blk = unr.blk_init(&mem, msg, msg, Some(&recv_sig));
         let src = (me + n - 1) % n;
         let dst = (me + 1) % n;
         convert::send_blk(comm, dst, 11, &recv_blk);
         let rmt = convert::recv_blk(comm, src, 11);
         // Send window: first half, payload written once up front (the
         // storm measures the transport, not the fill).
-        let pattern: Vec<u8> = (0..STORM_MSG).map(|i| (i * 131 + me) as u8).collect();
+        let pattern: Vec<u8> = (0..msg).map(|i| (i * 131 + me) as u8).collect();
         mem.write_bytes(0, &pattern);
-        let send_blk = unr.blk_init(&mem, 0, STORM_MSG, None);
+        let send_blk = unr.blk_init(&mem, 0, msg, None);
 
         coll::barrier(comm);
         let t0 = Instant::now();
@@ -94,6 +94,11 @@ fn storm(iters: usize, reliability: Reliability) -> StormResult {
         RankStorm { wall_ns, put_ns }
     });
 
+    summarize(per_rank)
+}
+
+fn summarize(per_rank: Vec<RankStorm>) -> StormResult {
+
     let ops = per_rank.iter().map(|r| r.put_ns.len() as u64).sum::<u64>();
     let wall_ns = per_rank.iter().map(|r| r.wall_ns).max().unwrap_or(1).max(1);
     let mut lats: Vec<u64> = per_rank.into_iter().flat_map(|r| r.put_ns).collect();
@@ -106,6 +111,18 @@ fn storm(iters: usize, reliability: Reliability) -> StormResult {
         p50_ns: pct(0.50),
         p99_ns: pct(0.99),
     }
+}
+
+/// The ≤512 B storm, with or without sender-side coalescing. Reliable
+/// transport both ways: aggregation also collapses the retry state to
+/// one pending entry per aggregate, which is part of what it buys.
+fn small_storm(iters: usize, agg_max: usize) -> StormResult {
+    let ucfg = UnrConfig::builder()
+        .reliability(Reliability::On)
+        .agg_eager_max(agg_max)
+        .build()
+        .unwrap();
+    storm(iters, SMALL_MSG, ucfg)
 }
 
 /// PowerLLEL wall-clock: the fig6 TH-XY configuration (4 nodes x 2
@@ -152,14 +169,33 @@ fn netfab_opts(quick: bool, reliable: bool) -> unr_netfab::StormOpts {
         msg: NETFAB_MSG,
         reliable,
         drop_every: None, // throughput run: reliable protocol, no faults
+        agg_eager_max: 0,
+    }
+}
+
+/// The netfab ≤512 B storm: reliable transport, sub-MTU payloads, with
+/// or without the sender-side coalescer.
+fn netfab_small_opts(quick: bool, agg: bool) -> unr_netfab::StormOpts {
+    unr_netfab::StormOpts {
+        iters: if quick { 64 } else { 256 },
+        epochs: if quick { 3 } else { 8 },
+        msg: SMALL_MSG,
+        reliable: true,
+        drop_every: None,
+        agg_eager_max: if agg { SMALL_AGG_MAX } else { 0 },
     }
 }
 
 /// Child side of `--backend netfab`: run the storm on this rank and
 /// report one machine-readable line for the parent to aggregate.
-fn netfab_child(world: unr_netfab::NetWorld, quick: bool, reliable: bool) {
-    let out = unr_netfab::run_storm(Arc::new(world), netfab_opts(quick, reliable))
-        .expect("netfab storm rank");
+fn netfab_child(world: unr_netfab::NetWorld, quick: bool, args: &[String]) {
+    let reliable = args.iter().any(|a| a == "--netfab-reliable");
+    let opts = if args.iter().any(|a| a == "--netfab-small") {
+        netfab_small_opts(quick, args.iter().any(|a| a == "--netfab-agg"))
+    } else {
+        netfab_opts(quick, reliable)
+    };
+    let out = unr_netfab::run_storm(Arc::new(world), opts).expect("netfab storm rank");
     println!(
         "NETFAB_RANK_JSON {{\"ops\":{},\"wall_ns\":{}}}",
         out.ops, out.wall_ns
@@ -173,14 +209,12 @@ struct NetfabVariant {
     ops_per_sec: f64,
 }
 
-fn netfab_run(quick: bool, reliable: bool) -> NetfabVariant {
+fn netfab_run(quick: bool, variant: &[&str]) -> NetfabVariant {
     let mut args: Vec<String> = vec!["--backend".into(), "netfab".into()];
     if quick {
         args.push("--quick".into());
     }
-    if reliable {
-        args.push("--netfab-reliable".into());
-    }
+    args.extend(variant.iter().map(|s| s.to_string()));
     let res = unr_netfab::spawn_world(NETFAB_RANKS, NETFAB_NICS, &args).expect("netfab launch");
     assert!(res.success(), "a netfab rank failed");
     let field = |line: &str, key: &str| -> u64 {
@@ -215,9 +249,13 @@ fn netfab_run(quick: bool, reliable: bool) -> NetfabVariant {
 /// Parent side of `--backend netfab`: run both variants, print the
 /// table and the gate JSON.
 fn netfab_main(quick: bool) {
-    let reliable = netfab_run(quick, true);
-    let rma = netfab_run(quick, false);
+    let reliable = netfab_run(quick, &["--netfab-reliable"]);
+    let rma = netfab_run(quick, &[]);
+    let small_plain = netfab_run(quick, &["--netfab-small"]);
+    let small_agg = netfab_run(quick, &["--netfab-small", "--netfab-agg"]);
+    let small_speedup = small_agg.ops_per_sec / small_plain.ops_per_sec.max(f64::MIN_POSITIVE);
     let opts = netfab_opts(quick, true);
+    let small_opts = netfab_small_opts(quick, true);
     let row = |name: &str, v: &NetfabVariant| {
         vec![
             name.to_string(),
@@ -234,16 +272,25 @@ fn netfab_main(quick: bool) {
             NETFAB_MSG / 1024
         ),
         &["variant", "ops", "wall ms", "ops/sec"],
-        &[row("reliable", &reliable), row("rma", &rma)],
+        &[
+            row("reliable", &reliable),
+            row("rma", &rma),
+            row("small unbatched", &small_plain),
+            row("small aggregated", &small_agg),
+        ],
     );
-    // Gate metric: the reliable storm, as on the simnet backend.
+    // Gate metric: the reliable storm, as on the simnet backend. The
+    // small block gates separately (scripts/bench.sh keys
+    // netfab_small_full / netfab_small_quick off "agg_ops_per_sec").
     println!(
         "BENCH_PERF_JSON {{\"schema\":1,\"backend\":\"netfab\",\"quick\":{quick},\
          \"ops_per_sec\":{:.1},\
          \"storm\":{{\"ranks\":{NETFAB_RANKS},\"nics\":{NETFAB_NICS},\"msg_bytes\":{NETFAB_MSG},\
          \"iters\":{},\"epochs\":{},\
          \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}},\
-         \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}}}}}}",
+         \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}}}},\
+         \"small\":{{\"msg_bytes\":{},\"agg_max\":{},\"iters\":{},\"epochs\":{},\
+         \"unbatched_ops_per_sec\":{:.1},\"agg_ops_per_sec\":{:.1},\"speedup\":{:.2}}}}}",
         reliable.ops_per_sec,
         opts.iters,
         opts.epochs,
@@ -251,6 +298,13 @@ fn netfab_main(quick: bool) {
         reliable.wall_ms,
         rma.ops_per_sec,
         rma.wall_ms,
+        SMALL_MSG,
+        SMALL_AGG_MAX,
+        small_opts.iters,
+        small_opts.epochs,
+        small_plain.ops_per_sec,
+        small_agg.ops_per_sec,
+        small_speedup,
     );
 }
 
@@ -266,8 +320,7 @@ fn main() {
     // UNR_NETFAB_* environment set.)
     if let Some(world) = unr_netfab::NetWorld::from_env() {
         let world = world.expect("netfab bootstrap");
-        let reliable = args.iter().any(|a| a == "--netfab-reliable");
-        netfab_child(world, quick, reliable);
+        netfab_child(world, quick, &args);
         return;
     }
     if netfab {
@@ -276,10 +329,28 @@ fn main() {
     }
 
     let iters = if quick { 250 } else { 1500 };
+    let small_iters = if quick { 500 } else { 3000 };
     let steps = if quick { 1 } else { 3 };
 
-    let reliable = storm(iters, Reliability::On);
-    let rma = storm(iters, Reliability::Off);
+    let reliable = storm(
+        iters,
+        STORM_MSG,
+        UnrConfig {
+            reliability: Reliability::On,
+            ..UnrConfig::default()
+        },
+    );
+    let rma = storm(
+        iters,
+        STORM_MSG,
+        UnrConfig {
+            reliability: Reliability::Off,
+            ..UnrConfig::default()
+        },
+    );
+    let small_plain = small_storm(small_iters, 0);
+    let small_agg = small_storm(small_iters, SMALL_AGG_MAX);
+    let small_speedup = small_agg.ops_per_sec / small_plain.ops_per_sec.max(f64::MIN_POSITIVE);
     let pll_ms = powerllel_step(steps);
 
     let row = |name: &str, s: &StormResult| {
@@ -310,18 +381,49 @@ fn main() {
         &[row("reliable", &reliable), row("rma", &rma)],
     );
     print_table(
+        &format!(
+            "Hot path — small-message storm ({} B msgs, reliable, coalescer {} B threshold)",
+            SMALL_MSG, SMALL_AGG_MAX
+        ),
+        &[
+            "variant",
+            "ops",
+            "wall ms",
+            "ops/sec",
+            "put p50 ns",
+            "put p99 ns",
+        ],
+        &[
+            row("unbatched", &small_plain),
+            row("aggregated", &small_agg),
+            vec![
+                "speedup".to_string(),
+                String::new(),
+                String::new(),
+                format!("{small_speedup:.2}x"),
+                String::new(),
+                String::new(),
+            ],
+        ],
+    );
+    print_table(
         "Hot path — PowerLLEL step (TH-XY, 4x2 ranks, wall clock)",
         &["steps", "wall ms/step"],
         &[vec![steps.to_string(), format!("{pll_ms:.1}")]],
     );
 
     // The gate metric is the reliable storm: it exercises the signal
-    // table, the retry state and the payload path all at once.
+    // table, the retry state and the payload path all at once. The small
+    // block gates separately (scripts/bench.sh keys small_full /
+    // small_quick off "agg_ops_per_sec"); its keys are named so that the
+    // top-level "ops_per_sec" stays the *first* match in the line.
     println!(
         "BENCH_PERF_JSON {{\"schema\":1,\"quick\":{quick},\"ops_per_sec\":{:.1},\
          \"storm\":{{\"ranks\":{},\"nics\":{},\"msg_bytes\":{},\"iters\":{iters},\
          \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}},\
          \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}}}},\
+         \"small\":{{\"msg_bytes\":{},\"agg_max\":{},\"iters\":{small_iters},\
+         \"unbatched_ops_per_sec\":{:.1},\"agg_ops_per_sec\":{:.1},\"speedup\":{:.2}}},\
          \"powerllel\":{{\"steps\":{steps},\"wall_ms_per_step\":{:.2}}}}}",
         reliable.ops_per_sec,
         STORM_NODES * STORM_RANKS_PER_NODE,
@@ -335,6 +437,11 @@ fn main() {
         rma.wall_ms,
         rma.p50_ns,
         rma.p99_ns,
+        SMALL_MSG,
+        SMALL_AGG_MAX,
+        small_plain.ops_per_sec,
+        small_agg.ops_per_sec,
+        small_speedup,
         pll_ms,
     );
 }

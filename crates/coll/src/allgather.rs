@@ -1,22 +1,27 @@
-//! Ring allgather over notified puts.
+//! Direct-exchange allgather with summed MMAS arrival counting.
 //!
 //! Rank `r` contributes `block` bytes at slot `r` of an `n * block`
-//! buffer. The ring pipeline runs `n-1` rounds: in round `t`, each rank
-//! puts the block it received in round `t-1` (its own block in round 0)
-//! into its right neighbor's corresponding slot. Because every round
-//! writes a **distinct slot**, no intra-epoch flow control is needed:
-//! a rank cannot send round `t` before having received round `t-1`, and
-//! per-round MMAS signals make each arrival observable. Epoch reuse is
-//! guarded by a single end-of-epoch credit to the left neighbor.
+//! buffer. Each epoch, every rank puts its own block straight into
+//! slot `me` of **every** peer — `n - 1` independent notified puts —
+//! and waits on **one** signal whose `num_event` is `n - 1`: the MMAS
+//! counter sums the arrivals, so an epoch costs one `sig_wait` however
+//! large the world. For sub-MTU blocks with sender-side coalescing
+//! enabled, the whole fan-out packs into aggregate frames.
+//!
+//! Epoch reuse is credit-guarded, and the credits are summed too: at
+//! the start of epoch `e + 1` each rank puts a 1-byte credit to every
+//! peer ("I consumed your epoch-`e` block") and waits for its own
+//! `n - 1` credits on a second summed signal before overwriting any
+//! peer's slot.
 
 use std::sync::Arc;
 
-use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
+use unr_core::{convert, Blk, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::TAG_BASE;
+use crate::tags::{tag_range, TagKind};
 
-/// Persistent ring-allgather context.
+/// Persistent direct-exchange allgather context.
 pub struct NotifiedAllgather {
     unr: Arc<Unr>,
     n: usize,
@@ -24,15 +29,16 @@ pub struct NotifiedAllgather {
     block: usize,
     /// The `n * block` gather buffer (slot `r` belongs to rank `r`).
     pub mem: UnrMem,
-    /// Per-round arrival signal (round t delivers slot `me-1-t mod n`).
-    round_sigs: Vec<Signal>,
-    /// Put target at the right neighbor, per round.
-    round_targets: Vec<Blk>,
+    /// Summed arrival signal: all `n - 1` inbound blocks of one epoch.
+    arrive_sig: Signal,
+    /// My slot (`me * block`) at every other rank, in rank order.
+    targets: Vec<Blk>,
     /// Local-completion signal for all my sends of one epoch.
-    send_sig: Option<Signal>,
-    /// Epoch credit from my right neighbor (it consumed my writes).
-    credit_sig: Option<Signal>,
-    credit_plan: RmaPlan,
+    send_sig: Signal,
+    /// Summed epoch credits: every peer consumed my block.
+    credit_sig: Signal,
+    /// Credit slot at every other rank, in rank order.
+    credit_targets: Vec<Blk>,
     credit_mem: UnrMem,
     epoch: u64,
 }
@@ -42,47 +48,36 @@ impl NotifiedAllgather {
     pub fn new(unr: &Arc<Unr>, comm: &Comm, block: usize, instance: i32) -> NotifiedAllgather {
         let n = comm.size();
         let me = comm.rank();
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
         let mem = unr.mem_reg((n * block).max(8));
         let credit_mem = unr.mem_reg(8);
-        let tag = TAG_BASE + 1000 + 4 * instance;
+        let tags = tag_range(TagKind::Allgather, n, instance);
+        let peers = (n.max(2) - 1) as i64;
 
-        // Round t (0-based) delivers to me the block of rank
-        // (me - 1 - t) mod n, written by my left neighbor into slot
-        // (me - 1 - t). Publish those slots (with per-round signals) to
-        // the left; receive the symmetric targets from the right.
-        let rounds = n.saturating_sub(1);
-        let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
-        for (t, sig) in round_sigs.iter().enumerate() {
-            let owner = (me + n - 1 - t) % n;
-            let blk = unr.blk_init(&mem, owner * block, block, Some(sig));
-            convert::send_blk(comm, left, tag, &blk);
+        // Publish to each peer `p` the landing slot its block owns in my
+        // buffer (slot `p`), all bound to the one summed arrival signal;
+        // receive back my slot in every peer's buffer.
+        let arrive_sig = unr.sig_init(peers);
+        for p in (0..n).filter(|&p| p != me) {
+            let blk = unr.blk_init(&mem, p * block, block, Some(&arrive_sig));
+            convert::send_blk(comm, p, tags.start, &blk);
         }
-        let round_targets: Vec<Blk> = (0..rounds)
-            .map(|_| convert::recv_blk(comm, right, tag))
+        let targets: Vec<Blk> = (0..n)
+            .filter(|&p| p != me)
+            .map(|p| convert::recv_blk(comm, p, tags.start))
             .collect();
-        // Sanity: in round t I send the block of rank (me - t) mod n; the
-        // right neighbor's published slot for its round t is owned by
-        // (right - 1 - t) mod n = (me - t) mod n.
-        for (t, tgt) in round_targets.iter().enumerate() {
-            debug_assert_eq!(tgt.offset / block.max(1), (me + n - t) % n);
-        }
 
-        let send_sig = (rounds > 0).then(|| unr.sig_init(rounds as i64));
+        // Credits: one shared 1-byte slot, one summed signal.
+        let credit_sig = unr.sig_init(peers);
+        for p in (0..n).filter(|&p| p != me) {
+            let blk = unr.blk_init(&credit_mem, 0, 1, Some(&credit_sig));
+            convert::send_blk(comm, p, tags.start + 1, &blk);
+        }
+        let credit_targets: Vec<Blk> = (0..n)
+            .filter(|&p| p != me)
+            .map(|p| convert::recv_blk(comm, p, tags.start + 1))
+            .collect();
 
-        // End-of-epoch credit: I credit my LEFT neighbor (whose writes I
-        // consumed); my RIGHT neighbor credits me.
-        let credit_sig = (rounds > 0).then(|| unr.sig_init(1));
-        if rounds > 0 {
-            let blk = unr.blk_init(&credit_mem, 0, 1, credit_sig.as_ref());
-            convert::send_blk(comm, right, tag + 1, &blk);
-        }
-        let mut credit_plan = RmaPlan::new();
-        if rounds > 0 {
-            let left_credit = convert::recv_blk(comm, left, tag + 1);
-            credit_plan.put(&unr.blk_init(&credit_mem, 0, 1, None), &left_credit);
-        }
+        let send_sig = unr.sig_init(peers);
 
         NotifiedAllgather {
             unr: Arc::clone(unr),
@@ -90,11 +85,11 @@ impl NotifiedAllgather {
             me,
             block,
             mem,
-            round_sigs,
-            round_targets,
+            arrive_sig,
+            targets,
             send_sig,
             credit_sig,
-            credit_plan,
+            credit_targets,
             credit_mem,
             epoch: 0,
         }
@@ -108,38 +103,33 @@ impl NotifiedAllgather {
     /// Run one epoch. The caller must have written its own block into
     /// slot `rank` beforehand; on return every slot is filled.
     pub fn run(&mut self) -> Result<(), unr_core::UnrError> {
-        let rounds = self.n - 1;
-        if rounds == 0 {
+        if self.n == 1 {
             return Ok(());
         }
-        // New epoch ⇒ previous epoch's incoming data was consumed.
+        // New epoch ⇒ the previous epoch's inbound blocks were consumed:
+        // credit every peer, then require every peer's credit before
+        // overwriting its copy of my slot.
         if self.epoch > 0 {
-            self.credit_plan.start(&self.unr)?;
-            // And my right neighbor must have consumed my writes.
-            let cs = self.credit_sig.as_ref().expect("credit signal");
-            self.unr.sig_wait(cs)?;
-            cs.reset()?;
+            let credit = self.credit_mem.blk(0, 1, unr_core::SigKey::NULL);
+            for tgt in &self.credit_targets {
+                self.unr.put(&credit, tgt)?;
+            }
+            self.unr.sig_wait(&self.credit_sig)?;
+            self.credit_sig.reset()?;
         }
-        for t in 0..rounds {
-            // Send the block of rank (me - t) mod n to the right.
-            let owner = (self.me + self.n - t) % self.n;
-            let src = self.mem.blk(
-                owner * self.block,
-                self.block,
-                self.send_sig.as_ref().map(|s| s.key()).unwrap_or(unr_core::SigKey::NULL),
-            );
-            self.unr.put(&src, &self.round_targets[t])?;
-            // Wait for this round's arrival before the next round (its
-            // payload is what round t+1 forwards).
-            self.unr.sig_wait(&self.round_sigs[t])?;
-            self.round_sigs[t].reset()?;
+        let src = self
+            .mem
+            .blk(self.me * self.block, self.block, self.send_sig.key());
+        for tgt in &self.targets {
+            self.unr.put(&src, tgt)?;
         }
-        // All sends locally complete before the caller may rewrite slots.
-        if let Some(ss) = &self.send_sig {
-            self.unr.sig_wait(ss)?;
-            ss.reset()?;
-        }
-        let _ = &self.credit_mem;
+        // One summed wait observes the whole epoch's fan-in.
+        self.unr.sig_wait(&self.arrive_sig)?;
+        self.arrive_sig.reset()?;
+        // All sends locally complete before the caller may rewrite
+        // slot `me`.
+        self.unr.sig_wait(&self.send_sig)?;
+        self.send_sig.reset()?;
         self.epoch += 1;
         Ok(())
     }

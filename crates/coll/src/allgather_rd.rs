@@ -15,7 +15,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::TAG_BASE;
+use crate::tags::{tag_range, TagKind};
 
 /// Persistent recursive-doubling allgather (communicator size must be a
 /// power of two).
@@ -48,9 +48,10 @@ impl NotifiedAllgatherRd {
         let rounds = n.trailing_zeros() as usize;
         let mem = unr.mem_reg((n * block).max(8));
         let credit_mem = unr.mem_reg(8);
-        // 64-tag stride per instance: data tags use [tag, tag+rounds) and
-        // credit tags [tag+rounds, tag+2*rounds); rounds = log2(n) ≤ 32.
-        let tag = TAG_BASE + 3000 + 64 * instance;
+        // Data tags use [tag, tag+rounds), credit tags
+        // [tag+rounds, tag+2*rounds); `tag_range` asserts both fit the
+        // per-instance stride.
+        let tag = tag_range(TagKind::AllgatherRd, n, instance).start;
 
         let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
         let credit_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();

@@ -1,0 +1,153 @@
+//! Recursive-doubling f64 sum allreduce over notified puts.
+//!
+//! For power-of-two communicators: `log2 n` rounds, in round `k` each
+//! rank sends its full accumulator to partner `me XOR 2^k`, waits for
+//! the partner's accumulator on one MMAS signal, and adds it
+//! elementwise. After round `k` every accumulator holds the sum over a
+//! `2^(k+1)`-rank group; after the last round, the global sum. IEEE 754
+//! addition is commutative, so both partners of a round compute bitwise
+//! identical accumulators — the result is reproducible across runs and
+//! identical on every rank.
+//!
+//! The buffer holds the accumulator plus one landing slot per round, so
+//! an in-flight partner contribution never aliases the accumulator the
+//! rank is still sending. Epoch reuse is credit-guarded per round: a
+//! rank credits its partner right after folding the partner's round-`k`
+//! slot, and the next epoch's round-`k` put waits for that credit
+//! before overwriting the slot.
+
+use std::sync::Arc;
+
+use unr_core::{convert, Blk, Signal, Unr, UnrMem};
+use unr_minimpi::Comm;
+
+use crate::tags::{tag_range, TagKind};
+
+/// Persistent recursive-doubling f64 sum allreduce (communicator size
+/// must be a power of two).
+pub struct NotifiedAllreduce {
+    unr: Arc<Unr>,
+    n: usize,
+    count: usize,
+    /// `[acc | recv slot 0 | … | recv slot rounds-1]`, `count` f64 each.
+    pub mem: UnrMem,
+    /// Per-round arrival signal for the partner's accumulator.
+    round_sigs: Vec<Signal>,
+    /// Per-round put target: my partner's round-`k` landing slot.
+    round_targets: Vec<Blk>,
+    /// Local completion of the in-flight accumulator put (reused each
+    /// round — the accumulator must not be folded into while the engine
+    /// may still read it).
+    send_sig: Signal,
+    /// Per-round partner epoch credits.
+    credit_sigs: Vec<Signal>,
+    credit_targets: Vec<Blk>,
+    credit_mem: UnrMem,
+    epoch: u64,
+}
+
+impl NotifiedAllreduce {
+    /// Collective constructor for vectors of `count` f64 elements
+    /// (`instance` separates tag spaces).
+    pub fn new(unr: &Arc<Unr>, comm: &Comm, count: usize, instance: i32) -> NotifiedAllreduce {
+        let n = comm.size();
+        assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
+        let me = comm.rank();
+        let rounds = n.trailing_zeros() as usize;
+        let vec_bytes = count * 8;
+        let mem = unr.mem_reg(((1 + rounds) * vec_bytes).max(8));
+        let credit_mem = unr.mem_reg(8);
+        // Data tags use [tag, tag+rounds), credit tags
+        // [tag+rounds, tag+2*rounds); `tag_range` asserts both fit the
+        // per-instance stride.
+        let tag = tag_range(TagKind::Allreduce, n, instance).start;
+
+        let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
+        let credit_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
+        let send_sig = unr.sig_init(1);
+
+        let mut round_targets = Vec::with_capacity(rounds);
+        let mut credit_targets = Vec::with_capacity(rounds);
+        for k in 0..rounds {
+            let partner = me ^ (1usize << k);
+            // Publish my round-k landing slot; receive the partner's.
+            let blk = unr.blk_init(&mem, (1 + k) * vec_bytes, vec_bytes, Some(&round_sigs[k]));
+            convert::send_blk(comm, partner, tag + k as i32, &blk);
+            round_targets.push(convert::recv_blk(comm, partner, tag + k as i32));
+            // Credits.
+            let cblk = unr.blk_init(&credit_mem, 0, 1, Some(&credit_sigs[k]));
+            convert::send_blk(comm, partner, tag + (rounds + k) as i32, &cblk);
+            credit_targets.push(convert::recv_blk(comm, partner, tag + (rounds + k) as i32));
+        }
+
+        NotifiedAllreduce {
+            unr: Arc::clone(unr),
+            n,
+            count,
+            mem,
+            round_sigs,
+            round_targets,
+            send_sig,
+            credit_sigs,
+            credit_targets,
+            credit_mem,
+            epoch: 0,
+        }
+    }
+
+    /// Write this rank's input vector into the accumulator.
+    pub fn write_input(&self, vals: &[f64]) {
+        assert_eq!(vals.len(), self.count, "input length mismatch");
+        for (i, v) in vals.iter().enumerate() {
+            self.mem.write_bytes(i * 8, &v.to_le_bytes());
+        }
+    }
+
+    /// Read the reduced vector (valid after [`run`](Self::run)).
+    pub fn read_result(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.count, "output length mismatch");
+        let mut b = [0u8; 8];
+        for (i, v) in out.iter_mut().enumerate() {
+            self.mem.read_bytes(i * 8, &mut b);
+            *v = f64::from_le_bytes(b);
+        }
+    }
+
+    /// Run one epoch: the accumulator (written via
+    /// [`write_input`](Self::write_input)) becomes the elementwise sum
+    /// over all ranks.
+    pub fn run(&mut self) -> Result<(), unr_core::UnrError> {
+        let rounds = self.n.trailing_zeros() as usize;
+        let vec_bytes = self.count * 8;
+        for k in 0..rounds {
+            // The partner may still be folding last epoch's round-k slot;
+            // its credit releases the overwrite.
+            if self.epoch > 0 {
+                self.unr.sig_wait(&self.credit_sigs[k])?;
+                self.credit_sigs[k].reset()?;
+            }
+            let src = self.mem.blk(0, vec_bytes, self.send_sig.key());
+            self.unr.put(&src, &self.round_targets[k])?;
+            self.unr.sig_wait(&self.round_sigs[k])?;
+            self.round_sigs[k].reset()?;
+            // The engine must be done reading the accumulator before the
+            // fold mutates it.
+            self.unr.sig_wait(&self.send_sig)?;
+            self.send_sig.reset()?;
+            // Fold: acc[i] += slot_k[i].
+            let mut a = [0u8; 8];
+            let mut b = [0u8; 8];
+            for i in 0..self.count {
+                self.mem.read_bytes(i * 8, &mut a);
+                self.mem.read_bytes((1 + k) * vec_bytes + i * 8, &mut b);
+                let sum = f64::from_le_bytes(a) + f64::from_le_bytes(b);
+                self.mem.write_bytes(i * 8, &sum.to_le_bytes());
+            }
+            // Round-k slot consumed: release the partner's next epoch.
+            let credit = self.credit_mem.blk(0, 1, unr_core::SigKey::NULL);
+            self.unr.put(&credit, &self.credit_targets[k])?;
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+}

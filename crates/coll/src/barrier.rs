@@ -1,25 +1,30 @@
-//! Dissemination barrier over 1-byte notified puts.
+//! All-to-all token barrier with summed MMAS arrival counting.
 //!
-//! `ceil(log2 n)` rounds; in round `k` each rank puts a token to rank
-//! `me + 2^k` and waits for the token from `me - 2^k`. Consecutive
-//! barrier epochs alternate between two signal sets (parity), so a fast
-//! rank's next-epoch token can never be miscounted into the current
-//! epoch — the MMAS equivalent of sense reversal.
+//! Each rank fires one 1-byte notified put at **every** other rank and
+//! then waits on a **single** signal whose `num_event` is `n - 1`: the
+//! MMAS counter sums the arrivals, so the whole barrier costs one
+//! `sig_wait` regardless of world size. With the engine's sender-side
+//! coalescing enabled, all `n - 1` outbound tokens are sub-MTU puts
+//! that pack into aggregate frames and flush on the `sig_wait` itself.
+//!
+//! Consecutive epochs alternate between two signal/target sets
+//! (parity), so a fast rank's next-epoch token can never be miscounted
+//! into the current epoch — the MMAS equivalent of sense reversal.
 
 use std::sync::Arc;
 
 use unr_core::{convert, Blk, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::TAG_BASE;
+use crate::tags::{tag_range, TagKind};
 
-/// Persistent dissemination-barrier context.
+/// Persistent all-to-all barrier context.
 pub struct NotifiedBarrier {
     unr: Arc<Unr>,
-    rounds: usize,
-    /// `[parity][round]` arrival signals.
-    sigs: [Vec<Signal>; 2],
-    /// `[parity][round]` put targets at rank `me + 2^round`.
+    n: usize,
+    /// `[parity]` summed arrival signal (`num_event = n - 1`).
+    sigs: [Signal; 2],
+    /// `[parity]` token slots at every other rank, in rank order.
     targets: [Vec<Blk>; 2],
     token_mem: UnrMem,
     epoch: u64,
@@ -30,32 +35,31 @@ impl NotifiedBarrier {
     pub fn new(unr: &Arc<Unr>, comm: &Comm, instance: i32) -> NotifiedBarrier {
         let n = comm.size();
         let me = comm.rank();
-        let mut rounds = 0;
-        while (1 << rounds) < n {
-            rounds += 1;
-        }
         let token_mem = unr.mem_reg(8);
-        let tag = TAG_BASE + 2000 + 8 * instance;
-        let mut sigs = [Vec::new(), Vec::new()];
-        let mut targets = [Vec::new(), Vec::new()];
-        for parity in 0..2 {
-            for k in 0..rounds {
-                let dist = 1usize << k;
-                let to = (me + dist) % n;
-                let from = (me + n - dist) % n;
-                let sig = unr.sig_init(1);
-                let blk = unr.blk_init(&token_mem, 0, 1, Some(&sig));
-                // Publish my arrival slot to the rank that signals me.
-                convert::send_blk(comm, from, tag + (parity * rounds + k) as i32, &blk);
-                let tgt = convert::recv_blk(comm, to, tag + (parity * rounds + k) as i32);
-                sigs[parity].push(sig);
-                targets[parity].push(tgt);
+        let tags = tag_range(TagKind::Barrier, n, instance);
+        let mut sigs = Vec::with_capacity(2);
+        let mut targets: [Vec<Blk>; 2] = [Vec::new(), Vec::new()];
+        for (parity, tgt) in targets.iter_mut().enumerate() {
+            // One summed signal counts every peer's token; all peers
+            // write the same 1-byte slot (content is irrelevant, the
+            // MMAS addend is the information).
+            let sig = unr.sig_init((n.max(2) - 1) as i64);
+            let slot = unr.blk_init(&token_mem, parity, 1, Some(&sig));
+            let tag = tags.start + parity as i32;
+            for peer in (0..n).filter(|&p| p != me) {
+                convert::send_blk(comm, peer, tag, &slot);
             }
+            *tgt = (0..n)
+                .filter(|&p| p != me)
+                .map(|p| convert::recv_blk(comm, p, tag))
+                .collect();
+            sigs.push(sig);
         }
+        let mut it = sigs.into_iter();
         NotifiedBarrier {
             unr: Arc::clone(unr),
-            rounds,
-            sigs,
+            n,
+            sigs: [it.next().expect("parity 0"), it.next().expect("parity 1")],
             targets,
             token_mem,
             epoch: 0,
@@ -64,13 +68,16 @@ impl NotifiedBarrier {
 
     /// Synchronize: no rank returns before every rank has entered.
     pub fn wait(&mut self) -> Result<(), unr_core::UnrError> {
-        let parity = (self.epoch % 2) as usize;
-        let token = self.token_mem.blk(0, 1, unr_core::SigKey::NULL);
-        for k in 0..self.rounds {
-            self.unr.put(&token, &self.targets[parity][k])?;
-            self.unr.sig_wait(&self.sigs[parity][k])?;
-            self.sigs[parity][k].reset()?;
+        if self.n == 1 {
+            return Ok(());
         }
+        let parity = (self.epoch % 2) as usize;
+        let token = self.token_mem.blk(parity, 1, unr_core::SigKey::NULL);
+        for tgt in &self.targets[parity] {
+            self.unr.put(&token, tgt)?;
+        }
+        self.unr.sig_wait(&self.sigs[parity])?;
+        self.sigs[parity].reset()?;
         self.epoch += 1;
         Ok(())
     }

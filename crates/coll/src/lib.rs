@@ -8,31 +8,47 @@
 //! and whose every completion is an MMAS signal — including the flow
 //! control (credits are notified puts too).
 //!
+//! The operations lean on the MMAS property that makes signals
+//! *aggregatable*: one counter sums arrivals from many peers (and the
+//! summed addends of coalesced small messages), so a collective can
+//! wait on **one** signal per phase instead of one per peer or per
+//! round. Combined with the engine's sender-side small-message
+//! coalescing, a barrier's or allgather's entire fan-out can ride a
+//! handful of aggregate frames.
+//!
 //! All operations are **persistent**: construction performs the
 //! address/BLK exchange over mini-MPI once (outside the main loop);
-//! each epoch afterwards touches only UNR.
+//! each epoch afterwards touches only UNR. Setup-time mini-MPI tags
+//! come from [`tags::tag_range`], which gives every collective instance
+//! a provably disjoint tag block (see that module for the stride bug
+//! this replaces).
 //!
 //! * [`NotifiedBcast`] — binomial-tree broadcast with credit-based
 //!   epoch flow control (the paper's future-work "irregular broadcast"
 //!   workload shape).
-//! * [`NotifiedAllgather`] — ring allgather (bandwidth-friendly); each
-//!   hop is one notified put into a distinct slot, so an epoch needs no
-//!   internal credits, only one end-of-epoch credit to the left
-//!   neighbor.
+//! * [`NotifiedAllgather`] — direct-exchange allgather: every rank puts
+//!   its block straight into each peer's slot, and one summed MMAS
+//!   signal (`num_event = n-1`) observes the whole epoch's arrivals;
+//!   a second summed signal carries the epoch credits.
 //! * [`NotifiedAllgatherRd`] — recursive-doubling allgather
 //!   (latency-optimal, log2 n rounds; power-of-two sizes).
-//! * [`NotifiedBarrier`] — dissemination barrier over 1-byte notified
-//!   puts with parity-alternating signal sets.
+//! * [`NotifiedAllreduce`] — recursive-doubling f64 sum reduction
+//!   (power-of-two sizes; IEEE addition is commutative, so partners
+//!   stay bitwise identical every round).
+//! * [`NotifiedBarrier`] — all-to-all token barrier: each rank puts one
+//!   token to every peer and waits on a single summed signal, with
+//!   parity-alternating signal pairs for back-to-back epochs.
 
 pub mod allgather;
 pub mod allgather_rd;
+pub mod allreduce;
 pub mod barrier;
 pub mod bcast;
+pub mod tags;
 
 pub use allgather::NotifiedAllgather;
 pub use allgather_rd::NotifiedAllgatherRd;
+pub use allreduce::NotifiedAllreduce;
 pub use barrier::NotifiedBarrier;
 pub use bcast::NotifiedBcast;
-
-/// Reserved mini-MPI tag space for this crate's setup-time exchanges.
-pub(crate) const TAG_BASE: i32 = 1 << 21;
+pub use tags::{tag_range, TagKind};

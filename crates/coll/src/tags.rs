@@ -1,0 +1,132 @@
+//! Setup-time mini-MPI tag-space partitioning.
+//!
+//! Every persistent collective performs its BLK exchanges over mini-MPI
+//! during construction, and multiple instances (several barriers,
+//! broadcasts, …) must never match each other's exchanges. Each
+//! `(collective kind, instance)` pair therefore owns a disjoint tag
+//! block carved out of the reserved space above [`TAG_BASE`].
+//!
+//! ## The stride bug this replaces
+//!
+//! Earlier revisions strode instances by small fixed constants (barrier
+//! `8`, bcast and allgather `4`) while the number of tags actually
+//! consumed grew with the communicator: the dissemination barrier used
+//! `2 * ceil(log2 n)` tags, which is 10 at `n = 32` — instance 1's
+//! block started inside instance 0's, and two barriers constructed on
+//! a > 16-rank communicator could cross-match each other's setup
+//! exchanges. The fix is twofold: the rebuilt barrier/allgather consume
+//! an *n-independent* 2 tags (their fan-out is summed into one MMAS
+//! signal instead of tagged per round), and the log-round collectives
+//! stride by a constant that provably dominates their span for every
+//! representable communicator (`2 * rounds ≤ 64` since `rounds ≤ 31`
+//! for `n ≤ 2^31` ranks). [`tag_range`] asserts `span ≤ stride`, so a
+//! future collective that outgrows its stride fails loudly at
+//! construction instead of corrupting a neighbour instance.
+
+use std::ops::Range;
+
+/// Base of the tag space reserved for this crate's setup exchanges.
+pub const TAG_BASE: i32 = 1 << 21;
+
+/// Which collective a tag block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagKind {
+    /// [`crate::NotifiedBcast`]: payload + credit exchange (2 tags).
+    Bcast,
+    /// [`crate::NotifiedAllgather`]: data + credit exchange (2 tags).
+    Allgather,
+    /// [`crate::NotifiedBarrier`]: one exchange per parity (2 tags).
+    Barrier,
+    /// [`crate::NotifiedAllgatherRd`]: data + credit per round
+    /// (`2 * log2 n` tags).
+    AllgatherRd,
+    /// [`crate::NotifiedAllreduce`]: data + credit per round
+    /// (`2 * log2 n` tags).
+    Allreduce,
+}
+
+impl TagKind {
+    /// Offset of this kind's region above [`TAG_BASE`].
+    fn region(self) -> i32 {
+        match self {
+            TagKind::Bcast => 0,
+            TagKind::Allgather => 1000,
+            TagKind::Barrier => 2000,
+            TagKind::AllgatherRd => 3000,
+            TagKind::Allreduce => 4000,
+        }
+    }
+
+    /// Per-instance stride — a constant upper bound on
+    /// [`TagKind::span`] for every representable communicator size.
+    fn stride(self) -> i32 {
+        match self {
+            TagKind::Bcast | TagKind::Allgather | TagKind::Barrier => 2,
+            // 2 tags per round, rounds = log2 n ≤ 31.
+            TagKind::AllgatherRd | TagKind::Allreduce => 64,
+        }
+    }
+
+    /// Tags one instance actually consumes on an `n`-rank communicator.
+    fn span(self, n: usize) -> i32 {
+        match self {
+            TagKind::Bcast | TagKind::Allgather | TagKind::Barrier => 2,
+            TagKind::AllgatherRd | TagKind::Allreduce => {
+                2 * n.max(1).next_power_of_two().trailing_zeros() as i32
+            }
+        }
+    }
+}
+
+/// The half-open tag block `(kind, instance)` owns on an `n`-rank
+/// communicator. Blocks of the same kind are disjoint across instances
+/// (stride ≥ span, asserted), and kinds live in disjoint regions.
+pub fn tag_range(kind: TagKind, n: usize, instance: i32) -> Range<i32> {
+    assert!(instance >= 0, "collective instance must be non-negative");
+    let span = kind.span(n);
+    let stride = kind.stride();
+    assert!(
+        span <= stride,
+        "{kind:?} consumes {span} tags at n={n}, more than its {stride}-tag stride"
+    );
+    let start = TAG_BASE + kind.region() + stride * instance;
+    start..start + span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_blocks_are_disjoint_for_every_kind() {
+        let kinds = [
+            TagKind::Bcast,
+            TagKind::Allgather,
+            TagKind::Barrier,
+            TagKind::AllgatherRd,
+            TagKind::Allreduce,
+        ];
+        for kind in kinds {
+            for n in [1usize, 2, 3, 16, 17, 32, 1024, 1 << 20] {
+                for i in 0..8 {
+                    let a = tag_range(kind, n, i);
+                    let b = tag_range(kind, n, i + 1);
+                    assert!(
+                        a.end <= b.start,
+                        "{kind:?} n={n}: instance {i} {a:?} overlaps {:?}",
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_round_spans_fit_their_stride_at_extreme_sizes() {
+        // rounds ≤ 31 for any n ≤ 2^31 → span ≤ 62 < 64.
+        for n in [2usize, 1 << 10, 1 << 20, 1 << 31] {
+            let r = tag_range(TagKind::Allreduce, n, 7);
+            assert!(r.end - r.start <= 64);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use unr_coll::{NotifiedAllgather, NotifiedBarrier, NotifiedBcast};
+use unr_coll::{tag_range, NotifiedAllgather, NotifiedAllreduce, NotifiedBarrier, NotifiedBcast, TagKind};
 use unr_core::{Unr, UnrConfig};
 use unr_minimpi::run_mpi_world;
 use unr_simnet::{FabricConfig, InterfaceKind, InterfaceSpec};
@@ -274,4 +274,181 @@ fn allgather_rd_rejects_non_power_of_two() {
         let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
         let _ = unr_coll::NotifiedAllgatherRd::new(&unr, comm, 8, 10);
     });
+}
+
+#[test]
+fn allreduce_matches_serial_sum() {
+    // Small-integer inputs are exact in f64, so every summation order
+    // gives the same value and we can compare against a serial sum.
+    for n in [2usize, 4, 8] {
+        let count = 5;
+        let results = run_mpi_world(fabric(n), move |comm| {
+            let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+            let mut ar = NotifiedAllreduce::new(&unr, comm, count, 0);
+            let me = comm.rank();
+            let input: Vec<f64> = (0..count).map(|i| (me * 10 + i + 1) as f64).collect();
+            ar.write_input(&input);
+            ar.run().unwrap();
+            let mut out = vec![0.0; count];
+            ar.read_result(&mut out);
+            out
+        });
+        let expect: Vec<f64> = (0..count)
+            .map(|i| (0..n).map(|r| (r * 10 + i + 1) as f64).sum())
+            .collect();
+        for (r, out) in results.iter().enumerate() {
+            assert_eq!(out, &expect, "n={n} rank {r}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_repeated_epochs_bitwise_identical() {
+    // Non-exact decimal inputs: cross-rank agreement must be *bitwise*
+    // (recursive doubling's partner symmetry + IEEE commutativity), and
+    // the credit flow control must keep every epoch clean.
+    let n = 8;
+    let count = 7;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut ar = NotifiedAllreduce::new(&unr, comm, count, 1);
+        let me = comm.rank();
+        let mut bits_per_epoch = Vec::new();
+        for epoch in 0..5usize {
+            let input: Vec<f64> = (0..count)
+                .map(|i| 0.1 * (me + 1) as f64 + 0.01 * (i + epoch) as f64)
+                .collect();
+            ar.write_input(&input);
+            ar.run().unwrap();
+            let mut out = vec![0.0; count];
+            ar.read_result(&mut out);
+            bits_per_epoch.push(out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+        }
+        let errs = unr
+            .signal_stats()
+            .reset_errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            + unr
+                .signal_stats()
+                .overflow_errors
+                .load(std::sync::atomic::Ordering::Relaxed);
+        (bits_per_epoch, errs)
+    });
+    for (bits, errs) in &results {
+        assert_eq!(bits, &results[0].0, "ranks disagree bitwise");
+        assert_eq!(*errs, 0);
+    }
+    // Epochs have different inputs, so identical outputs across epochs
+    // would mean a stale buffer.
+    assert_ne!(results[0].0[0], results[0].0[1]);
+}
+
+#[test]
+#[should_panic(expected = "2^k ranks")]
+fn allreduce_rejects_non_power_of_two() {
+    run_mpi_world(fabric(6), |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let _ = NotifiedAllreduce::new(&unr, comm, 4, 0);
+    });
+}
+
+#[test]
+fn tag_stride_regression_old_arithmetic_overlaps_at_32_ranks() {
+    // The pre-fix scheme strode barrier instances by a fixed 8 while the
+    // dissemination barrier consumed 2 * ceil(log2 n) tags — 10 at
+    // n = 32, so instance i's block ran into instance i+1's. Reproduce
+    // that arithmetic and show the collision the fix removes.
+    let old_span = |n: usize| 2 * (n.next_power_of_two().trailing_zeros() as i32);
+    let old_start = |instance: i32| 8 * instance;
+    let n = 32;
+    assert!(
+        old_start(0) + old_span(n) > old_start(1),
+        "the old stride-8 scheme should collide at n = 32 (this test \
+         guards the shape of the bug, not current behavior)"
+    );
+    // At n = 16 it happened to fit — which is why the bug survived: the
+    // overlap only opens up past 16 ranks.
+    assert!(old_start(0) + old_span(16) <= old_start(1));
+    // The replacement blocks stay disjoint at 32 ranks (and tag_range
+    // asserts span ≤ stride internally for any larger n).
+    for kind in [
+        TagKind::Bcast,
+        TagKind::Allgather,
+        TagKind::Barrier,
+        TagKind::AllgatherRd,
+        TagKind::Allreduce,
+    ] {
+        let a = tag_range(kind, n, 0);
+        let b = tag_range(kind, n, 1);
+        assert!(a.end <= b.start, "{kind:?} overlaps at n = {n}");
+    }
+}
+
+#[test]
+fn two_barrier_instances_compose_at_32_ranks() {
+    // Behavioral regression for the tag-space fix: two barrier instances
+    // constructed back-to-back on a 32-rank communicator. Under the old
+    // stride arithmetic their setup exchanges overlapped (2*log2(32) =
+    // 10 tags consumed vs a stride of 8) and could cross-match; with
+    // disjoint tag blocks both instances must work independently.
+    let n = 32;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let mut bar_a = NotifiedBarrier::new(&unr, comm, 0);
+        let mut bar_b = NotifiedBarrier::new(&unr, comm, 1);
+        for epoch in 0..2u64 {
+            comm.ep()
+                .sleep(unr_simnet::us(1.0) * ((comm.rank() as u64 * 7 + epoch) % 4));
+            bar_a.wait().unwrap();
+            bar_b.wait().unwrap();
+        }
+        unr.signal_stats()
+            .overflow_errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            + unr
+                .signal_stats()
+                .reset_errors
+                .load(std::sync::atomic::Ordering::Relaxed)
+    });
+    assert_eq!(results.len(), n);
+    assert!(results.iter().all(|&o| o == 0));
+}
+
+#[test]
+fn collectives_ride_the_aggregation_path() {
+    // Same composition as `collectives_compose_in_one_program` but with
+    // sender-side coalescing on: the barrier tokens, credits, and 8-byte
+    // payload blocks are all sub-threshold, so the collectives' fan-out
+    // rides summed-addend aggregate frames end to end.
+    let n = 4;
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let cfg = UnrConfig::builder()
+            .agg_eager_max(512)
+            .agg_flush_puts(8)
+            .build()
+            .unwrap();
+        let unr = Unr::init(comm.ep_shared(), cfg);
+        let mut bar = NotifiedBarrier::new(&unr, comm, 5);
+        let mut bc = NotifiedBcast::new(&unr, comm, 8, 0, 6);
+        let mut ag = NotifiedAllgather::new(&unr, comm, 8, 7);
+        let me = comm.rank();
+        for epoch in 0..3u8 {
+            if bc.is_root() {
+                bc.mem.write_bytes(0, &[100 + epoch; 8]);
+            }
+            bc.run().unwrap();
+            let mut b = [0u8; 8];
+            bc.mem.read_bytes(0, &mut b);
+            ag.mem.write_bytes(me * 8, &[b[0] + me as u8; 8]);
+            ag.run().unwrap();
+            bar.wait().unwrap();
+            let mut buf = vec![0u8; n * 8];
+            ag.mem.read_bytes(0, &mut buf);
+            for src in 0..n {
+                assert_eq!(buf[src * 8], 100 + epoch + src as u8);
+            }
+        }
+        true
+    });
+    assert!(results.into_iter().all(|b| b));
 }

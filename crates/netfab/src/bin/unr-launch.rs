@@ -4,6 +4,7 @@
 //! ```text
 //! unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E]
 //!                  [--msg BYTES] [--reliable] [--drop-every N]
+//!                  [--agg-max BYTES]
 //! ```
 //!
 //! The parent binds a rendezvous listener, spawns `N` copies of itself
@@ -26,7 +27,7 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E] \
-         [--msg BYTES] [--reliable] [--drop-every N]"
+         [--msg BYTES] [--reliable] [--drop-every N] [--agg-max BYTES]"
     );
     std::process::exit(2);
 }
@@ -58,6 +59,7 @@ fn parse_cli(args: &[String]) -> Cli {
             "--msg" => cli.opts.msg = num("--msg") as usize,
             "--reliable" => cli.opts.reliable = true,
             "--drop-every" => cli.opts.drop_every = Some(num("--drop-every")),
+            "--agg-max" => cli.opts.agg_eager_max = num("--agg-max") as usize,
             _ => usage(),
         }
     }

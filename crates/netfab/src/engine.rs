@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 use unr_core::signal::{Signal, SignalError, SignalTable};
 use unr_core::wire::{self, CtrlMsg};
 use unr_core::{
-    striped_addends, Backend, Blk, Channel, DedupWindow, Encoding, Notif, Reliability, SigKey,
-    UnrConfig, UnrError,
+    striped_addends, AggFlush, AggMetrics, Backend, Blk, Channel, Coalescer, DedupWindow,
+    Encoding, FlushWhy, Notif, Reliability, SigKey, UnrConfig, UnrError,
 };
 use unr_simnet::FabricError;
 
@@ -152,6 +152,11 @@ pub struct NetUnr {
     next_nic: AtomicUsize,
     /// Wall-clock cap on one `sig_wait`.
     wait_timeout: Duration,
+    /// Sender-side small-message coalescer (`cfg.agg_eager_max > 0`).
+    /// Only the application rank touches it; the lock satisfies `Sync`.
+    agg: Option<Mutex<Coalescer>>,
+    /// `unr.agg.*` instruments, registered only when aggregation is on.
+    amet: Option<AggMetrics>,
 }
 
 /// Wall-clock floor for the retransmit timer: the config's virtual-time
@@ -218,7 +223,9 @@ impl NetUnr {
                             // Signals may have fired: wake sig_wait parkers.
                             fabric.ring_bell();
                         }
-                        fabric.wait_event(Duration::from_millis(1));
+                        if !fabric.wait_event(Duration::from_millis(1)) {
+                            fabric.met.wait_timeouts.inc();
+                        }
                     }
                 })
                 .expect("spawn progress thread")
@@ -229,6 +236,22 @@ impl NetUnr {
             .and_then(|v| v.parse::<u64>().ok())
             .map(Duration::from_millis)
             .unwrap_or(DEFAULT_WAIT);
+
+        // Same coalescer the simnet engine uses: netfab sends its
+        // flushes as FRAME_CTRL frames instead of datagrams, but the
+        // MSG_AGG bytes are identical.
+        let (agg, amet) = if cfg.agg_eager_max > 0 {
+            (
+                Some(Mutex::new(Coalescer::new(
+                    fabric.nranks(),
+                    cfg.agg_flush_bytes,
+                    cfg.agg_flush_puts,
+                ))),
+                Some(AggMetrics::new(&fabric.obs)),
+            )
+        } else {
+            (None, None)
+        };
 
         Ok(NetUnr {
             world,
@@ -243,6 +266,8 @@ impl NetUnr {
             progress: Mutex::new(Some(progress)),
             next_nic: AtomicUsize::new(0),
             wait_timeout,
+            agg,
+            amet,
         })
     }
 
@@ -381,6 +406,14 @@ impl NetUnr {
             self.check_channel_up()?;
         }
         let region = self.validate_pair(local, remote)?;
+        if self.agg.is_some() {
+            if local.len <= self.cfg.agg_eager_max && remote.rank != self.fabric.rank() {
+                return self.put_agg(&region, local, remote, local_sig, remote_sig);
+            }
+            // Non-aggregable traffic to this destination must not
+            // overtake bytes already buffered for it.
+            self.agg_flush_dst(remote.rank, FlushWhy::Order)?;
+        }
         let k = self.stripe_count(local.len);
         let addends = if remote_sig.raw() != 0 {
             striped_addends(k, self.cfg.n_bits)
@@ -440,6 +473,11 @@ impl NetUnr {
         remote_sig: SigKey,
     ) -> Result<(), UnrError> {
         self.validate_pair(local, remote)?;
+        if self.agg.is_some() {
+            // A GET must observe every put already buffered for its
+            // target rank.
+            self.agg_flush_dst(remote.rank, FlushWhy::Order)?;
+        }
         let custom_remote = encode_sig(remote_sig, -1)?;
         let custom_local = encode_sig(local_sig, -1)?;
         let nic = self.pick_nic(0);
@@ -501,10 +539,140 @@ impl NetUnr {
         Ok(())
     }
 
+    /// Append one eligible small put to its destination's aggregate
+    /// ring; the frame, the retry entry (when reliable) and the local
+    /// completion are all deferred to the flush.
+    fn put_agg(
+        &self,
+        region: &Arc<NetRegion>,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: SigKey,
+        remote_sig: SigKey,
+    ) -> Result<(), UnrError> {
+        let data = region.snapshot(local.offset, local.len);
+        let trigger = {
+            let mut c = self.agg.as_ref().expect("agg enabled").lock().expect("agg lock");
+            c.push(
+                remote.rank,
+                remote.region_id,
+                remote.offset as u64,
+                &data,
+                (remote_sig.raw(), -1),
+                (local_sig.raw(), -1),
+            )
+        };
+        if let Some(am) = &self.amet {
+            am.puts_coalesced.inc();
+            am.bytes_packed.add(data.len() as u64);
+        }
+        if let Some(why) = trigger {
+            self.agg_flush_dst(remote.rank, why)?;
+        }
+        Ok(())
+    }
+
+    /// Flush one destination's aggregate ring, if non-empty.
+    fn agg_flush_dst(&self, dst: usize, why: FlushWhy) -> Result<(), UnrError> {
+        let Some(aggm) = &self.agg else { return Ok(()) };
+        let fl = aggm.lock().expect("agg lock").drain(dst);
+        match fl {
+            Some(fl) => self.send_aggregate(dst, fl, why),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush every pending aggregate ring (blocking waits, drains,
+    /// explicit flushes, finalize).
+    fn agg_flush_all(&self, why: FlushWhy) -> Result<(), UnrError> {
+        let Some(aggm) = &self.agg else { return Ok(()) };
+        let flushes: Vec<(usize, AggFlush)> = {
+            let mut c = aggm.lock().expect("agg lock");
+            let dirty = c.take_dirty();
+            dirty
+                .into_iter()
+                .filter_map(|d| c.drain(d).map(|f| (d, f)))
+                .collect()
+        };
+        for (dst, fl) in flushes {
+            self.send_aggregate(dst, fl, why)?;
+        }
+        Ok(())
+    }
+
+    /// Flush all pending small-message aggregates now. Aggregated puts
+    /// are otherwise delivered when a ring crosses its threshold, when
+    /// this rank enters `sig_wait` or `drain_pending`, and at finalize —
+    /// a peer polling `Signal::test` without ever blocking observes
+    /// them only after one of those.
+    pub fn flush(&self) -> Result<(), UnrError> {
+        self.agg_flush_all(FlushWhy::Explicit)
+    }
+
+    /// Serialize one drained aggregate ring into a `MSG_AGG` control
+    /// frame and send it: one frame (and, when reliable, one retry
+    /// entry) for the whole aggregate.
+    fn send_aggregate(&self, dst: usize, fl: AggFlush, why: FlushWhy) -> Result<(), UnrError> {
+        if let Some(am) = &self.amet {
+            am.count_flush(why);
+            am.addends_summed.add(fl.sigs.len() as u64);
+        }
+        let nic = self.pick_nic(0);
+        if self.reliable {
+            let seq = {
+                let mut ns = self.rel.next_seq.lock().expect("next_seq lock");
+                let s = ns[dst];
+                ns[dst] += 1;
+                s
+            };
+            let msg = wire::agg_msg(seq, true, &fl.spans, &fl.sigs, &fl.payload);
+            let rto = MIN_RTO.max(Duration::from_nanos(self.cfg.retry_timeout));
+            // Register before sending: the progress thread's sweep
+            // resends the stored frame verbatim, so one entry covers
+            // every put packed inside the aggregate.
+            self.rel.pending.lock().expect("pending lock").insert(
+                (dst, seq),
+                Pending {
+                    bytes: msg.clone(),
+                    nic,
+                    deadline: Instant::now() + rto,
+                    attempts: 0,
+                },
+            );
+            let nth = self.rel.sends.fetch_add(1, Ordering::Relaxed) + 1;
+            let dropped = self
+                .faults
+                .drop_every
+                .is_some_and(|n| n > 0 && nth.is_multiple_of(n));
+            if dropped {
+                self.fabric.met.drops_injected.inc();
+            } else {
+                self.fabric
+                    .send_ctrl(dst, nic, &msg)
+                    .map_err(|_| UnrError::ChannelDown)?;
+            }
+        } else {
+            let msg = wire::agg_msg(0, false, &fl.spans, &fl.sigs, &fl.payload);
+            self.fabric
+                .send_ctrl(dst, nic, &msg)
+                .map_err(|_| UnrError::ChannelDown)?;
+        }
+        // The deferred local (source-completion) addends: buffered-send
+        // semantics, applied once the aggregate is posted.
+        for (key, addend) in fl.local_sigs {
+            self.table.apply_counted(key, addend);
+        }
+        self.fabric.ring_bell();
+        Ok(())
+    }
+
     /// Block until `sig` triggers. Errors: overflow, a latched reliable
     /// failure ([`UnrError::RetryExhausted`]), or the wall-clock cap
     /// (default 30 s; override with `UNR_NETFAB_WAIT_MS`).
     pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
+        // Entering a blocking wait: anything still buffered must go out
+        // or the awaited signal may never trigger.
+        self.agg_flush_all(FlushWhy::Wait)?;
         let start = Instant::now();
         loop {
             if sig.overflowed() {
@@ -528,7 +696,9 @@ impl NetUnr {
                     waited: waited.as_nanos() as unr_simnet::Ns,
                 });
             }
-            self.fabric.wait_event(Duration::from_millis(1));
+            if !self.fabric.wait_event(Duration::from_millis(1)) {
+                self.fabric.met.wait_timeouts.inc();
+            }
         }
     }
 
@@ -540,6 +710,11 @@ impl NetUnr {
     /// Wait until every reliable sub-message has been acked (true) or
     /// `timeout` elapses (false). No-op `true` when unreliable.
     pub fn drain_pending(&self, timeout: Duration) -> bool {
+        // Buffered aggregates are not yet pending; post them first so
+        // "drained" means every put has actually been delivered.
+        if self.agg_flush_all(FlushWhy::Wait).is_err() {
+            return false;
+        }
         let start = Instant::now();
         while self.pending_len() > 0 {
             if self.rel.failed.lock().expect("failed lock").is_some() {
@@ -548,7 +723,9 @@ impl NetUnr {
             if start.elapsed() >= timeout {
                 return false;
             }
-            self.fabric.wait_event(Duration::from_millis(1));
+            if !self.fabric.wait_event(Duration::from_millis(1)) {
+                self.fabric.met.wait_timeouts.inc();
+            }
         }
         true
     }
@@ -556,6 +733,9 @@ impl NetUnr {
     /// Tear down: stop the progress thread and close the fabric.
     /// Called automatically on drop; idempotent.
     pub fn finalize(&self) {
+        // Best-effort: anything still buffered goes out before teardown
+        // (a latched-down channel cannot deliver it anyway).
+        let _ = self.agg_flush_all(FlushWhy::Explicit);
         self.stop.store(true, Ordering::Relaxed);
         self.fabric.ring_bell();
         if let Some(h) = self.progress.lock().expect("progress lock").take() {
@@ -650,6 +830,33 @@ fn handle_ctrl(
         // Netfab GETs use the fabric's native GET_REQ/GET_REP frames;
         // a fallback-get control message is never produced here.
         CtrlMsg::FallbackGet { .. } => {}
+        CtrlMsg::Agg {
+            seq,
+            sequenced,
+            body,
+        } => {
+            let fresh = if sequenced {
+                let fresh = rel.dedup.lock().expect("dedup lock")[src].insert(seq);
+                if !fresh {
+                    fabric.met.dup_suppressed.inc();
+                }
+                // Always ack — the first ack may have been lost.
+                let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+                fresh
+            } else {
+                true
+            };
+            if fresh {
+                for (region_id, offset, payload) in body.spans() {
+                    if let Some(r) = fabric.region(region_id) {
+                        r.write(offset as usize, payload);
+                    }
+                }
+                for (key, addend) in body.sigs() {
+                    table.apply_counted(key, addend);
+                }
+            }
+        }
     }
 }
 

@@ -59,6 +59,13 @@ pub struct TransportMetrics {
     pub dup_suppressed: Arc<Counter>,
     /// First transmissions silently dropped by fault injection.
     pub drops_injected: Arc<Counter>,
+    /// [`NetFabric::wait_event`] sleeps that elapsed without an event.
+    pub wait_timeouts: Arc<Counter>,
+    /// Unframeable inbound data: corrupt length prefixes or streams
+    /// that died mid-frame (teardown excluded).
+    pub frame_errors: Arc<Counter>,
+    /// Streams latched down after a frame error (writes fail cleanly).
+    pub streams_down: Arc<Counter>,
 }
 
 impl TransportMetrics {
@@ -76,6 +83,9 @@ impl TransportMetrics {
             acks: c("unr.transport.acks"),
             dup_suppressed: c("unr.transport.dup_suppressed"),
             drops_injected: c("unr.transport.drops_injected"),
+            wait_timeouts: c("unr.transport.wait_timeouts"),
+            frame_errors: c("unr.transport.frame_errors"),
+            streams_down: c("unr.transport.streams_down"),
         }
     }
 }
@@ -163,9 +173,24 @@ struct Shared {
     /// on installation so no addend is ever lost.
     pre_sink: Mutex<Vec<u128>>,
     stopping: AtomicBool,
+    /// NICs per peer — the row stride of `down`.
+    nics: usize,
+    /// Per-`(peer, nic)` latch, set by a reader that hit an unframeable
+    /// stream: subsequent writes on that stream fail cleanly instead of
+    /// feeding a desynchronized peer.
+    down: Box<[AtomicBool]>,
 }
 
 impl Shared {
+    /// Latch `(peer, nic)` down; `true` if this call flipped it.
+    fn latch_down(&self, peer: usize, nic: usize) -> bool {
+        !self.down[peer * self.nics + nic].swap(true, Ordering::Relaxed)
+    }
+
+    fn is_down(&self, peer: usize, nic: usize) -> bool {
+        self.down[peer * self.nics + nic].load(Ordering::Relaxed)
+    }
+
     fn apply_custom(&self, custom: u128) {
         if let Some(s) = self.sink.get() {
             s.apply(custom);
@@ -230,6 +255,12 @@ impl NetFabric {
             sink: OnceLock::new(),
             pre_sink: Mutex::new(Vec::new()),
             stopping: AtomicBool::new(false),
+            nics,
+            down: {
+                let mut v = Vec::with_capacity(nranks * nics);
+                v.resize_with(nranks * nics, || AtomicBool::new(false));
+                v.into_boxed_slice()
+            },
         });
 
         let mut writers: Vec<Vec<Option<Mutex<TcpStream>>>> = (0..nranks)
@@ -304,11 +335,24 @@ impl NetFabric {
             let rx_frames = Arc::clone(&fab.met.rx_frames);
             let rx_bytes = Arc::clone(&fab.met.rx_bytes);
             let atomic_adds = Arc::clone(&fab.met.atomic_adds);
+            let frame_errors = Arc::clone(&fab.met.frame_errors);
+            let streams_down = Arc::clone(&fab.met.streams_down);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("netfab-r{rank}-p{peer}-n{nic}"))
                     .spawn(move || {
-                        reader_loop(weak, peer, nic, stream, sh, rx_frames, rx_bytes, atomic_adds)
+                        reader_loop(
+                            weak,
+                            peer,
+                            nic,
+                            stream,
+                            sh,
+                            rx_frames,
+                            rx_bytes,
+                            atomic_adds,
+                            frame_errors,
+                            streams_down,
+                        )
                     })
                     .expect("spawn reader thread"),
             );
@@ -372,9 +416,16 @@ impl NetFabric {
     }
 
     fn writer(&self, dst: usize, nic: usize) -> io::Result<&Mutex<TcpStream>> {
+        let nic = nic % self.nics;
+        if dst < self.nranks && self.shared.is_down(dst, nic) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!("stream to rank {dst} NIC {nic} latched down after a frame error"),
+            ));
+        }
         self.writers
             .get(dst)
-            .and_then(|row| row.get(nic % self.nics))
+            .and_then(|row| row.get(nic))
             .and_then(|w| w.as_ref())
             .ok_or_else(|| {
                 io::Error::new(
@@ -575,9 +626,31 @@ fn reader_loop(
     rx_frames: Arc<Counter>,
     rx_bytes: Arc<Counter>,
     atomic_adds: Arc<Counter>,
+    frame_errors: Arc<Counter>,
+    streams_down: Arc<Counter>,
 ) {
-    // An Err from read_frame is EOF or teardown — either ends the loop.
-    while let Ok(f) = frame::read_frame(&mut stream) {
+    loop {
+        let f = match frame::read_frame_classified(&mut stream) {
+            Ok(f) => f,
+            // Orderly close on a frame boundary: the peer finished.
+            Err(frame::ReadEnd::CleanClose) => break,
+            Err(frame::ReadEnd::Corrupt(_)) => {
+                // Mid-frame death or a corrupt prefix. During teardown
+                // that's expected (shutdown severs blocked reads);
+                // otherwise count it and latch the stream down so
+                // writers get a clean error instead of feeding a
+                // desynchronized peer.
+                if !shared.stopping.load(Ordering::Relaxed) {
+                    frame_errors.inc();
+                    if shared.latch_down(peer, nic) {
+                        streams_down.inc();
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                    shared.ring_bell();
+                }
+                break;
+            }
+        };
         rx_frames.inc();
         let region_of = |id: u32| {
             shared

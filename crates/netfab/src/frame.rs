@@ -96,6 +96,68 @@ pub fn write_frame(w: &mut impl Write, kind: u8, parts: &[&[u8]]) -> io::Result<
     w.write_all(&buf)
 }
 
+/// Why a frame read ended without producing a frame.
+#[derive(Debug)]
+pub enum ReadEnd {
+    /// The peer closed the stream on a frame boundary (orderly
+    /// teardown): EOF — or a connection reset, which a racing close of
+    /// a loopback socket with in-flight data can produce — before the
+    /// first prefix byte.
+    CleanClose,
+    /// The stream died mid-frame or delivered a corrupt length prefix;
+    /// nothing after this point can be framed, so the stream must be
+    /// latched down.
+    Corrupt(io::Error),
+}
+
+/// Read one frame, classifying how the stream ended. A clean close can
+/// only happen *between* frames (zero bytes of the next length prefix
+/// read); a truncated prefix, a length outside `(0, MAX_FRAME_LEN]`
+/// (validated before any allocation), or EOF mid-body is
+/// [`ReadEnd::Corrupt`] — the reader cannot resynchronize.
+pub fn read_frame_classified(r: &mut impl Read) -> Result<Frame, ReadEnd> {
+    let mut lenb = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut lenb[got..]) {
+            Ok(0) if got == 0 => return Err(ReadEnd::CleanClose),
+            Ok(0) => {
+                return Err(ReadEnd::Corrupt(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-prefix",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                    ) =>
+            {
+                return Err(ReadEnd::CleanClose)
+            }
+            Err(e) => return Err(ReadEnd::Corrupt(e)),
+        }
+    }
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ReadEnd::Corrupt(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        )));
+    }
+    let mut kindb = [0u8; 1];
+    r.read_exact(&mut kindb).map_err(ReadEnd::Corrupt)?;
+    let mut body = vec![0u8; len - 1];
+    r.read_exact(&mut body).map_err(ReadEnd::Corrupt)?;
+    Ok(Frame {
+        kind: kindb[0],
+        body,
+    })
+}
+
 /// Read one frame (blocking). `Err(UnexpectedEof)` on clean stream
 /// close between frames.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
@@ -277,5 +339,49 @@ mod tests {
     fn hello_roundtrip() {
         let b = hello_body(3, 1);
         assert_eq!(parse_hello(&b), (3, 1));
+    }
+
+    #[test]
+    fn classified_read_distinguishes_clean_close_from_corruption() {
+        // EOF on the frame boundary: clean close.
+        assert!(matches!(
+            read_frame_classified(&mut (&[] as &[u8])),
+            Err(ReadEnd::CleanClose)
+        ));
+        // Truncated length prefix: corrupt.
+        assert!(matches!(
+            read_frame_classified(&mut (&[5u8, 0] as &[u8])),
+            Err(ReadEnd::Corrupt(_))
+        ));
+        // Oversized length prefix: corrupt, rejected before allocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame_classified(&mut buf.as_slice()),
+            Err(ReadEnd::Corrupt(_))
+        ));
+        // Zero length prefix: corrupt (a frame always has a kind byte).
+        assert!(matches!(
+            read_frame_classified(&mut (&0u32.to_le_bytes()[..])),
+            Err(ReadEnd::Corrupt(_))
+        ));
+        // Stream dies mid-body: corrupt.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_CTRL, &[b"hello"]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame_classified(&mut buf.as_slice()),
+            Err(ReadEnd::Corrupt(_))
+        ));
+        // A whole frame still parses, and the next read is a clean close.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_CTRL, &[b"hello"]).unwrap();
+        let mut r = buf.as_slice();
+        let f = read_frame_classified(&mut r).unwrap();
+        assert_eq!((f.kind, f.body.as_slice()), (FRAME_CTRL, b"hello".as_slice()));
+        assert!(matches!(
+            read_frame_classified(&mut r),
+            Err(ReadEnd::CleanClose)
+        ));
     }
 }

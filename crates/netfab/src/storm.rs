@@ -38,6 +38,9 @@ pub struct StormOpts {
     pub reliable: bool,
     /// Drop every n-th first transmission (forces replay; reliable only).
     pub drop_every: Option<u64>,
+    /// Coalesce puts of at most this many bytes into aggregate frames
+    /// (0: aggregation off).
+    pub agg_eager_max: usize,
 }
 
 impl Default for StormOpts {
@@ -48,6 +51,7 @@ impl Default for StormOpts {
             msg: 4096,
             reliable: false,
             drop_every: None,
+            agg_eager_max: 0,
         }
     }
 }
@@ -87,6 +91,7 @@ pub fn run_storm(world: Arc<NetWorld>, opts: StormOpts) -> Result<StormOutcome, 
         } else {
             Reliability::Off
         })
+        .agg_eager_max(opts.agg_eager_max)
         .build()
         .map_err(|e| err(format!("config: {e}")))?;
     let faults = NetFaults {

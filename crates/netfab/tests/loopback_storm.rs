@@ -38,9 +38,13 @@ fn wait_bounded(mut child: Child, what: &str) -> std::process::Output {
 }
 
 fn run_storm_case(extra: &[&str]) -> String {
+    run_storm_case_msg("4096", extra)
+}
+
+fn run_storm_case_msg(msg: &str, extra: &[&str]) -> String {
     let mut cmd = Command::new(LAUNCH);
     cmd.args([
-        "storm", "--ranks", "4", "--nics", "2", "--iters", "8", "--epochs", "3", "--msg", "4096",
+        "storm", "--ranks", "4", "--nics", "2", "--iters", "8", "--epochs", "3", "--msg", msg,
     ])
     .args(extra)
     .stdout(Stdio::piped())
@@ -70,6 +74,28 @@ fn four_process_storm_unreliable() {
         stdout.contains("\"retransmits\":0"),
         "unexpected retransmits on the unreliable path:\n{stdout}"
     );
+}
+
+#[test]
+fn four_process_storm_small_aggregated_with_forced_drops() {
+    // 256 B puts under a 512 B eager-coalescing threshold: every put
+    // rides an aggregate MSG_AGG frame with summed addends, and forced
+    // first-transmission drops push whole aggregates through the
+    // retransmit + dedup path. The storm's byte-exact payload check and
+    // exact MMAS accounting then prove aggregated delivery is lossless
+    // and exactly-once.
+    // Each epoch's 8 puts coalesce into ONE aggregate frame (flushed at
+    // sig_wait), so a rank only makes 3 reliable sends; drop every 2nd
+    // to guarantee at least one dropped-and-healed aggregate per rank.
+    let stdout = run_storm_case_msg(
+        "256",
+        &["--agg-max", "512", "--reliable", "--drop-every", "2"],
+    );
+    let healed = stdout
+        .lines()
+        .filter(|l| l.contains("STORM_OK"))
+        .all(|l| !l.contains("\"drops_injected\":0"));
+    assert!(healed, "every rank should have injected drops:\n{stdout}");
 }
 
 #[test]

@@ -1,0 +1,271 @@
+//! Sender-side small-message coalescing (the bump-ring aggregator).
+//!
+//! The paper's headline workload is many small notified PUTs, and the
+//! MMAS algebra of §IV-B makes sender-side aggregation free: addends
+//! are associative, so N sub-MTU puts to the same destination can ride
+//! one fabric delivery carrying one *summed* addend per target signal.
+//!
+//! Each destination rank owns a bump ring: payload bytes are appended
+//! to a packed buffer, their destination `(region, offset, len)` spans
+//! to a span table, and their notification addends are folded into a
+//! per-key running sum. The ring is flushed — serialized into one
+//! [`wire::MSG_AGG`](crate::wire::MSG_AGG) control message — when it
+//! crosses a byte or occupancy threshold, when the application enters
+//! any blocking wait, at plan boundaries, and at finalize. Local
+//! (source-completion) addends are deferred to the same flush, so the
+//! per-put cost is a memcpy plus a few vector pushes; everything that
+//! needs scheduler context is amortized across the whole aggregate.
+//!
+//! The engine owns a `Mutex<Coalescer>`; only the application rank
+//! ever touches it (the polling agent neither reads nor flushes
+//! rings), so the lock is uncontended and exists to satisfy `Sync`.
+//! Both backends share this module: `simnet` sends the flush as a
+//! datagram on the UNR port, `netfab` as a `FRAME_CTRL` frame — the
+//! bytes are identical.
+
+use std::sync::Arc;
+
+/// What triggered a flush (each has its own `unr.agg.flush.*` counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushWhy {
+    /// The ring's packed payload crossed the byte threshold.
+    Size,
+    /// The ring's put count crossed the occupancy threshold.
+    Occupancy,
+    /// The application entered a blocking wait (`sig_wait` family).
+    Wait,
+    /// A plan replay boundary (`RmaPlan::start`).
+    Plan,
+    /// An explicit `Unr::flush` call (also used at finalize).
+    Explicit,
+    /// A non-aggregable operation to the same destination forced the
+    /// ring out first to preserve per-destination ordering.
+    Order,
+}
+
+/// One drained ring, ready to serialize with
+/// [`wire::agg_msg`](crate::wire::agg_msg).
+pub struct AggFlush {
+    /// Destination spans `(region, offset, len)`, in put order.
+    pub spans: Vec<(u32, u64, u32)>,
+    /// Per-key summed remote addends, first-touch order.
+    pub sigs: Vec<(u64, i64)>,
+    /// Per-key summed local (source-completion) addends, deferred to
+    /// the flush; applied by the sender, never serialized.
+    pub local_sigs: Vec<(u64, i64)>,
+    /// Packed payload bytes, concatenated in span order.
+    pub payload: Vec<u8>,
+    /// How many puts were folded into this aggregate.
+    pub puts: usize,
+}
+
+/// Per-destination bump ring.
+#[derive(Default)]
+struct DstRing {
+    spans: Vec<(u32, u64, u32)>,
+    sigs: Vec<(u64, i64)>,
+    local_sigs: Vec<(u64, i64)>,
+    buf: Vec<u8>,
+    puts: usize,
+}
+
+/// Fold `addend` into the ring's running sum for `key` (key 0 — the
+/// null signal — is dropped outright). The key list stays tiny (an
+/// aggregate rarely targets more than a handful of signals), so a
+/// linear scan beats any map.
+fn fold(sums: &mut Vec<(u64, i64)>, key: u64, addend: i64) {
+    if key == 0 {
+        return;
+    }
+    for e in sums.iter_mut() {
+        if e.0 == key {
+            e.1 += addend;
+            return;
+        }
+    }
+    sums.push((key, addend));
+}
+
+/// The per-rank aggregator: one bump ring per destination plus the
+/// flush thresholds.
+pub struct Coalescer {
+    rings: Vec<DstRing>,
+    /// Destinations with a non-empty ring, in first-touch order
+    /// (deterministic: it mirrors the application's put order).
+    dirty: Vec<usize>,
+    flush_bytes: usize,
+    flush_puts: usize,
+}
+
+impl Coalescer {
+    /// An empty coalescer for `world` ranks with the given thresholds.
+    pub fn new(world: usize, flush_bytes: usize, flush_puts: usize) -> Coalescer {
+        assert!(flush_bytes > 0 && flush_puts > 0, "flush thresholds must be positive");
+        Coalescer {
+            rings: (0..world).map(|_| DstRing::default()).collect(),
+            dirty: Vec::new(),
+            flush_bytes,
+            flush_puts,
+        }
+    }
+
+    /// Append one put to `dst`'s ring. Returns the threshold trigger if
+    /// this push filled the ring — the caller must then
+    /// [`Coalescer::drain`] and send it.
+    pub fn push(
+        &mut self,
+        dst: usize,
+        region: u32,
+        offset: u64,
+        data: &[u8],
+        remote_sig: (u64, i64),
+        local_sig: (u64, i64),
+    ) -> Option<FlushWhy> {
+        let ring = &mut self.rings[dst];
+        if ring.puts == 0 {
+            self.dirty.push(dst);
+        }
+        ring.spans.push((region, offset, data.len() as u32));
+        ring.buf.extend_from_slice(data);
+        fold(&mut ring.sigs, remote_sig.0, remote_sig.1);
+        fold(&mut ring.local_sigs, local_sig.0, local_sig.1);
+        ring.puts += 1;
+        if ring.buf.len() >= self.flush_bytes {
+            Some(FlushWhy::Size)
+        } else if ring.puts >= self.flush_puts {
+            Some(FlushWhy::Occupancy)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `dst`'s ring holds anything.
+    pub fn has_pending(&self, dst: usize) -> bool {
+        self.rings.get(dst).is_some_and(|r| r.puts > 0)
+    }
+
+    /// Drain `dst`'s ring (empties it and clears its dirty mark).
+    pub fn drain(&mut self, dst: usize) -> Option<AggFlush> {
+        let ring = &mut self.rings[dst];
+        if ring.puts == 0 {
+            return None;
+        }
+        self.dirty.retain(|&d| d != dst);
+        let puts = std::mem::take(&mut ring.puts);
+        Some(AggFlush {
+            spans: std::mem::take(&mut ring.spans),
+            sigs: std::mem::take(&mut ring.sigs),
+            local_sigs: std::mem::take(&mut ring.local_sigs),
+            payload: std::mem::take(&mut ring.buf),
+            puts,
+        })
+    }
+
+    /// Destinations with pending data, in first-touch order; the list
+    /// is cleared ([`drain`](Coalescer::drain) per entry follows).
+    pub fn take_dirty(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.dirty)
+    }
+}
+
+/// Pre-resolved `unr.agg.*` instruments, registered only when
+/// aggregation is enabled so default-config runs keep a byte-identical
+/// metrics snapshot (same discipline as the retry metrics).
+pub struct AggMetrics {
+    /// Puts folded into aggregates instead of posted individually.
+    pub puts_coalesced: Arc<unr_obs::Counter>,
+    /// Payload bytes packed into aggregate buffers.
+    pub bytes_packed: Arc<unr_obs::Counter>,
+    /// Per-key summed addend entries carried by flushed aggregates.
+    pub addends_summed: Arc<unr_obs::Counter>,
+    flush_size: Arc<unr_obs::Counter>,
+    flush_occupancy: Arc<unr_obs::Counter>,
+    flush_wait: Arc<unr_obs::Counter>,
+    flush_plan: Arc<unr_obs::Counter>,
+    flush_explicit: Arc<unr_obs::Counter>,
+    flush_order: Arc<unr_obs::Counter>,
+}
+
+impl AggMetrics {
+    /// Register the aggregation instruments on `obs`.
+    pub fn new(obs: &unr_obs::Obs) -> AggMetrics {
+        let m = &obs.metrics;
+        AggMetrics {
+            puts_coalesced: m.counter("unr.agg.puts_coalesced"),
+            bytes_packed: m.counter("unr.agg.bytes_packed"),
+            addends_summed: m.counter("unr.agg.addends_summed"),
+            flush_size: m.counter("unr.agg.flush.size"),
+            flush_occupancy: m.counter("unr.agg.flush.occupancy"),
+            flush_wait: m.counter("unr.agg.flush.wait"),
+            flush_plan: m.counter("unr.agg.flush.plan"),
+            flush_explicit: m.counter("unr.agg.flush.explicit"),
+            flush_order: m.counter("unr.agg.flush.order"),
+        }
+    }
+
+    /// Count one flush under its trigger.
+    pub fn count_flush(&self, why: FlushWhy) {
+        match why {
+            FlushWhy::Size => self.flush_size.inc(),
+            FlushWhy::Occupancy => self.flush_occupancy.inc(),
+            FlushWhy::Wait => self.flush_wait.inc(),
+            FlushWhy::Plan => self.flush_plan.inc(),
+            FlushWhy::Explicit => self.flush_explicit.inc(),
+            FlushWhy::Order => self.flush_order.inc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addends_sum_per_key_and_null_keys_drop() {
+        let mut c = Coalescer::new(4, 1 << 20, 1 << 20);
+        assert_eq!(c.push(2, 1, 0, &[1, 2], (10, -1), (5, -1)), None);
+        assert_eq!(c.push(2, 1, 2, &[3], (10, -1), (0, -1)), None);
+        assert_eq!(c.push(2, 1, 3, &[4, 5, 6], (11, -1), (5, -1)), None);
+        let fl = c.drain(2).expect("pending");
+        assert_eq!(fl.puts, 3);
+        assert_eq!(fl.spans, vec![(1, 0, 2), (1, 2, 1), (1, 3, 3)]);
+        assert_eq!(fl.payload, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(fl.sigs, vec![(10, -2), (11, -1)]);
+        assert_eq!(fl.local_sigs, vec![(5, -2)]);
+        assert!(c.drain(2).is_none(), "drain empties the ring");
+    }
+
+    #[test]
+    fn size_threshold_fires_before_occupancy() {
+        let mut c = Coalescer::new(2, 8, 100);
+        assert_eq!(c.push(1, 0, 0, &[0; 5], (1, -1), (0, 0)), None);
+        assert_eq!(
+            c.push(1, 0, 5, &[0; 5], (1, -1), (0, 0)),
+            Some(FlushWhy::Size)
+        );
+    }
+
+    #[test]
+    fn occupancy_threshold_fires() {
+        let mut c = Coalescer::new(2, 1 << 20, 3);
+        assert_eq!(c.push(0, 0, 0, &[1], (1, -1), (0, 0)), None);
+        assert_eq!(c.push(0, 0, 1, &[2], (1, -1), (0, 0)), None);
+        assert_eq!(
+            c.push(0, 0, 2, &[3], (1, -1), (0, 0)),
+            Some(FlushWhy::Occupancy)
+        );
+    }
+
+    #[test]
+    fn dirty_list_tracks_first_touch_order() {
+        let mut c = Coalescer::new(4, 1 << 20, 1 << 20);
+        c.push(3, 0, 0, &[1], (1, -1), (0, 0));
+        c.push(1, 0, 0, &[2], (1, -1), (0, 0));
+        c.push(3, 0, 1, &[3], (1, -1), (0, 0));
+        assert!(c.has_pending(3) && c.has_pending(1) && !c.has_pending(0));
+        assert_eq!(c.take_dirty(), vec![3, 1]);
+        assert!(c.drain(3).is_some());
+        assert!(c.drain(1).is_some());
+        assert!(c.take_dirty().is_empty());
+    }
+}

@@ -11,6 +11,7 @@ use unr_simnet::{
     Endpoint, FabricError, GetOp, MemRegion, NicSel, Ns, Port, PutOp, Sched,
 };
 
+use crate::agg::{AggFlush, AggMetrics, Coalescer, FlushWhy};
 use crate::blk::{Blk, UnrMem};
 use crate::channel::{Channel, ChannelSelect, DirEncodings, Mechanism};
 use crate::level::{EncodeError, Encoding, Notif, SupportLevel};
@@ -96,6 +97,20 @@ pub struct UnrConfig {
     /// real TCP processes ([`Backend::Netfab`], consumed by
     /// `unr-netfab`'s `NetUnr::init`).
     pub backend: Backend,
+    /// Puts of at most this many bytes to a remote rank are coalesced
+    /// into per-destination aggregates ([`crate::agg`]) instead of
+    /// posted individually. `0` (the default) disables aggregation
+    /// entirely: no coalescer is built, no `unr.agg.*` metrics are
+    /// registered, and every data path is byte-identical to a build
+    /// without the feature. Requires software progress (the aggregate
+    /// rides the control port, which hardware progress never drains).
+    pub agg_eager_max: usize,
+    /// Flush a destination's aggregate ring once its packed payload
+    /// reaches this many bytes.
+    pub agg_flush_bytes: usize,
+    /// Flush a destination's aggregate ring once it holds this many
+    /// puts.
+    pub agg_flush_puts: usize,
 }
 
 impl Default for UnrConfig {
@@ -117,6 +132,9 @@ impl Default for UnrConfig {
             max_retries: 10,
             fallback_after: 3,
             backend: Backend::Simnet,
+            agg_eager_max: 0,
+            agg_flush_bytes: 8192,
+            agg_flush_puts: 64,
         }
     }
 }
@@ -217,6 +235,25 @@ impl UnrConfigBuilder {
         self
     }
 
+    /// Coalesce puts of at most `bytes` into per-destination
+    /// aggregates (0 disables aggregation — the default).
+    pub fn agg_eager_max(mut self, bytes: usize) -> Self {
+        self.cfg.agg_eager_max = bytes;
+        self
+    }
+
+    /// Byte threshold at which an aggregate ring is flushed.
+    pub fn agg_flush_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.agg_flush_bytes = bytes;
+        self
+    }
+
+    /// Put-count threshold at which an aggregate ring is flushed.
+    pub fn agg_flush_puts(mut self, puts: usize) -> Self {
+        self.cfg.agg_flush_puts = puts;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<UnrConfig, UnrError> {
         self.cfg.validate()?;
@@ -260,6 +297,26 @@ impl UnrConfig {
             return Err(UnrError::InvalidConfig(
                 "fallback_after must be >= 1".into(),
             ));
+        }
+        if self.agg_eager_max > 0 {
+            if self.agg_flush_bytes == 0 || self.agg_flush_puts == 0 {
+                return Err(UnrError::InvalidConfig(
+                    "agg flush thresholds must be positive when aggregation is on".into(),
+                ));
+            }
+            if self.agg_flush_bytes < self.agg_eager_max {
+                return Err(UnrError::InvalidConfig(format!(
+                    "agg_flush_bytes ({}) must be >= agg_eager_max ({})",
+                    self.agg_flush_bytes, self.agg_eager_max
+                )));
+            }
+            if self.progress == Some(ProgressMode::Hardware) {
+                return Err(UnrError::InvalidConfig(
+                    "aggregation needs software progress (the aggregate rides the \
+                     control port): use PollingAgent or UserDriven"
+                        .into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -564,6 +621,17 @@ pub(crate) struct UnrCore {
     /// Ack/replay state — `Some` iff reliability is active.
     pub retry: Option<Arc<RetryState>>,
     pub rmet: Option<RetryMetrics>,
+    /// Small-message coalescer — `Some` iff `cfg.agg_eager_max > 0`.
+    /// Only the application rank touches it (the polling agent never
+    /// flushes rings), so the mutex is uncontended.
+    pub agg: Option<Mutex<Coalescer>>,
+    pub amet: Option<AggMetrics>,
+    /// Virtual copy time owed by buffered-but-unflushed aggregated
+    /// puts. A per-put `ep.advance` is a global scheduler op — the
+    /// dominant wall cost of a sub-MTU put — so the pack loop only
+    /// accumulates here and the flush advances the clock once for the
+    /// whole aggregate.
+    pub agg_vcost: AtomicU64,
     /// Reusable completion-drain buffer: progress passes run many times
     /// per virtual microsecond, and re-allocating the event Vec each
     /// pass was measurable wall-clock churn. Shared between the rank
@@ -713,8 +781,13 @@ impl UnrCore {
     }
 
     /// [`wire::MSG_SEQ_DATA`] image of a buffered sub-message (fallback
-    /// route and retransmissions over it).
+    /// route and retransmissions over it). An aggregate's buffered
+    /// payload already *is* its complete [`wire::MSG_AGG`] frame, so it
+    /// goes out verbatim.
     fn build_seq_data(p: &PendingSub) -> Vec<u8> {
+        if p.route == Route::Agg {
+            return p.payload.as_ref().to_vec();
+        }
         wire::seq_data_msg(
             p.seq,
             p.dst_rkey.id,
@@ -840,6 +913,42 @@ impl UnrCore {
                     bytes: wire::ack_msg(seq),
                 });
             }
+            CtrlMsg::Agg { seq, sequenced, body } => {
+                let fresh = if sequenced {
+                    let retry = self.retry.as_ref().expect(
+                        "sequenced aggregate on a rank without reliability (SPMD config skew)",
+                    );
+                    let fresh = retry.accept(src, seq);
+                    if !fresh {
+                        if let Some(rm) = &self.rmet {
+                            rm.dup_suppressed.inc();
+                        }
+                    }
+                    // Always ack — the sender may be replaying because
+                    // our previous ack was lost.
+                    replies.push(Reply::Dgram {
+                        dst: src,
+                        bytes: wire::ack_msg(seq),
+                    });
+                    fresh
+                } else {
+                    true
+                };
+                if fresh {
+                    for (region_id, offset, payload) in body.spans() {
+                        if let Some(r) = self.regions.get(region_id) {
+                            r.write_bytes(offset as usize, payload)
+                                .expect("aggregate span in bounds");
+                        }
+                    }
+                    for (key, addend) in body.sigs() {
+                        self.table.apply(sched, t, key, addend);
+                        if key != 0 {
+                            self.met.sig_adds.inc();
+                        }
+                    }
+                }
+            }
             CtrlMsg::Ack { seq } => {
                 if let Some(retry) = &self.retry {
                     if let Some(first_post) = retry.ack(src, seq) {
@@ -912,6 +1021,11 @@ impl Unr {
             ))
         });
         let rmet = reliable.then(|| RetryMetrics::new(&ep.fabric().obs));
+        let world = ep.fabric().cfg.nodes * ep.fabric().cfg.ranks_per_node;
+        let agg = (cfg.agg_eager_max > 0).then(|| {
+            Mutex::new(Coalescer::new(world, cfg.agg_flush_bytes, cfg.agg_flush_puts))
+        });
+        let amet = (cfg.agg_eager_max > 0).then(|| AggMetrics::new(&ep.fabric().obs));
         let core = Arc::new(UnrCore {
             channel,
             table,
@@ -924,6 +1038,9 @@ impl Unr {
             met,
             retry,
             rmet,
+            agg,
+            amet,
+            agg_vcost: AtomicU64::new(0),
             scratch: Mutex::new(Vec::new()),
         });
         let progress_mode = cfg.progress.unwrap_or(if channel.hardware && !reliable {
@@ -939,6 +1056,11 @@ impl Unr {
             !(reliable && progress_mode == ProgressMode::Hardware),
             "reliable transport needs software progress (ack/replay): \
              use PollingAgent or UserDriven"
+        );
+        assert!(
+            !(cfg.agg_eager_max > 0 && progress_mode == ProgressMode::Hardware),
+            "aggregation needs software progress (the aggregate rides the \
+             control port): use PollingAgent or UserDriven"
         );
         let unr = Arc::new(Unr {
             ep,
@@ -1128,6 +1250,15 @@ impl Unr {
         self.core.met.bytes_put.add(len as u64);
         self.core.met.channel_msgs.inc();
         self.core.met.level_msgs.inc();
+
+        if self.core.agg.is_some() {
+            if len <= self.core.cfg.agg_eager_max && remote.rank != my_rank {
+                return self.put_agg(&region, local, remote, local_sig, remote_sig, len);
+            }
+            // A non-aggregable put to this destination must not overtake
+            // puts already buffered for it: force its ring out first.
+            self.agg_flush_dst(remote.rank, FlushWhy::Order);
+        }
 
         if let Some(retry) = &self.core.retry {
             return self.put_reliable(&region, local, remote, local_sig, remote_sig, len, retry);
@@ -1383,6 +1514,178 @@ impl Unr {
         Ok(())
     }
 
+    /// Append one eligible small put to its destination's aggregate
+    /// ring. Per-put cost is the pack memcpy plus a few vector pushes;
+    /// the per-message fallback overhead, the retry entry and every
+    /// scheduler entry are deferred to the flush and amortized across
+    /// the whole aggregate.
+    fn put_agg(
+        &self,
+        region: &MemRegion,
+        local: &Blk,
+        remote: &Blk,
+        local_sig: u64,
+        remote_sig: u64,
+        len: usize,
+    ) -> Result<(), UnrError> {
+        let data = region
+            .snapshot(local.offset, len)
+            .expect("local block in bounds");
+        self.core
+            .agg_vcost
+            .fetch_add(self.core.copy_bw.transfer_time(len), Ordering::Relaxed);
+        let trigger = {
+            let mut c = self.core.agg.as_ref().expect("agg enabled").lock();
+            c.push(
+                remote.rank,
+                remote.region_id,
+                remote.offset as u64,
+                &data,
+                (remote_sig, -1),
+                (local_sig, -1),
+            )
+        };
+        if let Some(am) = &self.core.amet {
+            am.puts_coalesced.inc();
+            am.bytes_packed.add(len as u64);
+        }
+        if let Some(why) = trigger {
+            self.agg_flush_dst(remote.rank, why);
+        }
+        Ok(())
+    }
+
+    /// Flush one destination's aggregate ring, if non-empty.
+    fn agg_flush_dst(&self, dst: usize, why: FlushWhy) {
+        let Some(aggm) = &self.core.agg else { return };
+        let fl = {
+            let mut c = aggm.lock();
+            if !c.has_pending(dst) {
+                return;
+            }
+            c.drain(dst)
+        };
+        if let Some(fl) = fl {
+            self.send_aggregate(dst, fl, why);
+        }
+    }
+
+    /// Flush every pending aggregate ring (blocking waits, plan
+    /// boundaries, explicit flushes, finalize).
+    pub(crate) fn agg_flush_all(&self, why: FlushWhy) {
+        let Some(aggm) = &self.core.agg else { return };
+        let flushes: Vec<(usize, AggFlush)> = {
+            let mut c = aggm.lock();
+            let dirty = c.take_dirty();
+            dirty
+                .into_iter()
+                .filter_map(|d| c.drain(d).map(|f| (d, f)))
+                .collect()
+        };
+        for (dst, fl) in flushes {
+            self.send_aggregate(dst, fl, why);
+        }
+    }
+
+    /// Flush all pending small-message aggregates now. Aggregated puts
+    /// are otherwise delivered when a ring crosses its threshold, when
+    /// this rank enters any blocking wait (`sig_wait` family), at plan
+    /// boundaries, and at finalize — a peer polling [`Signal::test`]
+    /// without ever blocking observes them only after one of those.
+    pub fn flush(&self) {
+        self.agg_flush_all(FlushWhy::Explicit);
+    }
+
+    /// Serialize one drained aggregate ring into a [`wire::MSG_AGG`]
+    /// control message and send it: one fallback sub-message (and, when
+    /// reliable, one retry entry) for the whole aggregate. The local
+    /// (source-completion) addends the coalescer deferred are applied
+    /// here, sharing the flush's single scheduler entry.
+    fn send_aggregate(&self, dst: usize, fl: AggFlush, why: FlushWhy) {
+        self.core.stats.fallback_msgs.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.sub_messages.fetch_add(1, Ordering::Relaxed);
+        self.core.met.fallback_msgs.inc();
+        self.core.met.sub_messages.inc();
+        if let Some(am) = &self.core.amet {
+            am.count_flush(why);
+            am.addends_summed.add(fl.sigs.len() as u64);
+        }
+        // One per-message software overhead for the whole aggregate —
+        // this amortization is the modeled speedup — plus the pack
+        // copies' accumulated virtual time, settled in one clock op.
+        let owed = self.core.agg_vcost.swap(0, Ordering::Relaxed);
+        self.ep.advance(self.core.cfg.fallback_overhead + owed);
+        match &self.core.retry {
+            None => {
+                let msg = wire::agg_msg(0, false, &fl.spans, &fl.sigs, &fl.payload);
+                self.ep.send_ctrl(dst, msg, self.default_nic());
+                if fl.local_sigs.iter().any(|&(k, _)| k != 0) {
+                    let core = Arc::clone(&self.core);
+                    let locals = fl.local_sigs;
+                    self.ep.actor().with_sched(move |st, t| {
+                        for (k, a) in locals {
+                            if k != 0 {
+                                core.table.apply(st, t, k, a);
+                                core.met.sig_adds.inc();
+                            }
+                        }
+                    });
+                }
+            }
+            Some(retry) => {
+                let seq = retry.alloc_seq(dst);
+                let frame =
+                    Bytes::from(wire::agg_msg(seq, true, &fl.spans, &fl.sigs, &fl.payload));
+                let sub = PendingSub {
+                    dst_rank: dst,
+                    seq,
+                    payload: frame.clone(),
+                    dst_rkey: unr_simnet::RKey {
+                        rank: dst,
+                        id: 0,
+                        len: 0,
+                    },
+                    dst_offset: 0,
+                    remote_key: 0,
+                    addend: 0,
+                    route: Route::Agg,
+                    attempts: 0,
+                    nic: retry.first_nic(self.core.cfg.pin_nic),
+                    first_post: 0,
+                    deadline: 0,
+                };
+                // Register before sending: the polling agent sweeps this
+                // state concurrently, and the ack must never be able to
+                // outrun the registration it settles.
+                retry.register(sub);
+                self.ep
+                    .send_ctrl(dst, frame.as_ref().to_vec(), self.default_nic());
+                // One scheduler entry arms the deadline wake-up AND
+                // applies the deferred local addends.
+                let retry2 = Arc::clone(retry);
+                let core = Arc::clone(&self.core);
+                let locals = fl.local_sigs;
+                self.ep.actor().with_sched(move |st, t| {
+                    for d in retry2.arm(t, &[(dst, seq)]) {
+                        let r = Arc::clone(&retry2);
+                        st.schedule_at(d, move |st2| {
+                            r.set_due();
+                            for w in r.take_waiters() {
+                                st2.wake(w, d);
+                            }
+                        });
+                    }
+                    for (k, a) in locals {
+                        if k != 0 {
+                            core.table.apply(st, t, k, a);
+                            core.met.sig_adds.inc();
+                        }
+                    }
+                });
+            }
+        }
+    }
+
     /// Refuse new work once the reliable transport has declared the
     /// channel down.
     fn check_channel_up(&self) -> Result<(), UnrError> {
@@ -1470,6 +1773,9 @@ impl Unr {
         self.core.met.gets.inc();
         self.core.met.channel_msgs.inc();
         self.core.met.level_msgs.inc();
+
+        // A GET must not overtake puts still buffered for its target.
+        self.agg_flush_dst(remote.rank, FlushWhy::Order);
 
         match self.core.channel.mech {
             Mechanism::Dgram => {
@@ -1713,6 +2019,9 @@ impl Unr {
     /// the channel down, so a permanently lost message cannot hang the
     /// rank.
     pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
+        // Entering a blocking wait flushes our own pending aggregates:
+        // whatever the peer is waiting on may be sitting in a ring.
+        self.agg_flush_all(FlushWhy::Wait);
         let n_bits = sig.n_bits();
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
@@ -1756,6 +2065,7 @@ impl Unr {
     /// `UNR_Sig_Wait` with a deadline: like [`Unr::sig_wait`] but gives
     /// up after `dt` virtual nanoseconds with [`UnrError::Timeout`].
     pub fn sig_wait_timeout(&self, sig: &Signal, dt: Ns) -> Result<(), UnrError> {
+        self.agg_flush_all(FlushWhy::Wait);
         let n_bits = sig.n_bits();
         let me = self.ep.actor().id();
         let fired = Arc::new(AtomicBool::new(false));
@@ -1861,6 +2171,7 @@ impl Unr {
     /// first). Overflowed signals count as ready and surface the error.
     pub fn sig_wait_any(&self, sigs: &[&Signal]) -> Result<usize, UnrError> {
         assert!(!sigs.is_empty(), "sig_wait_any needs at least one signal");
+        self.agg_flush_all(FlushWhy::Wait);
         let n_bits = sigs[0].n_bits();
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
@@ -2005,6 +2316,8 @@ impl Unr {
     /// Shut down the polling agent (idempotent). Must be called before
     /// the rank's actor ends; `Drop` calls it as a safety net.
     pub fn finalize(&self) {
+        // Nothing buffered may die with the context.
+        self.agg_flush_all(FlushWhy::Explicit);
         let mut guard = self.agent.lock();
         let Some(agent) = guard.as_mut() else { return };
         let stop = Arc::clone(&agent.stop);

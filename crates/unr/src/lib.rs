@@ -64,6 +64,7 @@
 
 #![deny(missing_docs)]
 
+pub mod agg;
 pub mod blk;
 pub mod channel;
 pub mod convert;
@@ -76,6 +77,7 @@ pub mod signal;
 pub mod transport;
 pub mod wire;
 
+pub use agg::{AggFlush, AggMetrics, Coalescer, FlushWhy};
 pub use blk::{Blk, UnrMem, BLK_WIRE_LEN};
 pub use channel::{Channel, ChannelSelect, Mechanism};
 pub use engine::{

@@ -6,6 +6,7 @@
 //! and striping decisions are made once, and `start` only issues the
 //! operations.
 
+use crate::agg::FlushWhy;
 use crate::blk::Blk;
 use crate::engine::{Unr, UnrError};
 use crate::signal::SigKey;
@@ -128,6 +129,9 @@ impl RmaPlan {
                 } => unr.get_keyed(&local, &remote, local_sig, remote_sig)?,
             }
         }
+        // Plan boundary: a replayed iteration is complete as soon as
+        // `start` returns, so nothing it buffered may linger.
+        unr.agg_flush_all(FlushWhy::Plan);
         Ok(())
     }
 }

@@ -97,6 +97,11 @@ pub(crate) enum Route {
     Rma,
     /// `MSG_SEQ_DATA` datagram through the fallback channel.
     Dgram,
+    /// Coalesced aggregate (`MSG_AGG`): the buffered payload *is* the
+    /// complete pre-built control frame — retransmissions resend it
+    /// verbatim, so one entry covers every put packed inside it. Never
+    /// rerouted or NIC-rotated: it is already on the datagram channel.
+    Agg,
 }
 
 /// One unacked sub-message, buffered for replay.
@@ -385,7 +390,7 @@ impl RetryState {
                         nic: p.nic,
                         companion: build_companion(p),
                     },
-                    Route::Dgram => Resend::Dgram {
+                    Route::Dgram | Route::Agg => Resend::Dgram {
                         dst: p.dst_rank,
                         bytes: build_dgram(p),
                     },
@@ -607,6 +612,40 @@ mod tests {
         assert!(o4.resends.is_empty());
         assert!(st.failed());
         assert_eq!(st.failure(), Some((1, 3)));
+        assert_eq!(st.in_flight(), 0);
+    }
+
+    #[test]
+    fn agg_route_resends_stored_frame_verbatim_without_escalation() {
+        // An aggregate entry buffers the complete pre-built MSG_AGG
+        // frame; every retransmission must resend those bytes verbatim
+        // (build_dgram hands them back) and never NIC-rotate or reroute
+        // — the aggregate is already on the datagram channel.
+        let st = state();
+        let seq = st.alloc_seq(3);
+        let frame = Bytes::from(vec![7u8, 1, 2, 3, 4, 5]);
+        let mut p = sub(3, seq, 0);
+        p.payload = frame.clone();
+        p.route = Route::Agg;
+        p.remote_key = 0;
+        p.addend = 0;
+        st.register(p);
+        let dl = st.arm(0, &[(3, seq)]);
+        let verbatim = |p: &PendingSub| p.payload.as_ref().to_vec();
+        let mut at = dl[0];
+        for attempt in 0..3 {
+            let o = st.sweep(at, verbatim, verbatim);
+            assert_eq!(o.nic_rotations, 0, "attempt {attempt}: Agg never rotates NICs");
+            assert_eq!(o.fallback_reroutes, 0, "attempt {attempt}: Agg never reroutes");
+            match &o.resends[..] {
+                [Resend::Dgram { dst: 3, bytes }] => {
+                    assert_eq!(&bytes[..], frame.as_ref(), "attempt {attempt}");
+                }
+                _ => panic!("attempt {attempt}: expected exactly one dgram resend to rank 3"),
+            }
+            at = o.new_deadlines[0];
+        }
+        st.ack(3, seq);
         assert_eq!(st.in_flight(), 0);
     }
 

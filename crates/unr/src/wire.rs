@@ -17,6 +17,18 @@
 //! | 4    | `SEQ_DATA`      | `seq u64, region u32, offset u64, key u64, addend i64, payload`      |
 //! | 5    | `SEQ_NOTIF`     | `seq u64, key u64, addend i64`                                       |
 //! | 6    | `ACK`           | `seq u64`                                                            |
+//! | 7    | `AGG`           | `seq u64, flags u8, nspans u16, nsigs u16, spans, sigs, payloads`    |
+//!
+//! The `AGG` frame is the sender-side coalescer's unit of delivery: one
+//! fabric message carrying many sub-MTU puts to the same destination.
+//! `spans` is `nspans × (region u32, offset u64, len u32)` describing
+//! where each packed payload lands; `sigs` is `nsigs × (key u64,
+//! addend i64)` — one entry per *distinct* target signal with the
+//! MMAS addends of all coalesced puts **summed** (addends are
+//! associative, §IV-B, so the receiver applies each signal once).
+//! `payloads` is the packed span bytes, concatenated in span order.
+//! Bit 0 of `flags` marks a sequenced frame (reliable transport: dedup
+//! on `seq`, always acked); unsequenced frames carry `seq == 0`.
 
 /// Fallback data: two-sided emulation of a notifiable PUT (also the
 /// reply leg of a fallback GET).
@@ -35,6 +47,21 @@ pub const MSG_SEQ_DATA: u8 = 4;
 pub const MSG_SEQ_NOTIF: u8 = 5;
 /// Receiver ack of a sequenced sub-message.
 pub const MSG_ACK: u8 = 6;
+/// Aggregate of coalesced small puts: packed payload spans plus one
+/// summed MMAS addend per target signal. One retry entry / one dedup
+/// slot covers the whole aggregate.
+pub const MSG_AGG: u8 = 7;
+
+/// `flags` bit marking a sequenced (reliable, dedup + ack) aggregate.
+pub const AGG_FLAG_SEQUENCED: u8 = 0b0000_0001;
+
+/// Bytes per span descriptor in an [`MSG_AGG`] frame.
+const AGG_SPAN_LEN: usize = 16;
+/// Bytes per signal entry in an [`MSG_AGG`] frame.
+const AGG_SIG_LEN: usize = 16;
+/// Offset of the span table inside an [`MSG_AGG`] frame
+/// (`kind u8 + seq u64 + flags u8 + nspans u16 + nsigs u16`).
+const AGG_HDR_LEN: usize = 14;
 
 /// A parsed UNR control message borrowing its payload from the frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +136,65 @@ pub enum CtrlMsg<'a> {
         /// Sequence number being acknowledged.
         seq: u64,
     },
+    /// [`MSG_AGG`].
+    Agg {
+        /// Per-(src, dst) sequence number (0 when unsequenced).
+        seq: u64,
+        /// Whether the frame runs the dedup + ack protocol.
+        sequenced: bool,
+        /// Span table, summed-signal table and packed payloads.
+        body: AggBody<'a>,
+    },
+}
+
+/// The variable-length tail of an [`MSG_AGG`] frame: span descriptors,
+/// summed-signal entries and the packed payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggBody<'a> {
+    nspans: u16,
+    nsigs: u16,
+    /// `spans ++ sigs ++ payloads`, validated to hold all three.
+    rest: &'a [u8],
+}
+
+impl<'a> AggBody<'a> {
+    /// Number of packed payload spans.
+    pub fn span_count(&self) -> usize {
+        self.nspans as usize
+    }
+
+    /// Number of distinct target signals (addends pre-summed).
+    pub fn sig_count(&self) -> usize {
+        self.nsigs as usize
+    }
+
+    /// Iterate the spans as `(region_id, offset, payload)` — the
+    /// payload slice is the span's packed bytes.
+    pub fn spans(&self) -> impl Iterator<Item = (u32, u64, &'a [u8])> + '_ {
+        let payload_base = self.nspans as usize * AGG_SPAN_LEN + self.nsigs as usize * AGG_SIG_LEN;
+        let mut payload_at = payload_base;
+        (0..self.nspans as usize).map(move |i| {
+            let at = i * AGG_SPAN_LEN;
+            let region = u32_at(self.rest, at, "agg span region");
+            let offset = u64_at(self.rest, at + 4, "agg span offset");
+            let len = u32_at(self.rest, at + 12, "agg span len") as usize;
+            let payload = &self.rest[payload_at..payload_at + len];
+            payload_at += len;
+            (region, offset, payload)
+        })
+    }
+
+    /// Iterate the summed-signal entries as `(key, addend)`.
+    pub fn sigs(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        let base = self.nspans as usize * AGG_SPAN_LEN;
+        (0..self.nsigs as usize).map(move |i| {
+            let at = base + i * AGG_SIG_LEN;
+            (
+                u64_at(self.rest, at, "agg sig key"),
+                i64_at(self.rest, at + 8, "agg sig addend"),
+            )
+        })
+    }
 }
 
 fn u32_at(bytes: &[u8], at: usize, what: &str) -> u32 {
@@ -167,6 +253,20 @@ impl<'a> CtrlMsg<'a> {
             MSG_ACK => CtrlMsg::Ack {
                 seq: u64_at(bytes, 1, "ack seq"),
             },
+            MSG_AGG => {
+                let flags = bytes[9];
+                let nspans = u16::from_le_bytes(bytes[10..12].try_into().expect("agg nspans"));
+                let nsigs = u16::from_le_bytes(bytes[12..14].try_into().expect("agg nsigs"));
+                CtrlMsg::Agg {
+                    seq: u64_at(bytes, 1, "agg seq"),
+                    sequenced: flags & AGG_FLAG_SEQUENCED != 0,
+                    body: AggBody {
+                        nspans,
+                        nsigs,
+                        rest: &bytes[AGG_HDR_LEN..],
+                    },
+                }
+            }
             other => panic!("unknown UNR control message kind {other}"),
         }
     }
@@ -175,7 +275,10 @@ impl<'a> CtrlMsg<'a> {
     /// fault-injection accounting: data-bearing drops are the ones the
     /// reliable transport must recover).
     pub fn is_data_bearing(kind: u8) -> bool {
-        matches!(kind, MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA)
+        matches!(
+            kind,
+            MSG_FALLBACK_DATA | MSG_FALLBACK_GET | MSG_SEQ_DATA | MSG_AGG
+        )
     }
 }
 
@@ -271,6 +374,45 @@ pub fn ack_msg(seq: u64) -> Vec<u8> {
     msg
 }
 
+/// Build a [`MSG_AGG`] frame. `spans` is `(region_id, offset, len)`
+/// per packed put; `sigs` is one `(key, summed addend)` entry per
+/// distinct target signal; `payload` is the packed span bytes in span
+/// order (its length must equal the sum of the span lengths).
+pub fn agg_msg(
+    seq: u64,
+    sequenced: bool,
+    spans: &[(u32, u64, u32)],
+    sigs: &[(u64, i64)],
+    payload: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(
+        spans.iter().map(|&(_, _, l)| l as usize).sum::<usize>(),
+        payload.len(),
+        "span lengths must cover the packed payload exactly"
+    );
+    assert!(spans.len() <= u16::MAX as usize, "too many spans for one aggregate");
+    assert!(sigs.len() <= u16::MAX as usize, "too many signals for one aggregate");
+    let mut msg = Vec::with_capacity(
+        AGG_HDR_LEN + spans.len() * AGG_SPAN_LEN + sigs.len() * AGG_SIG_LEN + payload.len(),
+    );
+    msg.push(MSG_AGG);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.push(if sequenced { AGG_FLAG_SEQUENCED } else { 0 });
+    msg.extend_from_slice(&(spans.len() as u16).to_le_bytes());
+    msg.extend_from_slice(&(sigs.len() as u16).to_le_bytes());
+    for &(region, offset, len) in spans {
+        msg.extend_from_slice(&region.to_le_bytes());
+        msg.extend_from_slice(&offset.to_le_bytes());
+        msg.extend_from_slice(&len.to_le_bytes());
+    }
+    for &(key, addend) in sigs {
+        msg.extend_from_slice(&key.to_le_bytes());
+        msg.extend_from_slice(&addend.to_le_bytes());
+    }
+    msg.extend_from_slice(payload);
+    msg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,8 +480,54 @@ mod tests {
         assert!(CtrlMsg::is_data_bearing(MSG_FALLBACK_DATA));
         assert!(CtrlMsg::is_data_bearing(MSG_FALLBACK_GET));
         assert!(CtrlMsg::is_data_bearing(MSG_SEQ_DATA));
+        assert!(CtrlMsg::is_data_bearing(MSG_AGG));
         assert!(!CtrlMsg::is_data_bearing(MSG_COMPANION));
         assert!(!CtrlMsg::is_data_bearing(MSG_SEQ_NOTIF));
         assert!(!CtrlMsg::is_data_bearing(MSG_ACK));
+    }
+
+    #[test]
+    fn agg_roundtrip() {
+        let spans = [(3u32, 64u64, 4u32), (3, 128, 2), (7, 0, 3)];
+        let sigs = [(9u64, -5i64), (11, -2)];
+        let payload = [1u8, 2, 3, 4, 10, 11, 20, 21, 22];
+        let bytes = agg_msg(42, true, &spans, &sigs, &payload);
+        match CtrlMsg::parse(&bytes) {
+            CtrlMsg::Agg { seq, sequenced, body } => {
+                assert_eq!(seq, 42);
+                assert!(sequenced);
+                assert_eq!(body.span_count(), 3);
+                assert_eq!(body.sig_count(), 2);
+                let got: Vec<(u32, u64, Vec<u8>)> = body
+                    .spans()
+                    .map(|(r, o, p)| (r, o, p.to_vec()))
+                    .collect();
+                assert_eq!(
+                    got,
+                    vec![
+                        (3, 64, vec![1, 2, 3, 4]),
+                        (3, 128, vec![10, 11]),
+                        (7, 0, vec![20, 21, 22]),
+                    ]
+                );
+                assert_eq!(body.sigs().collect::<Vec<_>>(), vec![(9, -5), (11, -2)]);
+            }
+            other => panic!("expected Agg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agg_roundtrip_unsequenced_and_empty_tables() {
+        let bytes = agg_msg(0, false, &[], &[(5, -9)], &[]);
+        match CtrlMsg::parse(&bytes) {
+            CtrlMsg::Agg { seq, sequenced, body } => {
+                assert_eq!(seq, 0);
+                assert!(!sequenced);
+                assert_eq!(body.span_count(), 0);
+                assert_eq!(body.spans().count(), 0);
+                assert_eq!(body.sigs().collect::<Vec<_>>(), vec![(5, -9)]);
+            }
+            other => panic!("expected Agg, got {other:?}"),
+        }
     }
 }

@@ -584,3 +584,119 @@ fn sig_wait_any_returns_first_arrival() {
     });
     assert_eq!(results[1], vec![1, 0], "B (index 1) arrives before A");
 }
+
+// ---------------------------------------------------------------------
+// Small-message aggregation (the bump-ring coalescer).
+// ---------------------------------------------------------------------
+
+/// Aggregation config: coalesce puts up to 512 B, flush at 8 puts.
+fn agg_cfg() -> UnrConfig {
+    UnrConfig::builder()
+        .agg_eager_max(512)
+        .agg_flush_bytes(8192)
+        .agg_flush_puts(8)
+        .build()
+        .unwrap()
+}
+
+/// Many small puts ride aggregated deliveries: the data must land
+/// byte-exact, both signals must see the full summed count, and the
+/// sub-message counter must show the collapse (one aggregate per 8
+/// puts, not one wire message per put).
+#[test]
+fn aggregated_small_puts_deliver_and_sum() {
+    const PUTS: usize = 32;
+    const LEN: usize = 64;
+    let results = run_mpi_world(fabric_for(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), agg_cfg());
+        let mem = unr.mem_reg(PUTS * LEN);
+        if comm.rank() == 0 {
+            let local_sig = unr.sig_init(PUTS as i64);
+            let rmt = convert::recv_blk(comm, 1, 0);
+            for i in 0..PUTS {
+                let pattern: Vec<u8> = (0..LEN).map(|j| ((i * 31 + j) % 251) as u8).collect();
+                mem.write_bytes(i * LEN, &pattern);
+                let blk = unr.blk_init(&mem, i * LEN, LEN, None);
+                let mut dst = rmt;
+                dst.offset = i * LEN;
+                dst.len = LEN;
+                unr.put_with(&blk, &dst, Some(&local_sig), rmt.sig_key).unwrap();
+            }
+            // Local completions are deferred to flushes; the wait both
+            // flushes the tail and observes the summed local addends.
+            unr.sig_wait(&local_sig).unwrap();
+            let obs = &unr.ep().fabric().obs;
+            let coalesced = obs.metrics.counter("unr.agg.puts_coalesced").get();
+            assert_eq!(coalesced, PUTS as u64, "every small put must coalesce");
+            let subs = unr.stats().sub_messages.load(std::sync::atomic::Ordering::Relaxed);
+            assert!(
+                subs <= (PUTS / 8) as u64 + 1,
+                "expected ~one aggregate per 8 puts, got {subs} sub-messages"
+            );
+            0
+        } else {
+            let sig = unr.sig_init(PUTS as i64);
+            let blk = unr.blk_init(&mem, 0, PUTS * LEN, Some(&sig));
+            convert::send_blk(comm, 0, 0, &blk);
+            unr.sig_wait(&sig).unwrap();
+            let mut got = vec![0u8; PUTS * LEN];
+            mem.read_bytes(0, &mut got);
+            for i in 0..PUTS {
+                for j in 0..LEN {
+                    assert_eq!(
+                        got[i * LEN + j],
+                        ((i * 31 + j) % 251) as u8,
+                        "put {i} byte {j} corrupted"
+                    );
+                }
+            }
+            sig.reset().unwrap();
+            1
+        }
+    });
+    assert_eq!(results, vec![0, 1]);
+}
+
+/// A big (non-aggregable) put to a destination with buffered small
+/// puts forces the ring out first, so per-destination order holds.
+#[test]
+fn big_put_flushes_buffered_ring_first() {
+    let results = run_mpi_world(fabric_for(InterfaceKind::Glex, 2), |comm| {
+        let unr = Unr::init(comm.ep_shared(), agg_cfg());
+        let mem = unr.mem_reg(4096);
+        if comm.rank() == 0 {
+            let rmt = convert::recv_blk(comm, 1, 0);
+            // Small put (buffered), then a 2 KiB put to the same bytes:
+            // the small one must not overtake and clobber the big one.
+            mem.write_bytes(0, &[0xAA; 64]);
+            let small = unr.blk_init(&mem, 0, 64, None);
+            let mut dst = rmt;
+            dst.offset = 0;
+            dst.len = 64;
+            unr.put_with(&small, &dst, None, unr_core::SigKey::NULL).unwrap();
+            mem.write_bytes(64, &[0xBB; 2048]);
+            let big = unr.blk_init(&mem, 64, 2048, None);
+            let mut dst2 = rmt;
+            dst2.offset = 0;
+            dst2.len = 2048;
+            unr.put_with(&big, &dst2, None, rmt.sig_key).unwrap();
+            let obs = &unr.ep().fabric().obs;
+            assert_eq!(
+                obs.metrics.counter("unr.agg.flush.order").get(),
+                1,
+                "the big put must force the buffered ring out"
+            );
+            0
+        } else {
+            let sig = unr.sig_init(1);
+            let blk = unr.blk_init(&mem, 0, 2048, Some(&sig));
+            convert::send_blk(comm, 0, 0, &blk);
+            unr.sig_wait(&sig).unwrap();
+            let mut got = vec![0u8; 2048];
+            mem.read_bytes(0, &mut got);
+            assert!(got.iter().all(|&b| b == 0xBB), "big put was overtaken");
+            1
+        }
+    });
+    assert_eq!(results, vec![0, 1]);
+}

@@ -3,9 +3,11 @@
 #
 # Runs `unr-bench --bin hotpath`, extracts its machine-readable
 # `BENCH_PERF_JSON {...}` line into target/bench/, and compares the gate
-# metric (reliable-storm ops/sec) against the checked-in reference in
-# BENCH_PERF.json at the repo root. The run fails if throughput
-# regressed by more than 20%.
+# metrics against the checked-in reference in BENCH_PERF.json at the
+# repo root: the reliable-storm ops/sec (gate.full/quick/netfab_*) and
+# the ≤512 B aggregated-storm ops/sec (gate.small_* /
+# gate.netfab_small_*). The run fails if either regressed by more than
+# 20%, or if the small reference key is missing entirely.
 #
 # Usage:
 #   scripts/bench.sh                      # full simnet run, gate .gate.full
@@ -42,10 +44,15 @@ esac
 
 # Gate key inside the baseline's "gate" object; netfab runs gate
 # against their own reference (different machine physics entirely).
+# The small-message storm gates under its own key (small_* /
+# netfab_small_*): it measures the aggregation path, whose throughput
+# is unrelated to the big-message storm's.
 GATE_KEY="$MODE"
+SMALL_GATE_KEY="small_$MODE"
 OUT_NAME=BENCH_PERF.json
 if [ "$BACKEND" = netfab ]; then
   GATE_KEY="netfab_$MODE"
+  SMALL_GATE_KEY="netfab_small_$MODE"
   OUT_NAME=BENCH_PERF_netfab.json
 fi
 
@@ -102,3 +109,29 @@ awk -v fresh="$fresh_ops" -v base="$base_ops" 'BEGIN {
   printf "OK: %.1f ops/sec >= floor %.1f (%.2fx of reference)\n",
          fresh, floor, fresh / base;
 }'
+
+# Small-message aggregation gate. The fresh JSON's "agg_ops_per_sec"
+# comes from the ≤512 B storm with the sender-side coalescer on; once
+# the benchmark emits it, a matching reference MUST exist — a silently
+# skipped gate is how an aggregation regression would sneak through.
+small_ops=$(grep -o '"agg_ops_per_sec":[0-9.]*' "$FRESH" | head -n1 | cut -d: -f2)
+if [ -n "$small_ops" ]; then
+  small_base=$(sed -n 's/.*"gate": *{[^}]*"'"$SMALL_GATE_KEY"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
+  if [ -z "$small_base" ]; then
+    echo "error: benchmark emitted the small-message storm but $BASELINE has no" >&2
+    echo "       gate.$SMALL_GATE_KEY reference. Run this script on the reference" >&2
+    echo "       machine and add the measured agg_ops_per_sec under that key." >&2
+    exit 1
+  fi
+  echo "gate: $small_ops small-agg ops/sec vs reference $small_base ($SMALL_GATE_KEY, 20% tolerance)"
+  awk -v fresh="$small_ops" -v base="$small_base" 'BEGIN {
+    floor = 0.80 * base;
+    if (fresh < floor) {
+      printf "FAIL: %.1f small-agg ops/sec is below the regression floor %.1f (80%% of %.1f)\n",
+             fresh, floor, base;
+      exit 1;
+    }
+    printf "OK: %.1f small-agg ops/sec >= floor %.1f (%.2fx of reference)\n",
+           fresh, floor, fresh / base;
+  }'
+fi
