@@ -4,14 +4,20 @@
 //! ```text
 //! unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E]
 //!                  [--msg BYTES] [--reliable] [--drop-every N]
-//!                  [--agg-max BYTES]
+//!                  [--agg-max BYTES] [--min-ops-per-sec F]
 //! ```
 //!
 //! The parent binds a rendezvous listener, spawns `N` copies of itself
 //! (rank and rendezvous address passed via `UNR_NETFAB_*` environment
 //! variables), serves the port-table exchange and barrier rounds, and
 //! exits non-zero if any rank fails. Children bootstrap the TCP mesh,
-//! run the storm, and print one `STORM_OK {...}` JSON line each.
+//! run the storm, and print one `STORM_OK {...}` JSON line each; the
+//! parent aggregates them into a `STORM_AGG {...}` line (total ops,
+//! aggregate ops/sec over the slowest rank's wall clock, and the
+//! maximum per-process thread count — flat in world size under the
+//! reactor). `--min-ops-per-sec` turns the aggregate into a gate: the
+//! launch fails if the world ran slower, which is how CI holds the
+//! 64-process storm to the same floor as the 4-process one.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -22,12 +28,14 @@ struct Cli {
     ranks: usize,
     nics: usize,
     opts: StormOpts,
+    min_ops_per_sec: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E] \
-         [--msg BYTES] [--reliable] [--drop-every N] [--agg-max BYTES]"
+         [--msg BYTES] [--reliable] [--drop-every N] [--agg-max BYTES] \
+         [--min-ops-per-sec F]"
     );
     std::process::exit(2);
 }
@@ -40,6 +48,7 @@ fn parse_cli(args: &[String]) -> Cli {
         ranks: 4,
         nics: 2,
         opts: StormOpts::default(),
+        min_ops_per_sec: None,
     };
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -60,6 +69,7 @@ fn parse_cli(args: &[String]) -> Cli {
             "--reliable" => cli.opts.reliable = true,
             "--drop-every" => cli.opts.drop_every = Some(num("--drop-every")),
             "--agg-max" => cli.opts.agg_eager_max = num("--agg-max") as usize,
+            "--min-ops-per-sec" => cli.min_ops_per_sec = Some(num("--min-ops-per-sec") as f64),
             _ => usage(),
         }
     }
@@ -78,8 +88,8 @@ fn child(world: NetWorld, cli: &Cli) -> ExitCode {
         Ok(o) => {
             println!(
                 "STORM_OK {{\"ops\":{},\"wall_ns\":{},\"retransmits\":{},\
-                 \"dup_suppressed\":{},\"drops_injected\":{}}}",
-                o.ops, o.wall_ns, o.retransmits, o.dup_suppressed, o.drops_injected
+                 \"dup_suppressed\":{},\"drops_injected\":{},\"threads\":{}}}",
+                o.ops, o.wall_ns, o.retransmits, o.dup_suppressed, o.drops_injected, o.threads
             );
             ExitCode::SUCCESS
         }
@@ -88,6 +98,45 @@ fn child(world: NetWorld, cli: &Cli) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Pull an unsigned integer field out of a one-line JSON object without
+/// a JSON parser: finds `"key":` and reads the digit run after it.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let digits: String = line[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Aggregate the per-rank `STORM_OK` lines: total ops, aggregate
+/// ops/sec over the slowest rank, worst-case thread count.
+struct Agg {
+    total_ops: u64,
+    max_wall_ns: u64,
+    max_threads: u64,
+    ranks_seen: usize,
+}
+
+fn aggregate(outputs: &[String]) -> Agg {
+    let mut agg = Agg {
+        total_ops: 0,
+        max_wall_ns: 0,
+        max_threads: 0,
+        ranks_seen: 0,
+    };
+    for out in outputs {
+        for line in out.lines() {
+            if !line.starts_with("STORM_OK ") {
+                continue;
+            }
+            agg.ranks_seen += 1;
+            agg.total_ops += json_u64(line, "ops").unwrap_or(0);
+            agg.max_wall_ns = agg.max_wall_ns.max(json_u64(line, "wall_ns").unwrap_or(0));
+            agg.max_threads = agg.max_threads.max(json_u64(line, "threads").unwrap_or(0));
+        }
+    }
+    agg
 }
 
 fn main() -> ExitCode {
@@ -125,15 +174,35 @@ fn main() -> ExitCode {
         }
     };
     let all_ok = res.success() && res.outputs.iter().all(|o| o.contains("STORM_OK"));
-    if all_ok {
-        eprintln!("storm complete: all {} ranks OK", cli.ranks);
-        ExitCode::SUCCESS
-    } else {
+    if !all_ok {
         for (rank, status) in res.statuses.iter().enumerate() {
             if *status != 0 {
                 eprintln!("rank {rank} exited {status}");
             }
         }
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+
+    let agg = aggregate(&res.outputs);
+    let ops_per_sec = if agg.max_wall_ns > 0 {
+        agg.total_ops as f64 / (agg.max_wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    println!(
+        "STORM_AGG {{\"ranks\":{},\"nics\":{},\"total_ops\":{},\"max_wall_ns\":{},\
+         \"ops_per_sec\":{:.1},\"threads_max\":{}}}",
+        cli.ranks, cli.nics, agg.total_ops, agg.max_wall_ns, ops_per_sec, agg.max_threads
+    );
+    eprintln!("storm complete: all {} ranks OK", cli.ranks);
+    if let Some(floor) = cli.min_ops_per_sec {
+        if ops_per_sec < floor {
+            eprintln!(
+                "STORM_GATE_FAIL aggregate {ops_per_sec:.1} ops/sec below the {floor:.1} floor"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("gate held: {ops_per_sec:.1} >= {floor:.1} ops/sec");
+    }
+    ExitCode::SUCCESS
 }

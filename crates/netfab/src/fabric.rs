@@ -1,17 +1,20 @@
 //! The TCP-loopback fabric: per-rank NIC sockets, emulated RMA regions,
-//! and the atomic-add sink.
+//! and the atomic-add sink — all I/O driven by the reactor pool.
 //!
 //! A [`NetFabric`] owns, for each `(peer, nic)` pair, one bidirectional
-//! `TcpStream`: the writer half lives behind a mutex (whole frames are
-//! assembled before the single `write_all`, so writers never interleave
-//! mid-frame), and a dedicated reader thread drains the other half.
-//! Reader threads *apply* inbound traffic directly — payloads land in
-//! the destination [`NetRegion`], custom bits go to the installed
-//! [`NetAddSink`] — which is exactly the paper's level-2 emulation: an
-//! agent thread performs the `*p += a` the level-4 NIC would do in
-//! hardware.
+//! **nonblocking** `TcpStream` registered with exactly one reactor
+//! thread ([`crate::reactor`]). Sends encode the whole frame up front
+//! and push it onto the connection's lock-free writer queue (waking the
+//! owning reactor); the reactor's write state machine puts it on the
+//! wire, surviving partial writes. Inbound bytes are reassembled by a
+//! per-connection [`frame::FrameAssembler`] and *applied* by the
+//! reactor — payloads land in the destination [`NetRegion`], custom
+//! bits go to the installed [`NetAddSink`] — which is exactly the
+//! paper's level-2 emulation: an agent thread performs the `*p += a`
+//! the level-4 NIC would do in hardware. The thread budget is flat in
+//! world size: `main + progress + nreactors` regardless of rank count.
 //!
-//! Region buffers are `AtomicU8` slices so a reader thread can store
+//! Region buffers are `AtomicU8` slices so a reactor thread can store
 //! payload bytes while application threads load them without a data
 //! race; the MMAS signal protocol (not the buffer itself) provides the
 //! happens-before edge, mirroring how real RMA hardware writes memory.
@@ -20,14 +23,16 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use unr_obs::metrics::Counter;
 use unr_obs::Obs;
 
 use crate::frame;
+use crate::reactor::{
+    pool_size_from_env, Conn, FrameDispatch, ReactorMetrics, ReactorPool, QUEUE_CAP_BYTES,
+};
 
 /// Consumer of inbound 128-bit custom bits — the emulated atomic-add
 /// unit. `NetUnr` installs a sink that decodes the bits into a
@@ -38,6 +43,9 @@ pub trait NetAddSink: Send + Sync {
 }
 
 /// `unr.transport.*` counters registered in the fabric's [`Obs`].
+/// Cloning shares the underlying counters (they are `Arc`s) — the
+/// reactor dispatcher holds a clone.
+#[derive(Clone)]
 pub struct TransportMetrics {
     /// Frames written to peer sockets (all kinds).
     pub tx_frames: Arc<Counter>,
@@ -215,20 +223,24 @@ impl Shared {
 }
 
 /// The per-process TCP fabric: a full mesh of loopback streams to every
-/// peer over `nics` parallel sockets.
+/// peer over `nics` parallel sockets, serviced by a fixed reactor pool.
 pub struct NetFabric {
     rank: usize,
     nranks: usize,
     nics: usize,
-    /// `writers[peer][nic]`; `None` on the diagonal (self).
-    writers: Vec<Vec<Option<Mutex<TcpStream>>>>,
+    /// Connection registry: `conns[peer][nic]`; `None` on the diagonal
+    /// (self). Static after `connect` — lookups are lock-free.
+    conns: Vec<Vec<Option<Arc<Conn>>>>,
+    /// The event-loop threads driving every stream above.
+    pool: ReactorPool,
     next_region: AtomicU32,
     shared: Arc<Shared>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
     /// Metrics registry shared by the fabric and its engine.
     pub obs: Obs,
     /// `unr.transport.*` counters.
     pub met: TransportMetrics,
+    /// `unr.transport.reactor.*` instruments.
+    pub reactor_met: ReactorMetrics,
 }
 
 impl NetFabric {
@@ -263,7 +275,7 @@ impl NetFabric {
             },
         });
 
-        let mut writers: Vec<Vec<Option<Mutex<TcpStream>>>> = (0..nranks)
+        let mut conns: Vec<Vec<Option<Arc<Conn>>>> = (0..nranks)
             .map(|_| (0..nics).map(|_| None).collect())
             .collect();
         let mut streams: Vec<(usize, usize, TcpStream)> = Vec::new();
@@ -308,57 +320,48 @@ impl NetFabric {
             }
         }
 
-        let mut reader_streams = Vec::new();
+        // Register every stream with its reactor: nonblocking from here
+        // on, assignment static by `(peer × nics + nic) % nreactors`.
+        let nreactors = pool_size_from_env();
+        let reactor_met = ReactorMetrics::register(&obs);
+        let mut all_conns: Vec<Arc<Conn>> = Vec::with_capacity(streams.len());
         for (peer, nic, s) in streams {
             met.conns.inc();
-            let reader = s.try_clone()?;
-            writers[peer][nic] = Some(Mutex::new(s));
-            reader_streams.push((peer, nic, reader));
+            let conn = Arc::new(Conn::new(peer, nic, (peer * nics + nic) % nreactors, s)?);
+            conns[peer][nic] = Some(Arc::clone(&conn));
+            all_conns.push(conn);
         }
 
-        let fab = Arc::new(NetFabric {
+        let dispatch: Arc<dyn FrameDispatch> = Arc::new(FabricDispatch {
+            shared: Arc::clone(&shared),
+            met: met.clone(),
+        });
+        let pool = ReactorPool::spawn(
+            nreactors,
+            all_conns,
+            dispatch,
+            reactor_met.clone(),
+            &format!("r{rank}"),
+        )?;
+
+        Ok(Arc::new(NetFabric {
             rank,
             nranks,
             nics,
-            writers,
+            conns,
+            pool,
             next_region: AtomicU32::new(1),
             shared,
-            readers: Mutex::new(Vec::new()),
             obs,
             met,
-        });
+            reactor_met,
+        }))
+    }
 
-        let mut handles = Vec::new();
-        for (peer, nic, stream) in reader_streams {
-            let sh = Arc::clone(&fab.shared);
-            let weak = Arc::downgrade(&fab);
-            let rx_frames = Arc::clone(&fab.met.rx_frames);
-            let rx_bytes = Arc::clone(&fab.met.rx_bytes);
-            let atomic_adds = Arc::clone(&fab.met.atomic_adds);
-            let frame_errors = Arc::clone(&fab.met.frame_errors);
-            let streams_down = Arc::clone(&fab.met.streams_down);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("netfab-r{rank}-p{peer}-n{nic}"))
-                    .spawn(move || {
-                        reader_loop(
-                            weak,
-                            peer,
-                            nic,
-                            stream,
-                            sh,
-                            rx_frames,
-                            rx_bytes,
-                            atomic_adds,
-                            frame_errors,
-                            streams_down,
-                        )
-                    })
-                    .expect("spawn reader thread"),
-            );
-        }
-        *fab.readers.lock().expect("readers lock") = handles;
-        Ok(fab)
+    /// Reactor threads in the pool — constant for the fabric's lifetime
+    /// and independent of world size.
+    pub fn reactor_threads(&self) -> usize {
+        self.pool.len()
     }
 
     /// This process's world rank.
@@ -415,7 +418,7 @@ impl NetFabric {
             .cloned()
     }
 
-    fn writer(&self, dst: usize, nic: usize) -> io::Result<&Mutex<TcpStream>> {
+    fn conn(&self, dst: usize, nic: usize) -> io::Result<&Arc<Conn>> {
         let nic = nic % self.nics;
         if dst < self.nranks && self.shared.is_down(dst, nic) {
             return Err(io::Error::new(
@@ -423,10 +426,10 @@ impl NetFabric {
                 format!("stream to rank {dst} NIC {nic} latched down after a frame error"),
             ));
         }
-        self.writers
+        self.conns
             .get(dst)
             .and_then(|row| row.get(nic))
-            .and_then(|w| w.as_ref())
+            .and_then(|c| c.as_ref())
             .ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::NotConnected,
@@ -435,10 +438,37 @@ impl NetFabric {
             })
     }
 
+    /// Queue one encoded frame for `(dst, nic)` and wake the owning
+    /// reactor. Lock-free on the fast path; above [`QUEUE_CAP_BYTES`]
+    /// the caller stalls (counted) until the reactor drains the queue —
+    /// backpressure instead of unbounded memory.
     fn send(&self, dst: usize, nic: usize, kind: u8, parts: &[&[u8]]) -> io::Result<()> {
-        let w = self.writer(dst, nic)?;
-        let mut s = w.lock().expect("writer lock");
-        frame::write_frame(&mut *s, kind, parts)?;
+        let conn = self.conn(dst, nic)?;
+        let buf = frame::encode_frame(kind, parts)?;
+        if conn.queue.bytes() > QUEUE_CAP_BYTES {
+            self.reactor_met.backpressure_stalls.inc();
+            while conn.queue.bytes() > QUEUE_CAP_BYTES {
+                if self.shared.stopping.load(Ordering::Relaxed) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "fabric stopping with writer queue full",
+                    ));
+                }
+                if self.shared.is_down(conn.peer, conn.nic) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        format!(
+                            "stream to rank {} NIC {} latched down under backpressure",
+                            conn.peer, conn.nic
+                        ),
+                    ));
+                }
+                self.pool.wake(conn.reactor);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        conn.queue.push(buf);
+        self.pool.wake(conn.reactor);
         self.met.tx_frames.inc();
         Ok(())
     }
@@ -584,23 +614,15 @@ impl NetFabric {
         self.shared.stopping.load(Ordering::Relaxed)
     }
 
-    /// Tear down: close every stream and join the reader threads.
-    /// Idempotent.
+    /// Tear down: stop and join the reactor pool (each reactor makes a
+    /// best-effort final flush of its writer queues first), then close
+    /// every stream. Idempotent.
     pub fn shutdown(&self) {
         self.shared.stopping.store(true, Ordering::Relaxed);
-        for row in &self.writers {
-            for w in row.iter().flatten() {
-                let s = w.lock().expect("writer lock");
-                let _ = s.shutdown(Shutdown::Both);
-            }
-        }
-        let handles = std::mem::take(&mut *self.readers.lock().expect("readers lock"));
-        let me = std::thread::current().id();
-        for h in handles {
-            // A reader that briefly upgraded its Weak for a GET reply can
-            // end up running this drop path; never join ourselves.
-            if h.thread().id() != me {
-                let _ = h.join();
+        self.pool.shutdown();
+        for row in &self.conns {
+            for c in row.iter().flatten() {
+                let _ = c.stream.shutdown(Shutdown::Both);
             }
         }
         self.shared.ring_bell();
@@ -613,45 +635,20 @@ impl Drop for NetFabric {
     }
 }
 
-/// Per-stream reader: drains frames until EOF/teardown, applying each
-/// one. Holds only `Weak<NetFabric>` (needed for GET replies), so the
-/// fabric can be dropped while readers are still parked in `read`.
-#[allow(clippy::too_many_arguments)]
-fn reader_loop(
-    fab: Weak<NetFabric>,
-    peer: usize,
-    nic: usize,
-    mut stream: TcpStream,
+/// The reactor-side protocol handler: applies each reassembled inbound
+/// frame against the shared state. Holds no `NetFabric` reference —
+/// GET replies ride back to the reactor as pre-encoded frames for the
+/// same connection — so reactor threads never keep the fabric alive and
+/// teardown joins them without self-join hazards.
+struct FabricDispatch {
     shared: Arc<Shared>,
-    rx_frames: Arc<Counter>,
-    rx_bytes: Arc<Counter>,
-    atomic_adds: Arc<Counter>,
-    frame_errors: Arc<Counter>,
-    streams_down: Arc<Counter>,
-) {
-    loop {
-        let f = match frame::read_frame_classified(&mut stream) {
-            Ok(f) => f,
-            // Orderly close on a frame boundary: the peer finished.
-            Err(frame::ReadEnd::CleanClose) => break,
-            Err(frame::ReadEnd::Corrupt(_)) => {
-                // Mid-frame death or a corrupt prefix. During teardown
-                // that's expected (shutdown severs blocked reads);
-                // otherwise count it and latch the stream down so
-                // writers get a clean error instead of feeding a
-                // desynchronized peer.
-                if !shared.stopping.load(Ordering::Relaxed) {
-                    frame_errors.inc();
-                    if shared.latch_down(peer, nic) {
-                        streams_down.inc();
-                    }
-                    let _ = stream.shutdown(Shutdown::Both);
-                    shared.ring_bell();
-                }
-                break;
-            }
-        };
-        rx_frames.inc();
+    met: TransportMetrics,
+}
+
+impl FrameDispatch for FabricDispatch {
+    fn on_frame(&self, peer: usize, _nic: usize, f: frame::Frame, replies: &mut Vec<Vec<u8>>) {
+        let shared = &self.shared;
+        self.met.rx_frames.inc();
         let region_of = |id: u32| {
             shared
                 .regions
@@ -663,11 +660,11 @@ fn reader_loop(
         match f.kind {
             frame::FRAME_PUT => {
                 let (region, offset, custom, payload) = frame::parse_put(&f.body);
-                rx_bytes.add(payload.len() as u64);
+                self.met.rx_bytes.add(payload.len() as u64);
                 if let Some(r) = region_of(region) {
                     r.write(offset as usize, payload);
                 }
-                atomic_adds.inc();
+                self.met.atomic_adds.inc();
                 shared.apply_custom(custom);
             }
             frame::FRAME_GET_REQ => {
@@ -681,37 +678,32 @@ fn reader_loop(
                     _ => Vec::new(), // bad request: drop, like a NIC NAK
                 };
                 if !data.is_empty() || g.len == 0 {
-                    atomic_adds.inc();
+                    self.met.atomic_adds.inc();
                     shared.apply_custom(g.custom_remote);
-                    if let Some(fab) = fab.upgrade() {
-                        let _ = fab.send(
-                            peer,
-                            nic,
-                            frame::FRAME_GET_REP,
-                            &[
-                                &frame::get_rep_header(
-                                    g.reply_region,
-                                    g.reply_offset,
-                                    g.custom_local,
-                                ),
-                                &data,
-                            ],
-                        );
-                        fab.met.tx_bytes.add(data.len() as u64);
+                    if let Ok(rep) = frame::encode_frame(
+                        frame::FRAME_GET_REP,
+                        &[
+                            &frame::get_rep_header(g.reply_region, g.reply_offset, g.custom_local),
+                            &data,
+                        ],
+                    ) {
+                        self.met.tx_frames.inc();
+                        self.met.tx_bytes.add(data.len() as u64);
+                        replies.push(rep);
                     }
                 }
             }
             frame::FRAME_GET_REP => {
                 let (region, offset, custom, payload) = frame::parse_get_rep(&f.body);
-                rx_bytes.add(payload.len() as u64);
+                self.met.rx_bytes.add(payload.len() as u64);
                 if let Some(r) = region_of(region) {
                     r.write(offset as usize, payload);
                 }
-                atomic_adds.inc();
+                self.met.atomic_adds.inc();
                 shared.apply_custom(custom);
             }
             frame::FRAME_ATOMIC => {
-                atomic_adds.inc();
+                self.met.atomic_adds.inc();
                 shared.apply_custom(frame::parse_atomic(&f.body));
             }
             frame::FRAME_CTRL => {
@@ -724,5 +716,17 @@ fn reader_loop(
             _ => {} // unknown kind post-handshake: ignore
         }
         shared.ring_bell();
+    }
+
+    fn on_corrupt(&self, peer: usize, nic: usize) {
+        self.met.frame_errors.inc();
+        if self.shared.latch_down(peer, nic) {
+            self.met.streams_down.inc();
+        }
+        self.shared.ring_bell();
+    }
+
+    fn stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Relaxed)
     }
 }

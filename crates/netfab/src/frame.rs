@@ -75,10 +75,11 @@ pub struct Frame {
     pub body: Vec<u8>,
 }
 
-/// Write one frame, assembling `parts` as the body. The frame is
-/// buffered into a single `write_all` so concurrent writers holding the
-/// stream lock emit whole frames.
-pub fn write_frame(w: &mut impl Write, kind: u8, parts: &[&[u8]]) -> io::Result<()> {
+/// Encode one frame (prefix + kind + body parts) into a fresh buffer —
+/// the unit the reactor's writer queues carry. A queued buffer is
+/// always a whole frame, so the write state machine can park mid-buffer
+/// on `WouldBlock` and resume without ever interleaving frames.
+pub fn encode_frame(kind: u8, parts: &[&[u8]]) -> io::Result<Vec<u8>> {
     let body_len: usize = parts.iter().map(|p| p.len()).sum();
     let len = 1 + body_len;
     if len > MAX_FRAME_LEN {
@@ -93,7 +94,14 @@ pub fn write_frame(w: &mut impl Write, kind: u8, parts: &[&[u8]]) -> io::Result<
     for p in parts {
         buf.extend_from_slice(p);
     }
-    w.write_all(&buf)
+    Ok(buf)
+}
+
+/// Write one frame, assembling `parts` as the body. The frame is
+/// buffered into a single `write_all` so concurrent writers holding the
+/// stream lock emit whole frames.
+pub fn write_frame(w: &mut impl Write, kind: u8, parts: &[&[u8]]) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, parts)?)
 }
 
 /// Why a frame read ended without producing a frame.
@@ -178,6 +186,135 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         kind: kindb[0],
         body,
     })
+}
+
+/// Incremental frame reassembly for nonblocking streams — the read
+/// state machine of the reactor.
+///
+/// A blocking reader can `read_exact` its way through a frame; a
+/// nonblocking reactor gets bytes in whatever chunks the kernel has
+/// ready, cut anywhere — mid-prefix, mid-kind, mid-body, or several
+/// frames coalesced into one read. The assembler is a three-stage
+/// machine fed arbitrary byte slices:
+///
+/// ```text
+///           ┌──────── 4 bytes ────────┐┌ 1 ┐┌──── len−1 bytes ────┐
+/// stream …  │ len (u32 LE, validated) ││kind││ body               │ …
+///           └─────────────────────────┘└───┘└────────────────────┘
+///  stage:         Prefix                Kind        Body     → emit
+/// ```
+///
+/// * `len` is validated against `(0, MAX_FRAME_LEN]` the moment its
+///   fourth byte arrives — before any body allocation;
+/// * every completed frame is handed to the sink callback immediately,
+///   so one `feed` can emit many frames (coalescing) or none (a split);
+/// * [`mid_frame`](FrameAssembler::mid_frame) reports whether EOF right
+///   now would be a clean close (frame boundary) or a truncation.
+pub struct FrameAssembler {
+    prefix: [u8; 4],
+    prefix_got: usize,
+    /// Body length + 1 for the kind byte, once the prefix is complete.
+    need: usize,
+    kind: u8,
+    have_kind: bool,
+    body: Vec<u8>,
+    /// A corrupt prefix was seen; all further input is rejected.
+    poisoned: bool,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameAssembler {
+    /// A fresh assembler, positioned on a frame boundary.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler {
+            prefix: [0u8; 4],
+            prefix_got: 0,
+            need: 0,
+            kind: 0,
+            have_kind: false,
+            body: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Whether any bytes of an unfinished frame are buffered. EOF while
+    /// `mid_frame()` is a truncation ([`ReadEnd::Corrupt`] territory);
+    /// EOF on a boundary is a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.prefix_got > 0 || self.poisoned
+    }
+
+    /// Consume `data`, invoking `sink` once per completed frame, in
+    /// stream order. `Err` means a corrupt length prefix (zero or above
+    /// [`MAX_FRAME_LEN`]): the stream cannot be resynchronized and must
+    /// be latched down. After an error the assembler is poisoned and
+    /// keeps rejecting input.
+    pub fn feed(&mut self, mut data: &[u8], sink: &mut impl FnMut(Frame)) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "assembler poisoned by an earlier corrupt prefix",
+            ));
+        }
+        loop {
+            if self.prefix_got < 4 {
+                if data.is_empty() {
+                    return Ok(());
+                }
+                let take = (4 - self.prefix_got).min(data.len());
+                self.prefix[self.prefix_got..self.prefix_got + take]
+                    .copy_from_slice(&data[..take]);
+                self.prefix_got += take;
+                data = &data[take..];
+                if self.prefix_got < 4 {
+                    return Ok(());
+                }
+                let len = u32::from_le_bytes(self.prefix) as usize;
+                if len == 0 || len > MAX_FRAME_LEN {
+                    // Poison: mid_frame() stays true, so EOF here
+                    // classifies as corrupt too.
+                    self.poisoned = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad frame length {len}"),
+                    ));
+                }
+                self.need = len;
+                self.have_kind = false;
+                self.body.clear();
+                self.body.reserve(len - 1);
+            }
+            if !self.have_kind {
+                let Some((&k, rest)) = data.split_first() else {
+                    return Ok(());
+                };
+                self.kind = k;
+                self.have_kind = true;
+                data = rest;
+            }
+            let body_need = self.need - 1;
+            if self.body.len() < body_need {
+                let take = (body_need - self.body.len()).min(data.len());
+                self.body.extend_from_slice(&data[..take]);
+                data = &data[take..];
+            }
+            if self.body.len() < body_need {
+                return Ok(()); // data exhausted mid-body
+            }
+            sink(Frame {
+                kind: self.kind,
+                body: std::mem::take(&mut self.body),
+            });
+            self.prefix_got = 0;
+            self.need = 0;
+            self.have_kind = false;
+        }
+    }
 }
 
 fn u32_at(b: &[u8], at: usize) -> u32 {
@@ -339,6 +476,58 @@ mod tests {
     fn hello_roundtrip() {
         let b = hello_body(3, 1);
         assert_eq!(parse_hello(&b), (3, 1));
+    }
+
+    #[test]
+    fn assembler_emits_zero_body_frame_ending_on_chunk_edge() {
+        // [len=1][kind] with the stream cut exactly after the kind byte:
+        // the frame must be emitted by this feed, leaving the assembler
+        // on a boundary (EOF now is a clean close, not a truncation).
+        let bytes = encode_frame(FRAME_CTRL, &[]).unwrap();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        asm.feed(&bytes, &mut |f| got.push(f)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, FRAME_CTRL);
+        assert!(got[0].body.is_empty());
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_rejects_corrupt_prefix_and_stays_poisoned() {
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        assert!(asm.feed(&0u32.to_le_bytes(), &mut |f| got.push(f)).is_err());
+        assert!(asm.mid_frame(), "EOF after a bad prefix must be corrupt");
+        // Even valid bytes are rejected afterwards: no resync.
+        let ok = encode_frame(FRAME_CTRL, &[b"x"]).unwrap();
+        assert!(asm.feed(&ok, &mut |f| got.push(f)).is_err());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn assembler_coalesces_and_splits() {
+        // Three frames concatenated, fed in one call: all emitted.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame(FRAME_PUT, &[&put_header(1, 2, 3), b"abc"]).unwrap());
+        wire.extend_from_slice(&encode_frame(FRAME_ATOMIC, &[&atomic_body(42)]).unwrap());
+        wire.extend_from_slice(&encode_frame(FRAME_CTRL, &[b"zz"]).unwrap());
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        asm.feed(&wire, &mut |f| got.push(f)).unwrap();
+        assert_eq!(
+            got.iter().map(|f| f.kind).collect::<Vec<_>>(),
+            vec![FRAME_PUT, FRAME_ATOMIC, FRAME_CTRL]
+        );
+        // Same wire fed one byte at a time: byte-identical frames.
+        let mut asm = FrameAssembler::new();
+        let mut trickled = Vec::new();
+        for b in &wire {
+            asm.feed(std::slice::from_ref(b), &mut |f| trickled.push(f))
+                .unwrap();
+        }
+        assert_eq!(got, trickled);
+        assert!(!asm.mid_frame());
     }
 
     #[test]

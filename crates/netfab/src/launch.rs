@@ -25,8 +25,9 @@
 
 use std::io::{self, BufRead, BufReader};
 use std::net::{TcpListener, TcpStream};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use unr_core::{Blk, BLK_WIRE_LEN};
 
@@ -177,6 +178,104 @@ impl NetWorld {
     }
 }
 
+/// Parent-side env var: milliseconds to wait for every child's `JOIN`
+/// before declaring the rendezvous wedged (default 120000).
+pub const ENV_JOIN_TIMEOUT_MS: &str = "UNR_NETFAB_JOIN_TIMEOUT_MS";
+/// Parent-side env var: milliseconds to wait for children to exit after
+/// the collective channel closes (default 60000); survivors are killed.
+pub const ENV_EXIT_TIMEOUT_MS: &str = "UNR_NETFAB_EXIT_TIMEOUT_MS";
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// Kill-on-drop guard over the spawned ranks: if `spawn_world` unwinds
+/// or errors anywhere past spawning — a wedged rendezvous, a corrupt
+/// JOIN, a panic — dropping this guard kills and reaps every child
+/// still running, so a failed storm can never strand 64 orphan
+/// processes behind a hung CI job.
+struct KillOnDrop {
+    children: Vec<Option<Child>>,
+}
+
+impl KillOnDrop {
+    fn new(children: Vec<Child>) -> KillOnDrop {
+        KillOnDrop {
+            children: children.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Has any child already exited? Returns the first `(rank, code)`.
+    /// Used while waiting on the rendezvous: a child that dies before
+    /// joining means the launch can only hang, so fail fast.
+    fn poll_dead(&mut self) -> Option<(usize, i32)> {
+        for (rank, slot) in self.children.iter_mut().enumerate() {
+            if let Some(child) = slot {
+                if let Ok(Some(st)) = child.try_wait() {
+                    let code = st.code().unwrap_or(-1);
+                    *slot = None;
+                    return Some((rank, code));
+                }
+            }
+        }
+        None
+    }
+
+    /// Reap every child, waiting up to `timeout` for natural exits and
+    /// killing whatever remains. Returns exit codes in rank order
+    /// (`-1`: killed by signal or by this deadline).
+    fn wait_all(&mut self, timeout: Duration) -> Vec<i32> {
+        let deadline = Instant::now() + timeout;
+        let mut statuses = vec![-1i32; self.children.len()];
+        loop {
+            let mut alive = false;
+            for (rank, slot) in self.children.iter_mut().enumerate() {
+                if let Some(child) = slot {
+                    match child.try_wait() {
+                        Ok(Some(st)) => {
+                            statuses[rank] = st.code().unwrap_or(-1);
+                            *slot = None;
+                        }
+                        Ok(None) => alive = true,
+                        Err(_) => {
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            if !alive {
+                return statuses;
+            }
+            if Instant::now() >= deadline {
+                for slot in self.children.iter_mut() {
+                    if let Some(mut child) = slot.take() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+                return statuses;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        for slot in self.children.iter_mut() {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
 /// Result of a [`spawn_world`] run.
 pub struct WorldResult {
     /// Captured stdout of each rank, in rank order.
@@ -199,6 +298,12 @@ impl WorldResult {
 ///
 /// Children echo their stdout live, prefixed `[rank N]`, and the raw
 /// text is also returned for parsing (`BENCH`/`STORM` result lines).
+///
+/// The spawned world is held by a kill-on-drop guard: any error or
+/// panic after spawning — including a rendezvous that never completes
+/// (deadline: [`ENV_JOIN_TIMEOUT_MS`]) or children that outlive the
+/// collective channel ([`ENV_EXIT_TIMEOUT_MS`]) — kills and reaps every
+/// remaining child before `spawn_world` returns.
 pub fn spawn_world(nranks: usize, nics: usize, args: &[String]) -> io::Result<WorldResult> {
     assert!(nranks >= 1 && nics >= 1, "need at least one rank and NIC");
     let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -235,13 +340,51 @@ pub fn spawn_world(nranks: usize, nics: usize, args: &[String]) -> io::Result<Wo
         }));
     }
 
-    // Rendezvous: accept one JOIN per rank.
+    // From here on every error path reaps the world: the guard kills
+    // whatever is still running when it drops.
+    let mut guard = KillOnDrop::new(children);
+
+    // Rendezvous: accept one JOIN per rank, under a deadline, failing
+    // fast if any child dies before joining (its JOIN will never come,
+    // so blocking forever would wedge CI).
+    let join_deadline = Instant::now() + env_ms(ENV_JOIN_TIMEOUT_MS, 120_000);
+    listener.set_nonblocking(true)?;
     let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
     let mut table = vec![vec![0u16; nics]; nranks];
     for _ in 0..nranks {
-        let (mut s, _) = listener.accept()?;
+        let mut s = loop {
+            match listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some((rank, code)) = guard.poll_dead() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            format!("rank {rank} exited {code} before joining the rendezvous"),
+                        ));
+                    }
+                    if Instant::now() >= join_deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "rendezvous timed out waiting for JOINs (children killed)",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        // Accepted sockets must not inherit the listener's nonblocking
+        // mode; the JOIN read is bounded instead of blocking forever.
+        s.set_nonblocking(false)?;
         s.set_nodelay(true)?;
+        s.set_read_timeout(Some(
+            join_deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(10)),
+        ))?;
         let f = frame::read_frame(&mut s)?;
+        s.set_read_timeout(None)?;
         if f.kind != FRAME_JOIN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -305,14 +448,14 @@ pub fn spawn_world(nranks: usize, nics: usize, args: &[String]) -> io::Result<Wo
     }
     drop(conns);
 
+    // Bounded reap: children should exit as soon as their collective
+    // channel closes; one that wedges (a rank stuck mid-`sig_wait`
+    // after a sibling died) is killed at the deadline instead of
+    // hanging the launcher forever.
+    let statuses = guard.wait_all(env_ms(ENV_EXIT_TIMEOUT_MS, 60_000));
     let mut outputs = Vec::with_capacity(nranks);
     for p in pumps {
         outputs.push(p.join().expect("stdout pump"));
-    }
-    let mut statuses = Vec::with_capacity(nranks);
-    for mut child in children {
-        let st = child.wait()?;
-        statuses.push(st.code().unwrap_or(-1));
     }
     Ok(WorldResult { outputs, statuses })
 }

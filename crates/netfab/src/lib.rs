@@ -2,8 +2,9 @@
 //!
 //! Everything the UNR engine consumes from the deterministic simulator
 //! (`unr-simnet`), rebuilt over real OS primitives: per-rank "NICs" are
-//! loopback TCP sockets, completion processing is reader threads, and
-//! the notifiable-RMA custom bits ride a length-prefixed wire protocol
+//! loopback TCP sockets, completion processing is a fixed pool of
+//! reactor threads over nonblocking sockets ([`reactor`]), and the
+//! notifiable-RMA custom bits ride a length-prefixed wire protocol
 //! ([`frame`]). The result is the paper's software emulation story
 //! (§V): a level-3 interface (full 128-bit custom bits both ways,
 //! [`Channel::netfab`](unr_core::Channel::netfab)) whose receiving side
@@ -12,9 +13,14 @@
 //!
 //! ## Layers
 //!
-//! * [`frame`] — framing + frame kinds (data plane and bootstrap);
+//! * [`frame`] — framing + frame kinds (data plane and bootstrap), and
+//!   the [`frame::FrameAssembler`] partial-read reassembly machine;
+//! * [`reactor`] — the fixed event-loop pool: readiness polling,
+//!   per-connection read/write state machines, lock-free writer
+//!   queues, `unr.transport.reactor.*` metrics (thread budget flat in
+//!   world size);
 //! * [`fabric`] — [`NetFabric`]: the socket mesh, emulated RMA regions,
-//!   reader threads, the atomic-add sink, `unr.transport.*` metrics;
+//!   the atomic-add sink, `unr.transport.*` metrics;
 //! * [`launch`] — [`spawn_world`] / [`NetWorld`]: multi-process
 //!   bootstrap (rank/port rendezvous) and out-of-band collectives;
 //! * [`engine`] — [`NetUnr`]: puts/gets with striping, MMAS signals
@@ -57,9 +63,11 @@ pub mod engine;
 pub mod fabric;
 pub mod frame;
 pub mod launch;
+pub mod reactor;
 pub mod storm;
 
 pub use engine::{NetFaults, NetMem, NetUnr};
 pub use fabric::{NetAddSink, NetFabric, NetRegion, TransportMetrics};
 pub use launch::{spawn_world, NetWorld, WorldResult};
+pub use reactor::{process_thread_count, FrameQueue, ReactorMetrics, DEFAULT_REACTORS};
 pub use storm::{run_storm, StormOpts, StormOutcome};

@@ -69,6 +69,11 @@ pub struct StormOutcome {
     pub dup_suppressed: u64,
     /// First transmissions dropped by fault injection.
     pub drops_injected: u64,
+    /// OS threads in this process at storm end (0 where unreadable).
+    /// The reactor keeps this flat in world size — `main + progress +
+    /// nreactors` — which the scaling soak test asserts across
+    /// 4/16/64-rank worlds.
+    pub threads: u64,
 }
 
 fn pattern(rank: usize, epoch: usize, iter: usize, i: usize) -> u8 {
@@ -173,6 +178,8 @@ pub fn run_storm(world: Arc<NetWorld>, opts: StormOpts) -> Result<StormOutcome, 
         retransmits: met.retransmits.get(),
         dup_suppressed: met.dup_suppressed.get(),
         drops_injected: met.drops_injected.get(),
+        // Sampled while the fabric (and its reactors) is still alive.
+        threads: crate::reactor::process_thread_count().unwrap_or(0),
     };
     if opts.reliable && opts.drop_every.is_some() {
         if out.drops_injected == 0 {
