@@ -170,6 +170,8 @@ fn netfab_opts(quick: bool, reliable: bool) -> unr_netfab::StormOpts {
         reliable,
         drop_every: None, // throughput run: reliable protocol, no faults
         agg_eager_max: 0,
+        kill_rank: None,
+        kill_epoch: 0,
     }
 }
 
@@ -183,6 +185,8 @@ fn netfab_small_opts(quick: bool, agg: bool) -> unr_netfab::StormOpts {
         reliable: true,
         drop_every: None,
         agg_eager_max: if agg { SMALL_AGG_MAX } else { 0 },
+        kill_rank: None,
+        kill_epoch: 0,
     }
 }
 

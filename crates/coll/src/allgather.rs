@@ -19,7 +19,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::tags::{tag_range, TagKind};
+use crate::tags::{tag_range_epoch, TagKind};
 
 /// Persistent direct-exchange allgather context.
 pub struct NotifiedAllgather {
@@ -44,13 +44,14 @@ pub struct NotifiedAllgather {
 }
 
 impl NotifiedAllgather {
-    /// Collective constructor (`instance` separates tag spaces).
+    /// Collective constructor (`instance` separates tag spaces;
+    /// the engine's membership epoch fences rebuilds after recovery).
     pub fn new(unr: &Arc<Unr>, comm: &Comm, block: usize, instance: i32) -> NotifiedAllgather {
         let n = comm.size();
         let me = comm.rank();
         let mem = unr.mem_reg((n * block).max(8));
         let credit_mem = unr.mem_reg(8);
-        let tags = tag_range(TagKind::Allgather, n, instance);
+        let tags = tag_range_epoch(TagKind::Allgather, n, instance, unr.epoch());
         let peers = (n.max(2) - 1) as i64;
 
         // Publish to each peer `p` the landing slot its block owns in my

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::tags::{tag_range, TagKind};
+use crate::tags::{tag_range_epoch, TagKind};
 
 /// Persistent recursive-doubling allgather (communicator size must be a
 /// power of two).
@@ -49,9 +49,9 @@ impl NotifiedAllgatherRd {
         let mem = unr.mem_reg((n * block).max(8));
         let credit_mem = unr.mem_reg(8);
         // Data tags use [tag, tag+rounds), credit tags
-        // [tag+rounds, tag+2*rounds); `tag_range` asserts both fit the
-        // per-instance stride.
-        let tag = tag_range(TagKind::AllgatherRd, n, instance).start;
+        // [tag+rounds, tag+2*rounds); `tag_range_epoch` asserts both
+        // fit the per-instance stride.
+        let tag = tag_range_epoch(TagKind::AllgatherRd, n, instance, unr.epoch()).start;
 
         let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
         let credit_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();

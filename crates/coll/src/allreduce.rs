@@ -21,7 +21,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::tags::{tag_range, TagKind};
+use crate::tags::{tag_range_epoch, TagKind};
 
 /// Persistent recursive-doubling f64 sum allreduce (communicator size
 /// must be a power of two).
@@ -58,9 +58,9 @@ impl NotifiedAllreduce {
         let mem = unr.mem_reg(((1 + rounds) * vec_bytes).max(8));
         let credit_mem = unr.mem_reg(8);
         // Data tags use [tag, tag+rounds), credit tags
-        // [tag+rounds, tag+2*rounds); `tag_range` asserts both fit the
-        // per-instance stride.
-        let tag = tag_range(TagKind::Allreduce, n, instance).start;
+        // [tag+rounds, tag+2*rounds); `tag_range_epoch` asserts both
+        // fit the per-instance stride.
+        let tag = tag_range_epoch(TagKind::Allreduce, n, instance, unr.epoch()).start;
 
         let round_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();
         let credit_sigs: Vec<Signal> = (0..rounds).map(|_| unr.sig_init(1)).collect();

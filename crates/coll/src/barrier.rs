@@ -16,7 +16,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::tags::{tag_range, TagKind};
+use crate::tags::{tag_range_epoch, TagKind};
 
 /// Persistent all-to-all barrier context.
 pub struct NotifiedBarrier {
@@ -31,12 +31,13 @@ pub struct NotifiedBarrier {
 }
 
 impl NotifiedBarrier {
-    /// Collective constructor (`instance` separates tag spaces).
+    /// Collective constructor (`instance` separates tag spaces;
+    /// the engine's membership epoch fences rebuilds after recovery).
     pub fn new(unr: &Arc<Unr>, comm: &Comm, instance: i32) -> NotifiedBarrier {
         let n = comm.size();
         let me = comm.rank();
         let token_mem = unr.mem_reg(8);
-        let tags = tag_range(TagKind::Barrier, n, instance);
+        let tags = tag_range_epoch(TagKind::Barrier, n, instance, unr.epoch());
         let mut sigs = Vec::with_capacity(2);
         let mut targets: [Vec<Blk>; 2] = [Vec::new(), Vec::new()];
         for (parity, tgt) in targets.iter_mut().enumerate() {

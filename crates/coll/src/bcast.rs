@@ -15,7 +15,7 @@ use std::sync::Arc;
 use unr_core::{convert, Blk, RmaPlan, Signal, Unr, UnrMem};
 use unr_minimpi::Comm;
 
-use crate::tags::{tag_range, TagKind};
+use crate::tags::{tag_range_epoch, TagKind};
 
 /// Persistent broadcast context for one payload buffer.
 pub struct NotifiedBcast {
@@ -71,7 +71,7 @@ impl NotifiedBcast {
         let mem = unr.mem_reg(len.max(8));
         let credit_mem = unr.mem_reg(8);
         // 2 tags: payload blk exchange at `tag`, credit at `tag + 1`.
-        let tag = tag_range(TagKind::Bcast, n, instance).start;
+        let tag = tag_range_epoch(TagKind::Bcast, n, instance, unr.epoch()).start;
 
         // Receive path: publish my payload blk to my parent.
         let recv_sig = parent.map(|p| {

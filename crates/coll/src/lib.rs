@@ -19,9 +19,12 @@
 //! All operations are **persistent**: construction performs the
 //! address/BLK exchange over mini-MPI once (outside the main loop);
 //! each epoch afterwards touches only UNR. Setup-time mini-MPI tags
-//! come from [`tags::tag_range`], which gives every collective instance
-//! a provably disjoint tag block (see that module for the stride bug
-//! this replaces).
+//! come from [`tags::tag_range_epoch`], which gives every collective
+//! instance a provably disjoint tag block (see that module for the
+//! stride bug this replaces) — and the constructors fold the engine's
+//! membership epoch into the block, so collectives rebuilt after a
+//! rank dies and rejoins can never cross-match setup exchanges left
+//! over from the previous epoch.
 //!
 //! * [`NotifiedBcast`] — binomial-tree broadcast with credit-based
 //!   epoch flow control (the paper's future-work "irregular broadcast"
@@ -51,4 +54,4 @@ pub use allgather_rd::NotifiedAllgatherRd;
 pub use allreduce::NotifiedAllreduce;
 pub use barrier::NotifiedBarrier;
 pub use bcast::NotifiedBcast;
-pub use tags::{tag_range, TagKind};
+pub use tags::{tag_range, tag_range_epoch, TagKind, EPOCH_TAG_STRIDE};

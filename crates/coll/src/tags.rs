@@ -22,11 +22,38 @@
 //! for `n ≤ 2^31` ranks). [`tag_range`] asserts `span ≤ stride`, so a
 //! future collective that outgrows its stride fails loudly at
 //! construction instead of corrupting a neighbour instance.
+//!
+//! ## Membership epochs
+//!
+//! Recovery adds a third dimension. When a rank dies and rejoins, the
+//! surviving world rebuilds its collectives under a bumped membership
+//! epoch ([`unr_core::Epoch`]) — and a `(kind, instance)` pair rebuilt
+//! in epoch `e + 1` must never match a setup exchange still in flight
+//! from epoch `e` (the dying rank's half-finished construction, say).
+//! [`tag_range_epoch`] therefore strides whole epoch *generations* of
+//! the region table by [`EPOCH_TAG_STRIDE`]: same kind, same instance,
+//! different epoch ⇒ disjoint block. Epoch 0 is bit-identical to
+//! [`tag_range`], so fault-free runs (and their golden traces) are
+//! untouched. The collective constructors read the epoch straight off
+//! the engine, so callers opt in simply by reconstructing after a bump.
 
 use std::ops::Range;
 
+use unr_core::Epoch;
+
 /// Base of the tag space reserved for this crate's setup exchanges.
 pub const TAG_BASE: i32 = 1 << 21;
+
+/// Tags one membership epoch's whole region table occupies: every
+/// [`TagKind`] region (they end at `4000 + 64 * instance` for the
+/// log-round kinds) fits under this power-of-two stride, so epoch
+/// `e`'s table lives in `[TAG_BASE + e * STRIDE, TAG_BASE + (e + 1) *
+/// STRIDE)`.
+pub const EPOCH_TAG_STRIDE: i32 = 1 << 13;
+
+/// Highest membership epoch the tag space can host: the last epoch's
+/// table must still end below `i32::MAX` (mini-MPI tags are `i32`).
+const MAX_TAG_EPOCH: u64 = ((i32::MAX - TAG_BASE) / EPOCH_TAG_STRIDE) as u64;
 
 /// Which collective a tag block belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,17 +106,37 @@ impl TagKind {
 }
 
 /// The half-open tag block `(kind, instance)` owns on an `n`-rank
-/// communicator. Blocks of the same kind are disjoint across instances
-/// (stride ≥ span, asserted), and kinds live in disjoint regions.
+/// communicator in membership epoch 0. Blocks of the same kind are
+/// disjoint across instances (stride ≥ span, asserted), and kinds live
+/// in disjoint regions. Equivalent to [`tag_range_epoch`] at
+/// [`Epoch::ZERO`].
 pub fn tag_range(kind: TagKind, n: usize, instance: i32) -> Range<i32> {
+    tag_range_epoch(kind, n, instance, Epoch::ZERO)
+}
+
+/// The half-open tag block `(kind, instance)` owns on an `n`-rank
+/// communicator in membership `epoch`. Same-kind blocks are disjoint
+/// across instances (stride ≥ span, asserted), kinds live in disjoint
+/// regions, and the whole region table strides by [`EPOCH_TAG_STRIDE`]
+/// per epoch — a collective rebuilt after a membership bump can never
+/// cross-match a setup exchange left over from the epoch before.
+pub fn tag_range_epoch(kind: TagKind, n: usize, instance: i32, epoch: Epoch) -> Range<i32> {
     assert!(instance >= 0, "collective instance must be non-negative");
+    assert!(
+        epoch.raw() <= MAX_TAG_EPOCH,
+        "membership {epoch} exhausts the i32 mini-MPI tag space"
+    );
     let span = kind.span(n);
     let stride = kind.stride();
     assert!(
         span <= stride,
         "{kind:?} consumes {span} tags at n={n}, more than its {stride}-tag stride"
     );
-    let start = TAG_BASE + kind.region() + stride * instance;
+    let start = TAG_BASE + epoch.raw() as i32 * EPOCH_TAG_STRIDE + kind.region() + stride * instance;
+    assert!(
+        start + span <= TAG_BASE + (epoch.raw() as i32 + 1) * EPOCH_TAG_STRIDE,
+        "{kind:?} instance {instance} overflows {epoch}'s tag generation"
+    );
     start..start + span
 }
 
@@ -117,6 +164,37 @@ mod tests {
                         b
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_generations_are_disjoint_and_epoch_zero_is_legacy() {
+        let kinds = [
+            TagKind::Bcast,
+            TagKind::Allgather,
+            TagKind::Barrier,
+            TagKind::AllgatherRd,
+            TagKind::Allreduce,
+        ];
+        for kind in kinds {
+            // Epoch 0 must be bit-identical to the legacy range (golden
+            // traces of fault-free runs depend on it).
+            assert_eq!(
+                tag_range(kind, 32, 3),
+                tag_range_epoch(kind, 32, 3, Epoch::ZERO)
+            );
+            // Same (kind, instance), consecutive epochs ⇒ disjoint; and
+            // a whole generation never bleeds into the next (max
+            // instance the generation assert admits).
+            for e in 0..4u64 {
+                let a = tag_range_epoch(kind, 32, 5, Epoch::new(e));
+                let b = tag_range_epoch(kind, 32, 5, Epoch::new(e + 1));
+                assert!(a.end <= b.start, "{kind:?} epoch {e}: {a:?} vs {b:?}");
+                assert!(
+                    a.end <= TAG_BASE + (e as i32 + 1) * EPOCH_TAG_STRIDE,
+                    "{kind:?} epoch {e} bleeds into the next generation"
+                );
             }
         }
     }

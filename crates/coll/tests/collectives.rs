@@ -452,3 +452,70 @@ fn collectives_ride_the_aggregation_path() {
     });
     assert!(results.into_iter().all(|b| b));
 }
+
+#[test]
+fn collectives_rebuild_under_membership_epoch_bump_32_ranks() {
+    // A rank dies and rejoins between two phases of a 32-rank job. The
+    // surviving world rebuilds its collectives with the *same* instance
+    // numbers — the membership epoch folded into the tag block by
+    // `tag_range_epoch` is what keeps the rebuilt setup exchanges from
+    // cross-matching anything left over from epoch 0.
+    let n = 32usize;
+    let count = 3usize;
+    // Long enough that every in-flight epoch-0 delivery has drained and
+    // the kill/revive pair lands inside every other rank's sleep.
+    const SETTLE: u64 = 1_000_000; // 1 ms of virtual time
+    let results = run_mpi_world(fabric(n), move |comm| {
+        let ep = comm.ep_shared();
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let me = comm.rank();
+
+        // ---- phase 1: epoch 0 --------------------------------------
+        let mut bar = NotifiedBarrier::new(&unr, comm, 0);
+        let mut ar = NotifiedAllreduce::new(&unr, comm, count, 0);
+        let input: Vec<f64> = (0..count).map(|i| (me * 100 + i + 1) as f64).collect();
+        ar.write_input(&input);
+        ar.run().unwrap();
+        let mut phase1 = vec![0.0; count];
+        ar.read_result(&mut phase1);
+        bar.wait().unwrap();
+        assert_eq!(unr.epoch().raw(), 0);
+
+        // ---- the failure -------------------------------------------
+        // Everyone parks; once the world is quiet, rank 0 kills rank 31
+        // and revives it (epoch 0 -> 2, generation 0 -> 1).
+        ep.sleep(SETTLE);
+        if me == 0 {
+            ep.kill_rank(n - 1);
+            ep.revive_rank(n - 1);
+        }
+        ep.sleep(2 * SETTLE);
+        assert_eq!(unr.epoch().raw(), 2, "kill + revive each bump the epoch");
+        let view = unr.membership_view();
+        assert!(view.is_live(n - 1), "revived rank is live again");
+        assert_eq!(view.generation[n - 1], 1, "revival is a new incarnation");
+        // The rebuilt instances own tag blocks disjoint from epoch 0's.
+        let old = tag_range(TagKind::Barrier, n, 0);
+        let new = unr_coll::tag_range_epoch(TagKind::Barrier, n, 0, unr.epoch());
+        assert!(old.end <= new.start, "{old:?} vs {new:?}");
+
+        // ---- phase 2: same instances, epoch 2 ----------------------
+        let mut bar2 = NotifiedBarrier::new(&unr, comm, 0);
+        let mut ar2 = NotifiedAllreduce::new(&unr, comm, count, 0);
+        let input2: Vec<f64> = input.iter().map(|v| v + 0.5).collect();
+        ar2.write_input(&input2);
+        ar2.run().unwrap();
+        let mut phase2 = vec![0.0; count];
+        ar2.read_result(&mut phase2);
+        bar2.wait().unwrap();
+        (phase1, phase2)
+    });
+    let expect1: Vec<f64> = (0..count)
+        .map(|i| (0..n).map(|r| (r * 100 + i + 1) as f64).sum())
+        .collect();
+    let expect2: Vec<f64> = expect1.iter().map(|v| v + 0.5 * n as f64).collect();
+    for (r, (p1, p2)) in results.iter().enumerate() {
+        assert_eq!(p1, &expect1, "rank {r} phase 1");
+        assert_eq!(p2, &expect2, "rank {r} phase 2");
+    }
+}

@@ -5,6 +5,7 @@
 //! unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E]
 //!                  [--msg BYTES] [--reliable] [--drop-every N]
 //!                  [--agg-max BYTES] [--min-ops-per-sec F]
+//!                  [--kill-rank R] [--kill-epoch E]
 //! ```
 //!
 //! The parent binds a rendezvous listener, spawns `N` copies of itself
@@ -18,11 +19,22 @@
 //! reactor). `--min-ops-per-sec` turns the aggregate into a gate: the
 //! launch fails if the world ran slower, which is how CI holds the
 //! 64-process storm to the same floor as the 4-process one.
+//!
+//! `--kill-rank R` arms the recovery drill: rank `R` `SIGKILL`s itself
+//! at the end of storm epoch `--kill-epoch` (default 1), the parent
+//! respawns it into a new membership epoch, survivors rejoin, and the
+//! storm finishes. The parent then asserts **exact post-rejoin MMAS
+//! accounting**: every rank (the respawned incarnation included)
+//! reported `STORM_OK`, and the total op count equals the survivors'
+//! full runs plus the respawned incarnation's partial one — no op lost,
+//! none double-counted. Implies `--reliable`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use unr_netfab::{run_storm, spawn_world, NetWorld, StormOpts};
+use unr_netfab::{
+    run_storm, spawn_world_with_recovery, NetWorld, RespawnSpec, StormOpts,
+};
 
 struct Cli {
     ranks: usize,
@@ -35,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E] \
          [--msg BYTES] [--reliable] [--drop-every N] [--agg-max BYTES] \
-         [--min-ops-per-sec F]"
+         [--min-ops-per-sec F] [--kill-rank R] [--kill-epoch E]"
     );
     std::process::exit(2);
 }
@@ -70,6 +82,8 @@ fn parse_cli(args: &[String]) -> Cli {
             "--drop-every" => cli.opts.drop_every = Some(num("--drop-every")),
             "--agg-max" => cli.opts.agg_eager_max = num("--agg-max") as usize,
             "--min-ops-per-sec" => cli.min_ops_per_sec = Some(num("--min-ops-per-sec") as f64),
+            "--kill-rank" => cli.opts.kill_rank = Some(num("--kill-rank") as usize),
+            "--kill-epoch" => cli.opts.kill_epoch = num("--kill-epoch") as usize,
             _ => usage(),
         }
     }
@@ -78,6 +92,15 @@ fn parse_cli(args: &[String]) -> Cli {
     }
     if cli.opts.drop_every.is_some() {
         cli.opts.reliable = true; // drops without replay would just lose data
+    }
+    if let Some(r) = cli.opts.kill_rank {
+        // Only the ack/replay transport guarantees the dying rank's
+        // final puts were acknowledged before the SIGKILL lands.
+        cli.opts.reliable = true;
+        if r >= cli.ranks || cli.opts.kill_epoch + 1 >= cli.opts.epochs {
+            eprintln!("--kill-rank/--kill-epoch must leave a post-rejoin epoch to run");
+            usage();
+        }
     }
     cli
 }
@@ -154,7 +177,7 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "launching {} ranks x {} NICs: {} epochs x {} iters of {} B ({}{})",
+        "launching {} ranks x {} NICs: {} epochs x {} iters of {} B ({}{}{})",
         cli.ranks,
         cli.nics,
         cli.opts.epochs,
@@ -164,9 +187,14 @@ fn main() -> ExitCode {
         match cli.opts.drop_every {
             Some(n) => format!(", drop every {n}"),
             None => String::new(),
+        },
+        match cli.opts.kill_rank {
+            Some(r) => format!(", kill rank {r} after epoch {}", cli.opts.kill_epoch),
+            None => String::new(),
         }
     );
-    let res = match spawn_world(cli.ranks, cli.nics, &args) {
+    let recovery = cli.opts.kill_rank.map(|_| RespawnSpec { max_attempts: 1 });
+    let res = match spawn_world_with_recovery(cli.ranks, cli.nics, &args, recovery) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("launch failed: {e}");
@@ -195,6 +223,26 @@ fn main() -> ExitCode {
         cli.ranks, cli.nics, agg.total_ops, agg.max_wall_ns, ops_per_sec, agg.max_threads
     );
     eprintln!("storm complete: all {} ranks OK", cli.ranks);
+    if cli.opts.kill_rank.is_some() {
+        // Exact post-rejoin MMAS accounting: survivors ran every epoch,
+        // the respawned incarnation ran exactly the post-kill epochs,
+        // and all of them passed per-epoch verify + zero-reset. Any
+        // lost or double-counted op breaks this sum.
+        let survivors = (cli.ranks - 1) as u64 * (cli.opts.iters * cli.opts.epochs) as u64;
+        let respawned = (cli.opts.iters * (cli.opts.epochs - cli.opts.kill_epoch - 1)) as u64;
+        let expect = survivors + respawned;
+        if agg.ranks_seen != cli.ranks || agg.total_ops != expect {
+            eprintln!(
+                "STORM_HEAL_FAIL ranks_seen={} (want {}), total_ops={} (want {expect})",
+                agg.ranks_seen, cli.ranks, agg.total_ops
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "heal accounting exact: {} ops across {} ranks after kill + rejoin",
+            agg.total_ops, cli.ranks
+        );
+    }
     if let Some(floor) = cli.min_ops_per_sec {
         if ops_per_sec < floor {
             eprintln!(

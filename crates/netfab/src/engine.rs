@@ -14,7 +14,17 @@
 //!   acked, deduplicated at the receiver with
 //!   [`unr_core::DedupWindow`], and retransmitted with
 //!   exponential backoff by a progress thread. Exhausted retries latch
-//!   the channel down ([`UnrError::RetryExhausted`]).
+//!   the transport down and surface as structured
+//!   [`UnrError::PeerFailed`] errors naming the dead rank, its cause
+//!   and the membership epoch.
+//!
+//! In a post-recovery world (membership epoch > 0, see
+//! [`NetWorld::epoch`]) every control frame is wrapped in the
+//! `unr_core::wire` epoch envelope; inbound frames carrying an epoch
+//! older than this engine's are fenced off the control path and counted
+//! in `unr.epoch.stale_rejects`, exactly like stale signal generations.
+//! PUT/GET data frames are not stamped: on netfab the whole TCP mesh is
+//! rebuilt per epoch, so no data frame can cross an epoch boundary.
 //!
 //! Signals come from the same lock-free
 //! [`unr_core::SignalTable`] the simnet engine uses;
@@ -33,7 +43,8 @@ use unr_core::signal::{Signal, SignalError, SignalTable};
 use unr_core::wire::{self, CtrlMsg};
 use unr_core::{
     striped_addends, AggFlush, AggMetrics, Backend, Blk, Channel, Coalescer, DedupWindow,
-    Encoding, FlushWhy, Notif, Reliability, SigKey, UnrConfig, UnrError,
+    Encoding, Epoch, FlushWhy, MemCheckpoint, Notif, PeerFailedCause, Reliability, SigKey,
+    UnrConfig, UnrError,
 };
 use unr_simnet::FabricError;
 
@@ -122,6 +133,34 @@ impl NetMem {
             sig_key: sig.map(|s| s.key()).unwrap_or(SigKey::NULL),
         }
     }
+
+    /// Snapshot the whole region into an epoch-stamped in-memory
+    /// checkpoint — the netfab counterpart of
+    /// [`unr_core::UnrMem::checkpoint`]. A respawned incarnation calls
+    /// [`NetMem::restore`] on its freshly registered region before
+    /// re-exchanging BLKs, so the new epoch starts from the
+    /// checkpointed bytes.
+    pub fn checkpoint(&self, epoch: Epoch) -> MemCheckpoint {
+        MemCheckpoint {
+            epoch,
+            region_id: self.region_id,
+            offset: 0,
+            data: self.region.snapshot(0, self.region.len()),
+        }
+    }
+
+    /// Write a checkpoint back into the region at the offset it was
+    /// taken from. Panics if the checkpoint names a different region.
+    pub fn restore(&self, ckpt: &MemCheckpoint) {
+        assert_eq!(
+            ckpt.region_id, self.region_id,
+            "checkpoint belongs to a different region"
+        );
+        assert!(
+            self.region.write(ckpt.offset, &ckpt.data),
+            "checkpoint restore in bounds"
+        );
+    }
 }
 
 /// Sink that decodes inbound 128-bit custom bits into a [`Notif`] and
@@ -146,6 +185,10 @@ pub struct NetUnr {
     table: Arc<SignalTable>,
     reliable: bool,
     faults: NetFaults,
+    /// Membership epoch of the world incarnation this engine drives —
+    /// fixed for the engine's lifetime (netfab rebuilds the engine per
+    /// epoch). 0: no rank has ever died; control frames ride bare.
+    epoch: u64,
     rel: Arc<RelState>,
     stop: Arc<AtomicBool>,
     progress: Mutex<Option<JoinHandle<()>>>,
@@ -200,6 +243,7 @@ impl NetUnr {
             sends: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
+        let epoch = world.epoch();
 
         let rto = MIN_RTO.max(Duration::from_nanos(cfg.retry_timeout));
         let cap = MIN_BACKOFF_CAP.max(Duration::from_nanos(cfg.retry_max_backoff));
@@ -215,7 +259,7 @@ impl NetUnr {
                     while !stop.load(Ordering::Relaxed) {
                         let mut worked = false;
                         while let Some((src, bytes)) = fabric.pop_ctrl() {
-                            handle_ctrl(&fabric, &table, &rel, src, &bytes);
+                            handle_ctrl(&fabric, &table, &rel, epoch, src, &bytes);
                             worked = true;
                         }
                         sweep_retries(&fabric, &rel, rto, cap, max_retries);
@@ -261,6 +305,7 @@ impl NetUnr {
             table,
             reliable,
             faults,
+            epoch,
             rel,
             stop,
             progress: Mutex::new(Some(progress)),
@@ -322,9 +367,32 @@ impl NetUnr {
         mem.blk(offset, len, sig)
     }
 
-    fn check_channel_up(&self) -> Result<(), UnrError> {
-        if self.rel.failed.lock().expect("failed lock").is_some() {
-            return Err(UnrError::ChannelDown);
+    /// The membership epoch this engine incarnation runs in.
+    pub fn epoch(&self) -> Epoch {
+        Epoch::new(self.epoch)
+    }
+
+    /// Structured peer-failure error naming this engine's epoch.
+    /// `unr.recovery.peer_failures` counts only in post-recovery worlds
+    /// (epoch > 0), keeping epoch-0 metric snapshots unchanged.
+    fn peer_failed(&self, rank: usize, cause: PeerFailedCause) -> UnrError {
+        if self.epoch > 0 {
+            self.fabric
+                .obs
+                .metrics
+                .counter("unr.recovery.peer_failures")
+                .inc();
+        }
+        UnrError::PeerFailed {
+            rank,
+            epoch: Epoch::new(self.epoch),
+            cause,
+        }
+    }
+
+    fn check_peer_up(&self) -> Result<(), UnrError> {
+        if let Some((dst, attempts)) = *self.rel.failed.lock().expect("failed lock") {
+            return Err(self.peer_failed(dst, PeerFailedCause::RetryExhausted { attempts }));
         }
         Ok(())
     }
@@ -403,7 +471,7 @@ impl NetUnr {
         remote_sig: SigKey,
     ) -> Result<(), UnrError> {
         if self.reliable {
-            self.check_channel_up()?;
+            self.check_peer_up()?;
         }
         let region = self.validate_pair(local, remote)?;
         if self.agg.is_some() {
@@ -448,7 +516,7 @@ impl NetUnr {
                         custom,
                         &data,
                     )
-                    .map_err(|_| UnrError::ChannelDown)?;
+                    .map_err(|_| self.peer_failed(remote.rank, PeerFailedCause::Killed))?;
             }
             off += chunk;
         }
@@ -493,7 +561,7 @@ impl NetUnr {
                 local.offset as u64,
                 custom_local,
             )
-            .map_err(|_| UnrError::ChannelDown)
+            .map_err(|_| self.peer_failed(remote.rank, PeerFailedCause::Killed))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -513,7 +581,13 @@ impl NetUnr {
             ns[dst] += 1;
             s
         };
-        let msg = wire::seq_data_msg(seq, region_id, offset as u64, key, addend, payload);
+        // Stamp once at build time: netfab epochs are fixed per engine
+        // incarnation, so retransmits legitimately resend this exact
+        // envelope.
+        let msg = stamp_ctrl(
+            self.epoch,
+            wire::seq_data_msg(seq, region_id, offset as u64, key, addend, payload),
+        );
         let rto = MIN_RTO.max(Duration::from_nanos(self.cfg.retry_timeout));
         self.rel.pending.lock().expect("pending lock").insert(
             (dst, seq),
@@ -534,7 +608,7 @@ impl NetUnr {
         } else {
             self.fabric
                 .send_ctrl(dst, nic, &msg)
-                .map_err(|_| UnrError::ChannelDown)?;
+                .map_err(|_| self.peer_failed(dst, PeerFailedCause::Killed))?;
         }
         Ok(())
     }
@@ -625,7 +699,10 @@ impl NetUnr {
                 ns[dst] += 1;
                 s
             };
-            let msg = wire::agg_msg(seq, true, &fl.spans, &fl.sigs, &fl.payload);
+            let msg = stamp_ctrl(
+                self.epoch,
+                wire::agg_msg(seq, true, &fl.spans, &fl.sigs, &fl.payload),
+            );
             let rto = MIN_RTO.max(Duration::from_nanos(self.cfg.retry_timeout));
             // Register before sending: the progress thread's sweep
             // resends the stored frame verbatim, so one entry covers
@@ -649,13 +726,16 @@ impl NetUnr {
             } else {
                 self.fabric
                     .send_ctrl(dst, nic, &msg)
-                    .map_err(|_| UnrError::ChannelDown)?;
+                    .map_err(|_| self.peer_failed(dst, PeerFailedCause::Killed))?;
             }
         } else {
-            let msg = wire::agg_msg(0, false, &fl.spans, &fl.sigs, &fl.payload);
+            let msg = stamp_ctrl(
+                self.epoch,
+                wire::agg_msg(0, false, &fl.spans, &fl.sigs, &fl.payload),
+            );
             self.fabric
                 .send_ctrl(dst, nic, &msg)
-                .map_err(|_| UnrError::ChannelDown)?;
+                .map_err(|_| self.peer_failed(dst, PeerFailedCause::Killed))?;
         }
         // The deferred local (source-completion) addends: buffered-send
         // semantics, applied once the aggregate is posted.
@@ -667,8 +747,9 @@ impl NetUnr {
     }
 
     /// Block until `sig` triggers. Errors: overflow, a latched reliable
-    /// failure ([`UnrError::RetryExhausted`]), or the wall-clock cap
-    /// (default 30 s; override with `UNR_NETFAB_WAIT_MS`).
+    /// failure (structured [`UnrError::PeerFailed`] naming the dead
+    /// rank), or the wall-clock cap (default 30 s; override with
+    /// `UNR_NETFAB_WAIT_MS`).
     pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
         // Entering a blocking wait: anything still buffered must go out
         // or the awaited signal may never trigger.
@@ -688,7 +769,7 @@ impl NetUnr {
                 return Ok(());
             }
             if let Some((dst, attempts)) = *self.rel.failed.lock().expect("failed lock") {
-                return Err(UnrError::RetryExhausted { dst, attempts });
+                return Err(self.peer_failed(dst, PeerFailedCause::RetryExhausted { attempts }));
             }
             let waited = start.elapsed();
             if waited >= self.wait_timeout {
@@ -763,14 +844,38 @@ fn encode_sig(key: SigKey, addend: i64) -> Result<u128, UnrError> {
         .map_err(UnrError::Encode)
 }
 
-/// Apply one inbound control message (progress-thread context).
+/// Wrap a control message in the epoch envelope when membership is
+/// active (epoch > 0); epoch-0 worlds keep the bare wire format, so
+/// fault-free runs are byte-identical to the pre-epoch protocol.
+fn stamp_ctrl(epoch: u64, msg: Vec<u8>) -> Vec<u8> {
+    if epoch == 0 {
+        msg
+    } else {
+        wire::epoch_wrap(epoch, &msg)
+    }
+}
+
+/// Apply one inbound control message (progress-thread context). Frames
+/// wrapped in the epoch envelope are fenced first: a stale epoch (older
+/// than this engine's) is dropped and counted, never parsed.
 fn handle_ctrl(
     fabric: &Arc<NetFabric>,
     table: &Arc<SignalTable>,
     rel: &Arc<RelState>,
+    epoch: u64,
     src: usize,
     bytes: &[u8],
 ) {
+    let bytes = match wire::epoch_unwrap(bytes) {
+        Some((msg_epoch, inner)) => {
+            if msg_epoch < epoch {
+                fabric.obs.metrics.counter("unr.epoch.stale_rejects").inc();
+                return;
+            }
+            inner
+        }
+        None => bytes,
+    };
     match CtrlMsg::parse(bytes) {
         CtrlMsg::SeqData {
             seq,
@@ -790,7 +895,7 @@ fn handle_ctrl(
                 fabric.met.dup_suppressed.inc();
             }
             // Always ack — the first ack may have been lost.
-            let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+            let _ = fabric.send_ctrl(src, 0, &stamp_ctrl(epoch, wire::ack_msg(seq)));
         }
         CtrlMsg::SeqNotif { seq, key, addend } => {
             let fresh = rel.dedup.lock().expect("dedup lock")[src].insert(seq);
@@ -799,7 +904,7 @@ fn handle_ctrl(
             } else {
                 fabric.met.dup_suppressed.inc();
             }
-            let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+            let _ = fabric.send_ctrl(src, 0, &stamp_ctrl(epoch, wire::ack_msg(seq)));
         }
         CtrlMsg::Ack { seq } => {
             if rel
@@ -841,7 +946,7 @@ fn handle_ctrl(
                     fabric.met.dup_suppressed.inc();
                 }
                 // Always ack — the first ack may have been lost.
-                let _ = fabric.send_ctrl(src, 0, &wire::ack_msg(seq));
+                let _ = fabric.send_ctrl(src, 0, &stamp_ctrl(epoch, wire::ack_msg(seq)));
                 fresh
             } else {
                 true

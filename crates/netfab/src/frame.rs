@@ -36,6 +36,7 @@
 //! | 11   | `TABLE`   | `nranks u32, nics u32, port u16 × (nranks × nics)`  |
 //! | 12   | `GATHER`  | opaque contribution to a collective round           |
 //! | 13   | `ALLDATA` | `nranks × (len u32, bytes)` — concatenated results  |
+//! | 14   | `REJOIN`  | `epoch u64` — a rank died; re-run the rendezvous    |
 
 use std::io::{self, Read, Write};
 
@@ -61,6 +62,11 @@ pub const FRAME_TABLE: u8 = 11;
 pub const FRAME_GATHER: u8 = 12;
 /// Bootstrap: the concatenated contributions of all ranks.
 pub const FRAME_ALLDATA: u8 = 13;
+/// Recovery: the parent interrupts a collective round because a rank
+/// died and is being respawned; body is the new membership epoch
+/// (`u64` LE). Survivors tear down their engine and re-run the
+/// JOIN→TABLE rendezvous ([`crate::launch::NetWorld::rejoin`]).
+pub const FRAME_REJOIN: u8 = 14;
 
 /// Upper bound on a frame body; larger prefixes indicate a corrupt or
 /// desynchronized stream and are rejected instead of allocated.

@@ -68,6 +68,8 @@ pub mod storm;
 
 pub use engine::{NetFaults, NetMem, NetUnr};
 pub use fabric::{NetAddSink, NetFabric, NetRegion, TransportMetrics};
-pub use launch::{spawn_world, NetWorld, WorldResult};
+pub use launch::{
+    spawn_world, spawn_world_with_recovery, Gathered, NetWorld, RespawnSpec, WorldResult,
+};
 pub use reactor::{process_thread_count, FrameQueue, ReactorMetrics, DEFAULT_REACTORS};
 pub use storm::{run_storm, StormOpts, StormOutcome};

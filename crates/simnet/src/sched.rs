@@ -122,6 +122,18 @@ impl Sched {
         }
     }
 
+    /// Wake every blocked actor at `t` (level-triggered, like
+    /// [`Sched::wake`]). Used by membership changes — a rank kill or
+    /// revive must force every parked waiter to re-evaluate its
+    /// predicate, since the condition it is waiting on may now be
+    /// unsatisfiable (the addend's source rank died) or newly
+    /// satisfiable (the rank rejoined).
+    pub fn wake_all(&mut self, t: Ns) {
+        for id in 0..self.actors.len() {
+            self.wake(ActorId(id), t);
+        }
+    }
+
     /// Local virtual time of an actor.
     pub fn actor_time(&self, id: ActorId) -> Ns {
         self.actors[id.0].t

@@ -8,6 +8,7 @@
 //! class of bugs the paper's authors spent months debugging in the
 //! hand-written RMA version of PowerLLEL.
 
+use crate::epoch::Epoch;
 use crate::signal::SigKey;
 use unr_simnet::{MemRegion, RKey};
 
@@ -55,19 +56,26 @@ impl Blk {
         b
     }
 
-    /// Deserialize; returns `None` on short input.
+    /// Deserialize; returns `None` on short input or on a descriptor no
+    /// [`UnrMem::blk`] could have produced (a zero-length region —
+    /// zero-length registrations are rejected at `Unr::mem_reg` time, so
+    /// such bytes are corruption, not a peer's handle).
     pub fn from_bytes(b: &[u8]) -> Option<Blk> {
         if b.len() < BLK_WIRE_LEN {
             return None;
         }
-        Some(Blk {
+        let blk = Blk {
             rank: u64::from_le_bytes(b[0..8].try_into().ok()?) as usize,
             region_id: u32::from_le_bytes(b[8..12].try_into().ok()?),
             region_len: u64::from_le_bytes(b[12..20].try_into().ok()?) as usize,
             offset: u64::from_le_bytes(b[20..28].try_into().ok()?) as usize,
             len: u64::from_le_bytes(b[28..36].try_into().ok()?) as usize,
             sig_key: SigKey::from_raw(u64::from_le_bytes(b[36..44].try_into().ok()?)),
-        })
+        };
+        if blk.region_len == 0 {
+            return None;
+        }
+        Some(blk)
     }
 
     /// A sub-block at `rel_offset` within this block (bounds-checked),
@@ -161,6 +169,71 @@ impl UnrMem {
             .read_slice(elem_offset, out)
             .expect("UnrMem read in bounds");
     }
+
+    // ---- checkpoint / restore ------------------------------------------
+
+    /// Snapshot the whole region into an epoch-stamped in-memory
+    /// checkpoint (Besta & Hoefler's in-memory-checkpoint model; see
+    /// [`crate::epoch`]). `Unr::checkpoint` is the engine entry point
+    /// that stamps the current membership epoch automatically.
+    pub fn checkpoint(&self, epoch: Epoch) -> MemCheckpoint {
+        MemCheckpoint {
+            epoch,
+            region_id: self.region.rkey.id,
+            offset: 0,
+            data: self
+                .region
+                .snapshot(0, self.region.len())
+                .expect("whole-region snapshot in bounds"),
+        }
+    }
+
+    /// Snapshot just one block of this region (must be a block of this
+    /// region — checked against the region id).
+    pub fn checkpoint_blk(&self, blk: &Blk, epoch: Epoch) -> MemCheckpoint {
+        assert_eq!(
+            blk.region_id, self.region.rkey.id,
+            "blk belongs to a different region"
+        );
+        MemCheckpoint {
+            epoch,
+            region_id: blk.region_id,
+            offset: blk.offset,
+            data: self
+                .region
+                .snapshot(blk.offset, blk.len)
+                .expect("blk snapshot in bounds"),
+        }
+    }
+
+    /// Write a checkpoint back into the region at the offset it was
+    /// taken from. Called on a respawned rank *before* it re-registers
+    /// with its peers, so the restored bytes are what the new epoch
+    /// starts from. Panics if the checkpoint names a different region.
+    pub fn restore(&self, ckpt: &MemCheckpoint) {
+        assert_eq!(
+            ckpt.region_id, self.region.rkey.id,
+            "checkpoint belongs to a different region"
+        );
+        self.region
+            .write_bytes(ckpt.offset, &ckpt.data)
+            .expect("checkpoint restore in bounds");
+    }
+}
+
+/// An epoch-stamped in-memory snapshot of (part of) a registered
+/// region, produced by [`UnrMem::checkpoint`] / [`UnrMem::checkpoint_blk`]
+/// and applied by [`UnrMem::restore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemCheckpoint {
+    /// Membership epoch the snapshot was taken in.
+    pub epoch: Epoch,
+    /// Region the snapshot belongs to (checked on restore).
+    pub region_id: u32,
+    /// Byte offset of the snapshot inside the region.
+    pub offset: usize,
+    /// The snapshotted bytes.
+    pub data: Vec<u8>,
 }
 
 impl std::fmt::Debug for UnrMem {
@@ -196,6 +269,18 @@ mod tests {
     #[test]
     fn from_bytes_rejects_short() {
         assert_eq!(Blk::from_bytes(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn from_bytes_rejects_zero_length_region() {
+        // A descriptor `UnrMem::blk` can never produce: region_len == 0
+        // (mem_reg rejects empty registrations). Must not round-trip.
+        let mut b = sample();
+        b.region_len = 0;
+        let w = b.to_bytes();
+        assert_eq!(Blk::from_bytes(&w), None);
+        // All-zero bytes are exactly such a descriptor.
+        assert_eq!(Blk::from_bytes(&[0u8; BLK_WIRE_LEN]), None);
     }
 
     #[test]

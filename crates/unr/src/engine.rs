@@ -4,7 +4,7 @@
 use unr_simnet::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use unr_simnet::{
     ActorId, AtomicAddSink, Bandwidth, Bytes, Completion, CompletionKind, CompletionQueue,
@@ -12,7 +12,8 @@ use unr_simnet::{
 };
 
 use crate::agg::{AggFlush, AggMetrics, Coalescer, FlushWhy};
-use crate::blk::{Blk, UnrMem};
+use crate::blk::{Blk, MemCheckpoint, UnrMem};
+use crate::epoch::{Epoch, EpochMetrics, MembershipView, PeerFailedCause, RecoveryPolicy};
 use crate::channel::{Channel, ChannelSelect, DirEncodings, Mechanism};
 use crate::level::{EncodeError, Encoding, Notif, SupportLevel};
 use crate::retry::{
@@ -111,6 +112,11 @@ pub struct UnrConfig {
     /// Flush a destination's aggregate ring once it holds this many
     /// puts.
     pub agg_flush_puts: usize,
+    /// What to do when a peer rank dies ([`RecoveryPolicy::Abort`] by
+    /// default: surface [`UnrError::PeerFailed`] and let the
+    /// application decide). Validated by [`UnrConfig::validate`] —
+    /// [`RecoveryPolicy::Respawn`] needs the reliable transport.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for UnrConfig {
@@ -135,6 +141,7 @@ impl Default for UnrConfig {
             agg_eager_max: 0,
             agg_flush_bytes: 8192,
             agg_flush_puts: 64,
+            recovery: RecoveryPolicy::Abort,
         }
     }
 }
@@ -254,6 +261,50 @@ impl UnrConfigBuilder {
         self
     }
 
+    /// What to do when a peer rank dies (default
+    /// [`RecoveryPolicy::Abort`]).
+    ///
+    /// ```
+    /// use unr_core::{RecoveryPolicy, UnrConfig};
+    /// let cfg = UnrConfig::builder()
+    ///     .recovery(RecoveryPolicy::Respawn {
+    ///         max_attempts: 2,
+    ///         rejoin_timeout: 5_000_000,
+    ///     })
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(matches!(cfg.recovery, RecoveryPolicy::Respawn { .. }));
+    /// ```
+    ///
+    /// `Respawn` is validated at build time: it needs at least one
+    /// attempt, a positive rejoin timeout, and the reliable transport
+    /// (survivors must be able to drain and reroute in-flight traffic
+    /// toward the corpse — with [`Reliability::Off`] there is nothing
+    /// tracking that traffic, so the combination is rejected):
+    ///
+    /// ```
+    /// use unr_core::{RecoveryPolicy, Reliability, UnrConfig};
+    /// assert!(UnrConfig::builder()
+    ///     .reliability(Reliability::Off)
+    ///     .recovery(RecoveryPolicy::Respawn {
+    ///         max_attempts: 1,
+    ///         rejoin_timeout: 1_000,
+    ///     })
+    ///     .build()
+    ///     .is_err());
+    /// assert!(UnrConfig::builder()
+    ///     .recovery(RecoveryPolicy::Respawn {
+    ///         max_attempts: 0, // must be >= 1
+    ///         rejoin_timeout: 1_000,
+    ///     })
+    ///     .build()
+    ///     .is_err());
+    /// ```
+    pub fn recovery(mut self, v: RecoveryPolicy) -> Self {
+        self.cfg.recovery = v;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<UnrConfig, UnrError> {
         self.cfg.validate()?;
@@ -318,6 +369,30 @@ impl UnrConfig {
                 ));
             }
         }
+        if let RecoveryPolicy::Respawn {
+            max_attempts,
+            rejoin_timeout,
+        } = self.recovery
+        {
+            if max_attempts == 0 {
+                return Err(UnrError::InvalidConfig(
+                    "recovery: Respawn.max_attempts must be >= 1".into(),
+                ));
+            }
+            if rejoin_timeout == 0 {
+                return Err(UnrError::InvalidConfig(
+                    "recovery: Respawn.rejoin_timeout must be positive".into(),
+                ));
+            }
+            if self.reliability == Reliability::Off {
+                return Err(UnrError::InvalidConfig(
+                    "recovery: Respawn needs the reliable transport (survivors \
+                     drain and reroute in-flight traffic toward the dead rank); \
+                     Reliability::Off does not support it"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
     /// The compute-time inflation factor modeling a co-located polling
@@ -366,12 +441,50 @@ pub enum UnrError {
         /// How long the caller waited, in virtual nanoseconds.
         waited: Ns,
     },
+    /// A peer rank is failed — the single terminal peer-loss state.
+    ///
+    /// Consolidates the old `ChannelDown` / `RetryExhausted` pair: the
+    /// `cause` says whether the reliable transport exhausted its
+    /// retransmissions ([`PeerFailedCause::RetryExhausted`]) or the
+    /// membership layer declared the rank dead
+    /// ([`PeerFailedCause::Killed`]). `epoch` is the membership epoch
+    /// the failure was observed in ([`Epoch::ZERO`] when membership
+    /// never armed).
+    PeerFailed {
+        /// The failed peer rank.
+        rank: usize,
+        /// Membership epoch the failure was observed in.
+        epoch: Epoch,
+        /// What convinced the runtime the peer is gone.
+        cause: PeerFailedCause,
+    },
+    /// A wire message carried a membership epoch older than this rank's
+    /// current epoch and was fenced off the control path (the
+    /// membership analogue of a stale signal generation; counted in
+    /// `unr.epoch.stale_rejects`).
+    StaleEpoch {
+        /// Epoch stamped on the rejected message.
+        msg_epoch: Epoch,
+        /// The receiver's current membership epoch.
+        current: Epoch,
+    },
     /// The reliable transport already declared this context's channel
     /// down (a previous sub-message exhausted its retries); further
     /// operations are refused.
+    #[deprecated(
+        since = "0.2.0",
+        note = "folded into `UnrError::PeerFailed`; no longer constructed — match \
+                `PeerFailed { .. }` instead (alias kept one release)"
+    )]
     ChannelDown,
     /// A sub-message exhausted its retransmission budget even after NIC
     /// rotation and fallback rerouting — the destination is unreachable.
+    #[deprecated(
+        since = "0.2.0",
+        note = "folded into `UnrError::PeerFailed` with \
+                `cause: PeerFailedCause::RetryExhausted`; no longer constructed \
+                (alias kept one release)"
+    )]
     RetryExhausted {
         /// Destination rank of the abandoned sub-message.
         dst: usize,
@@ -382,6 +495,16 @@ pub enum UnrError {
     InvalidConfig(String),
 }
 
+impl UnrError {
+    /// Whether this error means a peer is terminally gone (any
+    /// [`UnrError::PeerFailed`], regardless of cause).
+    pub fn is_peer_failure(&self) -> bool {
+        matches!(self, UnrError::PeerFailed { .. })
+    }
+}
+
+// The deprecated aliases must still render until they are removed.
+#[allow(deprecated)]
 impl std::fmt::Display for UnrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -402,6 +525,13 @@ impl std::fmt::Display for UnrError {
             UnrError::Timeout { waited } => {
                 write!(f, "signal wait timed out after {waited} ns")
             }
+            UnrError::PeerFailed { rank, epoch, cause } => {
+                write!(f, "peer rank {rank} failed in {epoch}: {cause}")
+            }
+            UnrError::StaleEpoch { msg_epoch, current } => write!(
+                f,
+                "stale-epoch message fenced: stamped {msg_epoch}, current {current}"
+            ),
             UnrError::ChannelDown => {
                 write!(f, "channel is down: a sub-message exhausted its retries")
             }
@@ -637,6 +767,15 @@ pub(crate) struct UnrCore {
     /// pass was measurable wall-clock churn. Shared between the rank
     /// and the agent; contention is counted, never waited-for silently.
     pub scratch: Mutex<Vec<Completion>>,
+    /// The fabric this core runs on — membership/epoch queries on the
+    /// control path read its lock-free membership atomics directly.
+    pub fabric: Arc<unr_simnet::Fabric>,
+    /// `unr.epoch.*` / `unr.recovery.*` instruments, registered lazily
+    /// at the first membership event so fault-free snapshots carry
+    /// none of these series.
+    pub emet: OnceLock<EpochMetrics>,
+    /// Last membership epoch this engine observed (for bump counting).
+    pub last_epoch: AtomicU64,
 }
 
 /// A deferred reply computed inside scheduler context and sent after.
@@ -656,6 +795,95 @@ enum Reply {
 }
 
 impl UnrCore {
+    // ---- membership / epoch fencing -------------------------------------
+
+    /// One relaxed load: has rank membership ever been armed on this
+    /// fabric? This is the only membership cost a fault-free run pays,
+    /// which is what keeps the golden seeded traces byte-identical.
+    pub(crate) fn membership_on(&self) -> bool {
+        self.fabric.membership_active()
+    }
+
+    /// Fast wait-predicate check: is any rank currently dead? (Waiters
+    /// must fail fast with [`UnrError::PeerFailed`] instead of parking
+    /// on an addend whose source can never send it.)
+    pub(crate) fn dead_peer(&self) -> bool {
+        self.membership_on() && self.fabric.num_dead() > 0
+    }
+
+    /// The lazily-registered epoch/recovery instruments.
+    pub(crate) fn emet(&self) -> &EpochMetrics {
+        self.emet.get_or_init(|| EpochMetrics::new(&self.fabric.obs))
+    }
+
+    /// Read the fabric's membership epoch, counting any advance since
+    /// the last observation into `unr.epoch.bumps`.
+    pub(crate) fn observe_epoch(&self) -> Epoch {
+        let cur = self.fabric.membership_epoch();
+        let prev = self.last_epoch.swap(cur, Ordering::Relaxed);
+        if cur > prev {
+            self.emet().bumps.add(cur - prev);
+        }
+        Epoch::new(cur)
+    }
+
+    /// Fence an incoming control frame: unwrap the epoch envelope if
+    /// present and reject stale-epoch frames (the membership analogue
+    /// of the signal table's stale-generation reject). Returns the
+    /// inner frame, or `None` when the frame was fenced.
+    fn admit_ctrl<'a>(&self, bytes: &'a [u8]) -> Option<&'a [u8]> {
+        match wire::epoch_unwrap(bytes) {
+            // Bare frame: the epoch-0 era's wire format, admitted as-is.
+            None => Some(bytes),
+            Some((msg_epoch, inner)) => {
+                let current = self.observe_epoch();
+                match crate::epoch::admit(Epoch::new(msg_epoch), current) {
+                    Ok(()) => Some(inner),
+                    Err(_) => {
+                        self.emet().stale_rejects.inc();
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stamp an outgoing control frame with the sender's current epoch
+    /// once membership is active; bare frames otherwise, so fault-free
+    /// wire traffic is byte-identical to pre-epoch builds.
+    fn stamp_ctrl(&self, bytes: Vec<u8>) -> Vec<u8> {
+        if bytes.is_empty() || !self.membership_on() {
+            return bytes;
+        }
+        wire::epoch_wrap(self.observe_epoch().raw(), &bytes)
+    }
+
+    /// Drain reliable in-flight traffic addressed to dead ranks so it
+    /// is neither retransmitted at a corpse nor counted as exhaustion
+    /// (`unr.recovery.drained_subs`), then wake waiters so their
+    /// predicates re-evaluate against the new membership.
+    fn drain_dead(&self, sched: &mut Sched, t: Ns) {
+        if !self.membership_on() {
+            return;
+        }
+        let Some(retry) = &self.retry else { return };
+        if self.fabric.num_dead() == 0 {
+            return;
+        }
+        let mut drained = 0usize;
+        for r in 0..self.fabric.cfg.total_ranks() {
+            if !self.fabric.rank_alive(r) {
+                drained += retry.drain_dst(r);
+            }
+        }
+        if drained > 0 {
+            self.emet().drained_subs.add(drained as u64);
+            for w in retry.take_waiters() {
+                sched.wake(w, t);
+            }
+        }
+    }
+
     /// Drain completion events and control messages once; apply the
     /// notifications. Returns (events processed, replies to send);
     /// `work.1` accumulates fallback payload bytes (the receive-side
@@ -716,12 +944,19 @@ impl UnrCore {
         drop(events);
         while let Some(d) = self.port.try_pop() {
             n += 1;
-            if CtrlMsg::is_data_bearing(d.bytes[0]) {
-                fb_bytes += d.bytes.len();
+            // Membership fence: unwrap the epoch envelope (bare frames
+            // pass through) and drop stale-epoch frames before the
+            // control path ever parses them.
+            let Some(frame) = self.admit_ctrl(&d.bytes) else {
+                continue;
+            };
+            if CtrlMsg::is_data_bearing(frame[0]) {
+                fb_bytes += frame.len();
                 fb_msgs += 1;
             }
-            self.handle_ctrl(sched, t, d.src, &d.bytes, replies);
+            self.handle_ctrl(sched, t, d.src, frame, replies);
         }
+        self.drain_dead(sched, t);
         self.sweep_retries(sched, t, replies);
         self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
         self.met.events_progressed.add(n as u64);
@@ -1042,6 +1277,9 @@ impl Unr {
             amet,
             agg_vcost: AtomicU64::new(0),
             scratch: Mutex::new(Vec::new()),
+            fabric: Arc::clone(ep.fabric()),
+            emet: OnceLock::new(),
+            last_epoch: AtomicU64::new(0),
         });
         let progress_mode = cfg.progress.unwrap_or(if channel.hardware && !reliable {
             ProgressMode::Hardware
@@ -1144,6 +1382,55 @@ impl Unr {
         self.core.retry.as_ref().map_or(0, |r| r.in_flight())
     }
 
+    // ---- membership & recovery --------------------------------------------
+
+    /// The current membership epoch (see [`crate::epoch`]).
+    ///
+    /// [`Epoch::ZERO`] until a rank is killed; bumped on every kill and
+    /// every revive/rejoin. Observing the epoch through this accessor
+    /// also settles any pending advance into `unr.epoch.bumps`.
+    pub fn epoch(&self) -> Epoch {
+        self.core.observe_epoch()
+    }
+
+    /// A consistent snapshot of rank membership: epoch, liveness and
+    /// incarnation generation of every rank.
+    ///
+    /// Fault-free runs get the epoch-0 all-live view without touching
+    /// any membership state.
+    pub fn membership_view(&self) -> MembershipView {
+        let n = self.core.fabric.cfg.total_ranks();
+        if !self.core.membership_on() {
+            return MembershipView::world(n);
+        }
+        let fabric = &self.core.fabric;
+        MembershipView {
+            epoch: self.core.observe_epoch(),
+            live: (0..n).map(|r| fabric.rank_alive(r)).collect(),
+            generation: (0..n).map(|r| fabric.rank_generation(r)).collect(),
+        }
+    }
+
+    /// The configured [`RecoveryPolicy`].
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.core.cfg.recovery
+    }
+
+    /// `UNR_Checkpoint`: snapshot a registered region into an in-memory
+    /// checkpoint stamped with the current membership epoch (the Besta &
+    /// Hoefler in-memory-checkpoint model — see [`crate::epoch`]).
+    pub fn checkpoint(&self, mem: &UnrMem) -> MemCheckpoint {
+        mem.checkpoint(self.core.observe_epoch())
+    }
+
+    /// `UNR_Restore`: write a checkpoint back into its region. On a
+    /// respawned/revived rank this runs *before* re-registering with
+    /// peers, so the new epoch starts from the checkpointed bytes;
+    /// survivors use it to roll back to the last epoch boundary.
+    pub fn restore(&self, mem: &UnrMem, ckpt: &MemCheckpoint) {
+        mem.restore(ckpt);
+    }
+
     // ---- resources -------------------------------------------------------
 
     /// `UNR_Mem_Reg`: register `len` bytes for RMA.
@@ -1205,7 +1492,7 @@ impl Unr {
     ) -> Result<(), UnrError> {
         let local_sig = local_sig.raw();
         let remote_sig = remote_sig.raw();
-        self.check_channel_up()?;
+        self.check_peer_up(remote.rank)?;
         let my_rank = self.ep.rank();
         if local.rank != my_rank {
             return Err(UnrError::NotMyBlock {
@@ -1285,7 +1572,8 @@ impl Unr {
                     -1,
                     &data,
                 );
-                self.ep.send_ctrl(remote.rank, msg, self.default_nic());
+                self.ep
+                    .send_ctrl(remote.rank, self.core.stamp_ctrl(msg), self.default_nic());
                 self.apply_local_now(local_sig, -1);
                 Ok(())
             }
@@ -1298,8 +1586,8 @@ impl Unr {
                         key: local_sig,
                         addend: if local_sig == 0 { 0 } else { -1 },
                     })?;
-                let companion =
-                    (remote_sig != 0).then(|| (UNR_PORT, wire::companion_msg(remote_sig, -1)));
+                let companion = (remote_sig != 0)
+                    .then(|| (UNR_PORT, self.core.stamp_ctrl(wire::companion_msg(remote_sig, -1))));
                 self.ep.put(PutOp {
                     src: &region,
                     src_offset: local.offset,
@@ -1436,7 +1724,8 @@ impl Unr {
                 let msg = UnrCore::build_seq_data(&sub);
                 retry.register(sub);
                 entries.push((dst, seq));
-                self.ep.send_ctrl(dst, msg, self.default_nic());
+                self.ep
+                    .send_ctrl(dst, self.core.stamp_ctrl(msg), self.default_nic());
             }
             Mechanism::RmaCompanion | Mechanism::Rma(_) => {
                 let k = self.stripes_for_reliable(len);
@@ -1472,7 +1761,7 @@ impl Unr {
                         first_post: 0,
                         deadline: 0,
                     };
-                    let companion = UnrCore::build_seq_notif(&sub);
+                    let companion = self.core.stamp_ctrl(UnrCore::build_seq_notif(&sub));
                     let payload = sub.payload.clone(); // refcount bump, not a copy
                     // Register before posting: the polling agent sweeps
                     // this state concurrently, and the ack must never be
@@ -1618,7 +1907,8 @@ impl Unr {
         match &self.core.retry {
             None => {
                 let msg = wire::agg_msg(0, false, &fl.spans, &fl.sigs, &fl.payload);
-                self.ep.send_ctrl(dst, msg, self.default_nic());
+                self.ep
+                    .send_ctrl(dst, self.core.stamp_ctrl(msg), self.default_nic());
                 if fl.local_sigs.iter().any(|&(k, _)| k != 0) {
                     let core = Arc::clone(&self.core);
                     let locals = fl.local_sigs;
@@ -1658,8 +1948,11 @@ impl Unr {
                 // state concurrently, and the ack must never be able to
                 // outrun the registration it settles.
                 retry.register(sub);
-                self.ep
-                    .send_ctrl(dst, frame.as_ref().to_vec(), self.default_nic());
+                self.ep.send_ctrl(
+                    dst,
+                    self.core.stamp_ctrl(frame.as_ref().to_vec()),
+                    self.default_nic(),
+                );
                 // One scheduler entry arms the deadline wake-up AND
                 // applies the deferred local addends.
                 let retry2 = Arc::clone(retry);
@@ -1686,13 +1979,56 @@ impl Unr {
         }
     }
 
-    /// Refuse new work once the reliable transport has declared the
-    /// channel down.
-    fn check_channel_up(&self) -> Result<(), UnrError> {
-        match &self.core.retry {
-            Some(r) if r.failed() => Err(UnrError::ChannelDown),
-            _ => Ok(()),
+    /// Build the structured error for a failed peer: a membership kill
+    /// beats retry exhaustion as the cause, and the lowest-numbered dead
+    /// rank names the peer. `unr.recovery.peer_failures` counts every
+    /// surfaced failure — but only once the membership layer is active,
+    /// so packet-fault-only runs keep their pre-epoch metric snapshot.
+    fn peer_failed_error(&self) -> UnrError {
+        let core = &self.core;
+        if core.dead_peer() {
+            core.emet().peer_failures.inc();
+            return UnrError::PeerFailed {
+                rank: core.fabric.first_dead_rank().unwrap_or(0),
+                epoch: core.observe_epoch(),
+                cause: PeerFailedCause::Killed,
+            };
         }
+        let (rank, attempts) = core
+            .retry
+            .as_ref()
+            .and_then(|r| r.failure())
+            .unwrap_or((0, core.cfg.max_retries));
+        if core.membership_on() {
+            core.emet().peer_failures.inc();
+        }
+        UnrError::PeerFailed {
+            rank,
+            epoch: if core.membership_on() {
+                core.observe_epoch()
+            } else {
+                Epoch::ZERO
+            },
+            cause: PeerFailedCause::RetryExhausted { attempts },
+        }
+    }
+
+    /// Refuse new work once the reliable transport has declared the
+    /// channel down, or the membership layer has declared the *target*
+    /// rank dead (traffic between surviving ranks stays allowed).
+    fn check_peer_up(&self, dst: usize) -> Result<(), UnrError> {
+        if matches!(&self.core.retry, Some(r) if r.failed()) {
+            return Err(self.peer_failed_error());
+        }
+        if self.core.membership_on() && !self.core.fabric.rank_alive(dst) {
+            self.core.emet().peer_failures.inc();
+            return Err(UnrError::PeerFailed {
+                rank: dst,
+                epoch: self.core.observe_epoch(),
+                cause: PeerFailedCause::Killed,
+            });
+        }
+        Ok(())
     }
 
     /// `UNR_Get(local_blk, remote_blk)`: read the remote block into the
@@ -1733,7 +2069,7 @@ impl Unr {
     ) -> Result<(), UnrError> {
         let local_sig = local_sig.raw();
         let remote_sig = remote_sig.raw();
-        self.check_channel_up()?;
+        self.check_peer_up(remote.rank)?;
         let my_rank = self.ep.rank();
         if local.rank != my_rank {
             return Err(UnrError::NotMyBlock {
@@ -1792,7 +2128,8 @@ impl Unr {
                     remote_sig,
                     -1,
                 );
-                self.ep.send_ctrl(remote.rank, msg, self.default_nic());
+                self.ep
+                    .send_ctrl(remote.rank, self.core.stamp_ctrl(msg), self.default_nic());
                 Ok(())
             }
             Mechanism::RmaCompanion => {
@@ -1801,7 +2138,8 @@ impl Unr {
                     // message racing the remote read — correctness-
                     // verification channel only.
                     let msg = wire::companion_msg(remote_sig, -1);
-                    self.ep.send_ctrl(remote.rank, msg, self.default_nic());
+                    self.ep
+                        .send_ctrl(remote.rank, self.core.stamp_ctrl(msg), self.default_nic());
                 }
                 let custom_local = Encoding::Split64.encode(Notif {
                     key: local_sig,
@@ -1990,7 +2328,13 @@ impl Unr {
         }
         for r in replies {
             match r {
-                Reply::Dgram { dst, bytes } => ep.send_ctrl(dst, bytes, NicSel::Auto),
+                // Re-stamp at dispatch time: a retransmission of a
+                // pre-kill sub-message goes out under the *current*
+                // epoch, which is how surviving ranks' traffic heals
+                // through the epoch fence after a membership bump.
+                Reply::Dgram { dst, bytes } => {
+                    ep.send_ctrl(dst, core.stamp_ctrl(bytes), NicSel::Auto)
+                }
                 Reply::RmaPut {
                     payload,
                     dst_rkey,
@@ -2003,7 +2347,7 @@ impl Unr {
                         dst: dst_rkey,
                         dst_offset,
                         nic,
-                        companion,
+                        companion: core.stamp_ctrl(companion),
                     })
                     .expect("retransmit targets a validated region");
                 }
@@ -2014,29 +2358,46 @@ impl Unr {
 
     /// `UNR_Sig_Wait`: block until the signal triggers, driving progress
     /// if no polling agent exists. Reports overflow synchronization
-    /// errors (paper §IV-D). On a reliable context the wait also ends —
-    /// with [`UnrError::RetryExhausted`] — when the transport declares
-    /// the channel down, so a permanently lost message cannot hang the
-    /// rank.
+    /// errors (paper §IV-D). The wait also ends — with
+    /// [`UnrError::PeerFailed`] — when the reliable transport declares
+    /// the channel down or the membership layer declares a rank dead,
+    /// so a permanently lost message (or a killed source rank) cannot
+    /// hang the rank.
     pub fn sig_wait(&self, sig: &Signal) -> Result<(), UnrError> {
         // Entering a blocking wait flushes our own pending aggregates:
         // whatever the peer is waiting on may be sitting in a ring.
         self.agg_flush_all(FlushWhy::Wait);
         let n_bits = sig.n_bits();
+        let core = &self.core;
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
                 match &self.core.retry {
                     None => {
-                        return sig.wait(&self.ep).map_err(|e| {
-                            self.core.met.overflow_trips.inc();
-                            UnrError::Signal(e)
-                        });
+                        // Unreliable context: still end the wait when a
+                        // source rank dies — the addend can never
+                        // arrive, and `kill_rank` wakes every parked
+                        // actor so this predicate re-evaluates.
+                        self.ep.actor().wait_until(
+                            |_st| sig.ready(n_bits) || core.dead_peer(),
+                            |_st, me| sig.register_waiter(me),
+                        );
+                        if sig.ready(n_bits) {
+                            // Predicate already true: this runs sig.wait's
+                            // overflow accounting without re-parking.
+                            return sig.wait(&self.ep).map_err(|e| {
+                                self.core.met.overflow_trips.inc();
+                                UnrError::Signal(e)
+                            });
+                        }
+                        return Err(self.peer_failed_error());
                     }
                     Some(retry) => {
                         // The wait closures only borrow: no Arc or probe
                         // clones per wait on this hot path.
                         self.ep.actor().wait_until(
-                            |_st| sig.ready(n_bits) || retry.failed(),
+                            |_st| {
+                                sig.ready(n_bits) || retry.failed() || core.dead_peer()
+                            },
                             |_st, me| {
                                 sig.register_waiter(me);
                                 retry.add_waiter(me);
@@ -2050,6 +2411,7 @@ impl Unr {
                     Self::progress_on(&self.core, &self.ep);
                     if sig.ready(n_bits)
                         || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                        || self.core.dead_peer()
                     {
                         break;
                     }
@@ -2081,12 +2443,14 @@ impl Unr {
         }
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
+                let core = &self.core;
                 let retry = self.core.retry.as_deref();
                 self.ep.actor().wait_until(
                     |_st| {
                         sig.ready(n_bits)
                             || fired.load(Ordering::SeqCst)
                             || retry.is_some_and(|r| r.failed())
+                            || core.dead_peer()
                     },
                     |_st, me2| {
                         sig.register_waiter(me2);
@@ -2101,15 +2465,19 @@ impl Unr {
                 if sig.ready(n_bits)
                     || fired.load(Ordering::SeqCst)
                     || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                    || self.core.dead_peer()
                 {
                     break;
                 }
                 self.park_progress_driver();
             },
         }
+        // A deadline that fired only reports Timeout when nothing worse
+        // happened: ready beats timeout, and so does a peer failure.
         if !sig.ready(n_bits)
             && fired.load(Ordering::SeqCst)
             && !self.core.retry.as_ref().is_some_and(|r| r.failed())
+            && !self.core.dead_peer()
         {
             return Err(UnrError::Timeout { waited: dt });
         }
@@ -2126,6 +2494,7 @@ impl Unr {
                 !core.cq.is_empty()
                     || !core.port.is_empty()
                     || retry.is_some_and(|r| r.is_due() || r.failed())
+                    || core.dead_peer()
             },
             |_st, me| {
                 core.cq.add_waiter(me);
@@ -2138,7 +2507,7 @@ impl Unr {
     }
 
     /// Resolve a finished wait: triggered (maybe overflowed) beats a
-    /// transport failure; neither means the caller saw a timeout.
+    /// peer failure; neither means the caller saw a timeout.
     fn wait_verdict(&self, sig: &Signal, n_bits: u32) -> Result<(), UnrError> {
         if sig.ready(n_bits) {
             if sig.overflowed() {
@@ -2149,13 +2518,7 @@ impl Unr {
             }
             return Ok(());
         }
-        let (dst, attempts) = self
-            .core
-            .retry
-            .as_ref()
-            .and_then(|r| r.failure())
-            .unwrap_or((0, self.core.cfg.max_retries));
-        Err(UnrError::RetryExhausted { dst, attempts })
+        Err(self.peer_failed_error())
     }
 
     /// `UNR_Sig_Reset` (convenience passthrough; see [`Signal::reset`]).
@@ -2175,11 +2538,13 @@ impl Unr {
         let n_bits = sigs[0].n_bits();
         match self.progress_mode {
             ProgressMode::PollingAgent { .. } | ProgressMode::Hardware => {
+                let core = &self.core;
                 let retry = self.core.retry.as_deref();
                 self.ep.actor().wait_until(
                     |_st| {
                         sigs.iter().any(|s| s.ready(n_bits))
                             || retry.is_some_and(|r| r.failed())
+                            || core.dead_peer()
                     },
                     |_st, me| {
                         for s in sigs {
@@ -2195,6 +2560,7 @@ impl Unr {
                 Self::progress_on(&self.core, &self.ep);
                 if sigs.iter().any(|s| s.ready(n_bits))
                     || self.core.retry.as_ref().is_some_and(|r| r.failed())
+                    || self.core.dead_peer()
                 {
                     break;
                 }
@@ -2202,14 +2568,8 @@ impl Unr {
             },
         }
         let Some(idx) = sigs.iter().position(|s| s.ready(n_bits)) else {
-            // Woken by the transport declaring the channel down.
-            let (dst, attempts) = self
-                .core
-                .retry
-                .as_ref()
-                .and_then(|r| r.failure())
-                .unwrap_or((0, self.core.cfg.max_retries));
-            return Err(UnrError::RetryExhausted { dst, attempts });
+            // Woken by a peer failure, not a trigger.
+            return Err(self.peer_failed_error());
         };
         if sigs[idx].overflowed() {
             self.core.met.overflow_trips.inc();

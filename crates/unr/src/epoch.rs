@@ -1,0 +1,243 @@
+//! Membership epochs, peer-failure taxonomy and recovery policy — the
+//! epoch-typed public API.
+//!
+//! A *membership epoch* numbers the eras of the job's rank set. Epoch 0
+//! is the initial world; every rank death and every rejoin bumps the
+//! epoch, exactly as signal generations number the eras of a reused
+//! MMAS slot (§IV-B). The analogy is deliberate and load-bearing:
+//!
+//! * a PUT carrying a **stale signal generation** is rejected by the
+//!   [`crate::SignalTable`] with `SignalError::Stale`;
+//! * a wire message carrying a **stale membership epoch** is rejected by
+//!   the engine's control-path fence with [`crate::UnrError::StaleEpoch`]
+//!   and counted in `unr.epoch.stale_rejects`.
+//!
+//! Both fences exist for the same reason: a delayed packet from a past
+//! era must not corrupt the present one. The membership fence engages
+//! only once a kill has happened (or a respawn-capable
+//! [`RecoveryPolicy`] is configured); fault-free runs pay a single
+//! relaxed atomic load and register no `unr.epoch.*` / `unr.recovery.*`
+//! series, keeping seeded traces byte-identical.
+//!
+//! The model follows Besta & Hoefler's *Fault Tolerance for Remote
+//! Memory Access Programming Models*: in-memory checkpoints of
+//! registered regions ([`crate::UnrMem::checkpoint`]), epoch-numbered
+//! membership ([`MembershipView`]), and recovery protocols built from
+//! the RMA primitives themselves.
+
+use std::fmt;
+use std::sync::Arc;
+use unr_simnet::Ns;
+
+/// A membership epoch: the era of the job's rank set.
+///
+/// Totally ordered; a message stamped with an epoch older than the
+/// receiver's current epoch is *stale* and is fenced off the control
+/// path. Epoch 0 is the initial world and is what every fault-free run
+/// stays in forever.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The initial world, before any membership change.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Wrap a raw epoch number (e.g. read off the wire).
+    pub const fn new(raw: u64) -> Epoch {
+        Epoch(raw)
+    }
+
+    /// The raw epoch number (what goes on the wire).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch after one membership change.
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch#{}", self.0)
+    }
+}
+
+/// A consistent snapshot of rank membership: the current epoch, which
+/// ranks are live, and each rank's incarnation generation.
+///
+/// Obtained from [`crate::Unr::membership_view`]. Generations start at 0
+/// and bump each time a rank is revived/respawned, so a peer can tell a
+/// rejoined incarnation from the original even when the rank number is
+/// reused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipView {
+    /// The membership epoch this snapshot was taken in.
+    pub epoch: Epoch,
+    /// `live[r]` — whether rank `r` is currently alive.
+    pub live: Vec<bool>,
+    /// `generation[r]` — incarnation counter of rank `r` (0 for the
+    /// original process, +1 per revive/respawn).
+    pub generation: Vec<u32>,
+}
+
+impl MembershipView {
+    /// The epoch-0 view of an `n`-rank world: everyone live, all
+    /// generations 0.
+    pub fn world(n: usize) -> MembershipView {
+        MembershipView {
+            epoch: Epoch::ZERO,
+            live: vec![true; n],
+            generation: vec![0; n],
+        }
+    }
+
+    /// Whether rank `r` is live in this view.
+    pub fn is_live(&self, r: usize) -> bool {
+        self.live.get(r).copied().unwrap_or(false)
+    }
+
+    /// Number of live ranks.
+    pub fn num_live(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Lowest-numbered dead rank, if any — the peer named by fail-fast
+    /// [`crate::UnrError::PeerFailed`] errors.
+    pub fn first_dead(&self) -> Option<usize> {
+        self.live.iter().position(|&l| !l)
+    }
+}
+
+/// What the runtime should do when a peer dies.
+///
+/// Validated by [`crate::UnrConfigBuilder::recovery`]; `Respawn` is only
+/// accepted where a launcher exists that can actually respawn the rank
+/// (the `unr-launch` netfab path, or a simnet harness that revives the
+/// rank in-process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface [`crate::UnrError::PeerFailed`] to every caller and let
+    /// the application abort (the pre-epoch behaviour, now with a
+    /// structured error). This is the default.
+    #[default]
+    Abort,
+    /// Expect the dead rank to be respawned and rejoined into a new
+    /// epoch; survivors drain in-flight traffic toward the corpse and
+    /// wait for the rejoin instead of aborting.
+    Respawn {
+        /// How many times a dead rank may be respawned before the job
+        /// gives up (must be ≥ 1).
+        max_attempts: u32,
+        /// How long survivors wait (virtual or wall nanoseconds,
+        /// backend-dependent) for the rejoin rendezvous before
+        /// declaring the recovery failed (must be > 0).
+        rejoin_timeout: Ns,
+    },
+}
+
+/// Why a peer was declared failed (the `cause` of
+/// [`crate::UnrError::PeerFailed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerFailedCause {
+    /// The reliable transport ran out of retransmissions toward the
+    /// peer: `attempts` sends of some sub-message all went
+    /// unacknowledged. The packet-fault analogue of death.
+    RetryExhausted {
+        /// Attempts made on the sub-message that exhausted first.
+        attempts: u32,
+    },
+    /// The membership layer declared the rank dead (scheduler kill on
+    /// simnet, `kill -9` on netfab).
+    Killed,
+}
+
+impl fmt::Display for PeerFailedCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerFailedCause::RetryExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            PeerFailedCause::Killed => write!(f, "rank killed"),
+        }
+    }
+}
+
+/// The epoch fence shared by every backend's control path (and by the
+/// stale-epoch regression tests): a message stamped `msg_epoch` is
+/// admitted iff it is not older than the receiver's `current` epoch.
+/// Messages from the *future* (a peer that already observed a bump this
+/// rank has not) are admitted — only the past is fenced, exactly like
+/// stale signal generations.
+pub fn admit(msg_epoch: Epoch, current: Epoch) -> Result<(), crate::UnrError> {
+    if msg_epoch < current {
+        Err(crate::UnrError::StaleEpoch { msg_epoch, current })
+    } else {
+        Ok(())
+    }
+}
+
+/// Pre-resolved `unr.epoch.*` / `unr.recovery.*` instrument handles.
+///
+/// Created lazily, the first time the engine observes membership going
+/// active — fault-free snapshots therefore carry none of these series.
+pub(crate) struct EpochMetrics {
+    /// `unr.epoch.stale_rejects` — wire messages fenced for carrying an
+    /// epoch older than the receiver's current one.
+    pub(crate) stale_rejects: Arc<unr_obs::Counter>,
+    /// `unr.epoch.bumps` — membership-epoch advances observed by this
+    /// engine (kills + revives).
+    pub(crate) bumps: Arc<unr_obs::Counter>,
+    /// `unr.recovery.peer_failures` — `PeerFailed` errors surfaced to
+    /// callers.
+    pub(crate) peer_failures: Arc<unr_obs::Counter>,
+    /// `unr.recovery.drained_subs` — in-flight reliable sub-messages
+    /// drained (not retried, not exhausted) because their destination
+    /// rank died.
+    pub(crate) drained_subs: Arc<unr_obs::Counter>,
+}
+
+impl EpochMetrics {
+    pub(crate) fn new(obs: &unr_obs::Obs) -> EpochMetrics {
+        let m = &obs.metrics;
+        EpochMetrics {
+            stale_rejects: m.counter("unr.epoch.stale_rejects"),
+            bumps: m.counter("unr.epoch.bumps"),
+            peer_failures: m.counter("unr.recovery.peer_failures"),
+            drained_subs: m.counter("unr.recovery.drained_subs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_orders_and_increments() {
+        assert_eq!(Epoch::ZERO.raw(), 0);
+        assert!(Epoch::ZERO < Epoch::ZERO.next());
+        assert_eq!(Epoch::new(7).next(), Epoch::new(8));
+        assert_eq!(format!("{}", Epoch::new(3)), "epoch#3");
+    }
+
+    #[test]
+    fn world_view_is_all_live() {
+        let v = MembershipView::world(4);
+        assert_eq!(v.epoch, Epoch::ZERO);
+        assert_eq!(v.num_live(), 4);
+        assert!(v.is_live(3));
+        assert!(!v.is_live(4));
+        assert_eq!(v.first_dead(), None);
+    }
+
+    #[test]
+    fn dead_rank_shows_in_view() {
+        let mut v = MembershipView::world(4);
+        v.live[2] = false;
+        v.epoch = v.epoch.next();
+        assert_eq!(v.num_live(), 3);
+        assert_eq!(v.first_dead(), Some(2));
+    }
+}

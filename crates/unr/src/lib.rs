@@ -69,6 +69,7 @@ pub mod blk;
 pub mod channel;
 pub mod convert;
 pub mod engine;
+pub mod epoch;
 pub mod level;
 pub mod pack;
 pub mod plan;
@@ -78,11 +79,12 @@ pub mod transport;
 pub mod wire;
 
 pub use agg::{AggFlush, AggMetrics, Coalescer, FlushWhy};
-pub use blk::{Blk, UnrMem, BLK_WIRE_LEN};
+pub use blk::{Blk, MemCheckpoint, UnrMem, BLK_WIRE_LEN};
 pub use channel::{Channel, ChannelSelect, Mechanism};
 pub use engine::{
     ProgressMode, Unr, UnrConfig, UnrConfigBuilder, UnrError, UnrStats, UNR_PORT,
 };
+pub use epoch::{Epoch, MembershipView, PeerFailedCause, RecoveryPolicy};
 pub use level::{EncodeError, Encoding, Notif, SupportLevel};
 pub use pack::{PackChannel, PackReceiver, PackSender};
 pub use plan::{PlanOp, RmaPlan};

@@ -414,6 +414,24 @@ impl RetryState {
         self.dst.iter().map(|s| s.lock().pending.len()).sum()
     }
 
+    /// Drain every pending sub-message addressed to `dst` without
+    /// counting it as exhausted or latching the failure flag — the rank
+    /// is *dead* (membership said so), which is a different terminal
+    /// state from "the link to a live rank went quiet"
+    /// ([`crate::UnrError::PeerFailed`] with `cause: Killed`, not
+    /// `cause: RetryExhausted`). Returns how many entries were dropped
+    /// so the engine can count `unr.recovery.drained_subs`.
+    ///
+    /// Idempotent; a rejoined incarnation of `dst` starts from an empty
+    /// shard (its dedup floor restarts with the new epoch's traffic).
+    pub fn drain_dst(&self, dst: usize) -> usize {
+        let mut sh = self.shard(dst).lock();
+        let drained = sh.pending.len();
+        sh.pending.clear();
+        sh.queued_bytes = 0;
+        drained
+    }
+
     // ---- receive side ---------------------------------------------------
 
     /// Exactly-once check: `true` iff (`src`, `seq`) is fresh.

@@ -18,6 +18,7 @@
 //! | 5    | `SEQ_NOTIF`     | `seq u64, key u64, addend i64`                                       |
 //! | 6    | `ACK`           | `seq u64`                                                            |
 //! | 7    | `AGG`           | `seq u64, flags u8, nspans u16, nsigs u16, spans, sigs, payloads`    |
+//! | 8    | `EPOCH`         | `epoch u64, inner frame` (membership-epoch envelope)                 |
 //!
 //! The `AGG` frame is the sender-side coalescer's unit of delivery: one
 //! fabric message carrying many sub-MTU puts to the same destination.
@@ -51,6 +52,37 @@ pub const MSG_ACK: u8 = 6;
 /// summed MMAS addend per target signal. One retry entry / one dedup
 /// slot covers the whole aggregate.
 pub const MSG_AGG: u8 = 7;
+/// Epoch envelope: `kind u8, epoch u64, inner frame`. Once membership
+/// is active every control frame travels inside one of these; the
+/// receiver fences frames whose epoch is older than its current
+/// membership epoch (`UnrError::StaleEpoch`, counted in
+/// `unr.epoch.stale_rejects`) exactly as the signal table fences stale
+/// generations. Fault-free runs never produce or expect the envelope,
+/// so the wire bytes of epoch-0 traffic are unchanged.
+pub const MSG_EPOCH: u8 = 8;
+
+/// Bytes of the [`MSG_EPOCH`] envelope header (`kind u8 + epoch u64`).
+pub const EPOCH_HDR_LEN: usize = 9;
+
+/// Wrap `inner` (a complete control frame) in an epoch envelope.
+pub fn epoch_wrap(epoch: u64, inner: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(EPOCH_HDR_LEN + inner.len());
+    b.push(MSG_EPOCH);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.extend_from_slice(inner);
+    b
+}
+
+/// If `frame` is an epoch envelope, split it into `(epoch, inner)`.
+/// Returns `None` for bare (epoch-0 era) frames and for truncated
+/// envelopes.
+pub fn epoch_unwrap(frame: &[u8]) -> Option<(u64, &[u8])> {
+    if frame.first() != Some(&MSG_EPOCH) || frame.len() < EPOCH_HDR_LEN {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(frame[1..9].try_into().ok()?);
+    Some((epoch, &frame[EPOCH_HDR_LEN..]))
+}
 
 /// `flags` bit marking a sequenced (reliable, dedup + ack) aggregate.
 pub const AGG_FLAG_SEQUENCED: u8 = 0b0000_0001;
@@ -514,6 +546,21 @@ mod tests {
             }
             other => panic!("expected Agg, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn epoch_envelope_roundtrip() {
+        let inner = ack_msg(77);
+        let wrapped = epoch_wrap(3, &inner);
+        assert_eq!(wrapped[0], MSG_EPOCH);
+        assert_eq!(wrapped.len(), EPOCH_HDR_LEN + inner.len());
+        let (epoch, body) = epoch_unwrap(&wrapped).expect("envelope parses");
+        assert_eq!(epoch, 3);
+        assert_eq!(body, &inner[..]);
+        assert_eq!(CtrlMsg::parse(body), CtrlMsg::Ack { seq: 77 });
+        // Bare frames are not envelopes; truncated envelopes don't parse.
+        assert_eq!(epoch_unwrap(&inner), None);
+        assert_eq!(epoch_unwrap(&wrapped[..5]), None);
     }
 
     #[test]

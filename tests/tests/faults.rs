@@ -8,12 +8,14 @@
 //! traffic stays lossless — it plays the role of the reliable
 //! out-of-band channel the paper assumes for rendezvous.
 
-use unr_core::{convert, Unr, UnrConfig, UnrError, UNR_PORT};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use unr_core::{convert, wire, Epoch, PeerFailedCause, Unr, UnrConfig, UnrError, UNR_PORT};
 use unr_integration::run_cases;
 use unr_minimpi::{run_mpi_on_fabric, MpiConfig};
 use unr_obs::Snapshot;
 use unr_powerllel::{Backend, Solver, SolverConfig};
-use unr_simnet::{us, Fabric, FaultConfig, FlapConfig, Platform};
+use unr_simnet::{us, Fabric, FaultConfig, FlapConfig, NicSel, Platform};
 
 /// Faults scoped so only the UNR protocol is exposed to them.
 fn unr_scoped(mut faults: FaultConfig) -> FaultConfig {
@@ -167,10 +169,11 @@ fn fault_nic_flap_fails_over_to_surviving_nic() {
 }
 
 /// A destination that drops everything: retries escalate through NIC
-/// rotation and the fallback channel, then exhaust; the channel latches
-/// down and the failure surfaces as typed errors.
+/// rotation and the fallback channel, then exhaust; the failure
+/// surfaces as a structured [`UnrError::PeerFailed`] naming the peer
+/// and the exhaustion cause, and new work toward it is refused.
 #[test]
-fn fault_total_loss_exhausts_and_latches_channel_down() {
+fn fault_total_loss_exhausts_and_surfaces_peer_failed() {
     let mut cfg = Platform::th_xy().fabric_config(2, 1);
     cfg.faults = unr_scoped(FaultConfig::drops(1.0));
     let fabric = Fabric::new(cfg);
@@ -191,15 +194,19 @@ fn fault_total_loss_exhausts_and_latches_channel_down() {
             let rmt = convert::recv_blk(comm, 1, 0);
             unr.put(&blk, &rmt).unwrap();
             match unr.sig_wait(&sig) {
-                Err(UnrError::RetryExhausted { attempts, .. }) => {
-                    assert!(attempts > 0)
+                Err(UnrError::PeerFailed {
+                    rank,
+                    epoch,
+                    cause: PeerFailedCause::RetryExhausted { attempts },
+                }) => {
+                    assert_eq!(rank, 1, "the unreachable peer must be named");
+                    assert_eq!(epoch, Epoch::ZERO, "no membership change happened");
+                    assert!(attempts > 0);
                 }
-                other => panic!("expected RetryExhausted, got {other:?}"),
+                other => panic!("expected PeerFailed/RetryExhausted, got {other:?}"),
             }
-            assert!(matches!(
-                unr.put(&blk, &rmt),
-                Err(UnrError::ChannelDown)
-            ));
+            let refused = unr.put(&blk, &rmt).unwrap_err();
+            assert!(refused.is_peer_failure(), "got {refused:?}");
             comm.send(1, 8, &[]); // release the receiver
         } else {
             let blk = unr.blk_init(&mem, 0, 4096, None);
@@ -253,7 +260,13 @@ fn fault_free_runs_carry_no_fault_series_and_stay_identical() {
     assert_eq!(snap_a, snap_b, "metrics must be bit-identical");
     assert_eq!(trace_a, trace_b, "traces must be byte-identical");
     assert_eq!(ke_a, ke_b);
-    for prefix in ["simnet.fault.", "unr.retry.", "unr.failover."] {
+    for prefix in [
+        "simnet.fault.",
+        "unr.retry.",
+        "unr.failover.",
+        "unr.epoch.",
+        "unr.recovery.",
+    ] {
         assert!(
             snap_a.with_prefix(prefix).next().is_none(),
             "fault-free run must not register {prefix}* series"
@@ -309,4 +322,216 @@ fn fault_matrix_from_env() {
     } else if snap.counter("simnet.fault.dropped").unwrap_or(0) > 0 {
         assert!(snap.counter("unr.retry.retransmits").unwrap() > 0);
     }
+}
+
+/// Regression: a frame stamped before a rank's death, arriving after its
+/// rejoin, must be fenced by the receiver — the epoch envelope is the
+/// membership analogue of MMAS's stale-generation reject. The stale
+/// companion would double-fire the signal if it were applied.
+#[test]
+fn fault_stale_epoch_frame_is_fenced_and_counted() {
+    let cfg = Platform::th_xy().fabric_config(2, 1);
+    let fabric = Fabric::new(cfg);
+    run_mpi_on_fabric(&fabric, MpiConfig::default(), |comm| {
+        let ep = comm.ep_shared();
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        if comm.rank() == 0 {
+            let key = u64::from_le_bytes(comm.recv(Some(1), 3).data.try_into().unwrap());
+            // Let residual mini-MPI traffic drain, then rank 1 dies and
+            // immediately rejoins: epoch 0 -> 2.
+            ep.sleep(us(50.0));
+            ep.kill_rank(1);
+            ep.revive_rank(1);
+            ep.sleep(us(100.0));
+            // A companion notification stamped before the death arrives
+            // late (epoch-0 envelope), then its post-rejoin replacement.
+            ep.send_dgram(
+                1,
+                UNR_PORT,
+                wire::epoch_wrap(0, &wire::companion_msg(key, -1)),
+                NicSel::Auto,
+            );
+            ep.send_dgram(
+                1,
+                UNR_PORT,
+                wire::epoch_wrap(2, &wire::companion_msg(key, -1)),
+                NicSel::Auto,
+            );
+            comm.recv(Some(1), 4); // rank 1 verified the fence
+        } else {
+            let sig = unr.sig_init(1);
+            comm.send(0, 3, &sig.key().raw().to_le_bytes());
+            // Only start waiting once the kill/revive pair is over, so
+            // this rank's own death window never races its wait.
+            ep.sleep(us(120.0));
+            assert_eq!(unr.epoch().raw(), 2, "kill + revive each bump the epoch");
+            unr.sig_wait(&sig).unwrap();
+            // Give the fenced frame every chance to land late.
+            ep.sleep(us(200.0));
+            assert!(
+                !sig.overflowed(),
+                "the stale frame must have been fenced, not applied"
+            );
+            comm.send(0, 4, &[]);
+        }
+    });
+    let snap = fabric.obs.metrics.snapshot();
+    assert_eq!(
+        snap.counter("unr.epoch.stale_rejects"),
+        Some(1),
+        "exactly the pre-kill frame is rejected"
+    );
+    assert!(snap.counter("unr.epoch.bumps").unwrap_or(0) >= 2);
+}
+
+/// One mini-PowerLLEL run with an optional mid-solve rank kill. The
+/// victim dies at the step boundary after `kill_step` steps, survivors
+/// fail fast out of their next halo exchange with [`UnrError::PeerFailed`],
+/// the victim rejoins as a new incarnation, and the whole world rebuilds
+/// its solver under the bumped membership epoch and redoes the solve.
+/// Returns per-rank kinetic energies plus the run's metrics and trace.
+fn powerllel_kill_run(kill: Option<(usize, usize)>) -> (Snapshot, String, Vec<f64>) {
+    const TOTAL_STEPS: usize = 3;
+    // Generous versus any step-completion skew between ranks, so the
+    // kill lands while every survivor is parked at the step boundary.
+    let quiet = us(1000.0);
+    let mut cfg = Platform::th_xy().fabric_config(2, 2);
+    cfg.trace = true;
+    cfg.seed = 99;
+    let fabric = Fabric::new(cfg);
+    let results = run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+        let ep = comm.ep_shared();
+        let me = comm.rank();
+        let unr = Unr::init(comm.ep_shared(), UnrConfig::default());
+        let backend = Backend::Unr(unr.clone());
+        let mut solver = Solver::new(&backend, comm, SolverConfig::small(2, 2));
+        solver.init_taylor_green();
+        let Some((victim, kill_step)) = kill else {
+            for _ in 0..TOTAL_STEPS {
+                solver.step();
+            }
+            return solver.kinetic_energy();
+        };
+
+        for _ in 0..kill_step {
+            solver.step();
+        }
+        // Epoch-stamped in-memory checkpoint taken at the step boundary,
+        // restored after the membership bump (the Besta & Hoefler
+        // in-memory-checkpoint model scoped down to one region).
+        let ckpt_mem = unr.mem_reg(32);
+        ckpt_mem.write_bytes(0, &[me as u8 ^ 0x5A; 32]);
+        let ckpt = unr.checkpoint(&ckpt_mem);
+        assert_eq!(ckpt.epoch, Epoch::ZERO);
+
+        if me == victim {
+            // Quiesce, die, stay dead long enough for every survivor to
+            // observe the failure, then rejoin as generation 1.
+            ep.sleep(quiet);
+            ep.kill_rank(victim);
+            ep.sleep(8 * quiet);
+            ep.revive_rank(victim);
+            ep.sleep(4 * quiet);
+        } else {
+            ep.sleep(2 * quiet);
+            // The victim is dead: the next halo exchange must fail fast
+            // with PeerFailed instead of deadlocking virtual time. The
+            // solver surfaces it as a panic on its internal expects.
+            let aborted = catch_unwind(AssertUnwindSafe(|| solver.step()));
+            assert!(
+                aborted.is_err(),
+                "rank {me}: step against a dead peer must fail"
+            );
+            assert_eq!(unr.epoch().raw(), 1, "kill observed, rejoin not yet");
+            // Outlive any in-flight survivor-to-survivor puts of the
+            // aborted step before tearing the old solver down.
+            ep.sleep(10 * quiet);
+        }
+        let view = unr.membership_view();
+        assert_eq!(unr.epoch().raw(), 2);
+        assert!(view.is_live(victim));
+        assert_eq!(view.generation[victim], 1, "rejoin is a new incarnation");
+        ckpt_mem.write_bytes(0, &[0; 32]); // the "lost" state
+        unr.restore(&ckpt_mem, &ckpt);
+        let mut back = [0u8; 32];
+        ckpt_mem.read_bytes(0, &mut back);
+        assert_eq!(back, [me as u8 ^ 0x5A; 32], "checkpoint restores bytes");
+
+        // Rebuild under epoch 2 and redo the solve from the last global
+        // checkpoint (step 0 here). Residuals must match a fault-free run.
+        drop(solver);
+        let mut solver = Solver::new(&backend, comm, SolverConfig::small(2, 2));
+        solver.init_taylor_green();
+        for _ in 0..TOTAL_STEPS {
+            solver.step();
+        }
+        solver.kinetic_energy()
+    });
+    let mut events = fabric.tracer.as_ref().expect("tracing on").to_span_events();
+    events.extend(fabric.obs.spans.events());
+    (
+        fabric.obs.metrics.snapshot(),
+        unr_obs::chrome_trace_json(&events),
+        results,
+    )
+}
+
+/// Tier-1 recovery demo: mini-PowerLLEL completes with correct physics
+/// after a rank dies mid-solve and rejoins.
+#[test]
+fn fault_powerllel_recovers_after_rank_kill() {
+    let (_, _, ke_ref) = powerllel_kill_run(None);
+    let (snap, _, ke) = powerllel_kill_run(Some((1, 1)));
+    for (r, (a, b)) in ke.iter().zip(&ke_ref).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-12 * b.abs(),
+            "rank {r}: post-recovery kinetic energy {a} vs fault-free {b}"
+        );
+    }
+    assert!(
+        snap.counter("unr.recovery.peer_failures").unwrap_or(0) > 0,
+        "survivors must have failed fast on the dead peer"
+    );
+    assert!(snap.counter("unr.epoch.bumps").unwrap_or(0) >= 2);
+    assert_eq!(
+        snap.counter("unr.epoch.stale_rejects").unwrap_or(0),
+        0,
+        "the quiesced kill leaves no stale frames to fence"
+    );
+}
+
+/// Property: a seeded run with a mid-solve rank kill is byte-identical
+/// across reruns — recovery is part of the deterministic replay story,
+/// not an escape from it.
+#[test]
+fn fault_kill_mid_epoch_is_deterministic() {
+    let (snap_a, trace_a, ke_a) = powerllel_kill_run(Some((1, 1)));
+    let (snap_b, trace_b, ke_b) = powerllel_kill_run(Some((1, 1)));
+    assert_eq!(snap_a, snap_b, "metrics must be bit-identical");
+    assert_eq!(trace_a, trace_b, "traces must be byte-identical");
+    assert_eq!(ke_a, ke_b, "physics must be bit-identical");
+}
+
+/// CI fault-matrix entry point for the kill axis: victim rank and kill
+/// step come from the environment (`UNR_FAULT_KILL_RANK`,
+/// `UNR_FAULT_KILL_STEP`), defaulting to rank 1 at step 1.
+#[test]
+fn fault_kill_matrix_from_env() {
+    let (_, _, ke_ref) = powerllel_kill_run(None);
+    let victim: usize = std::env::var("UNR_FAULT_KILL_RANK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        % ke_ref.len();
+    let kill_step: usize = std::env::var("UNR_FAULT_KILL_STEP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .clamp(1, 2);
+    let (snap, _, ke) = powerllel_kill_run(Some((victim, kill_step)));
+    for (a, b) in ke.iter().zip(&ke_ref) {
+        assert!((a - b).abs() <= 1e-12 * b.abs(), "{a} vs {b}");
+    }
+    assert!(snap.counter("unr.recovery.peer_failures").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("unr.retry.exhausted"), None);
 }
