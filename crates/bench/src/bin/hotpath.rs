@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use unr_bench::print_table;
-use unr_core::{convert, Reliability, Unr, UnrConfig};
+use unr_core::{convert, ProgressMode, Reliability, Unr, UnrConfig};
 use unr_minimpi::{coll, run_mpi_on_fabric, MpiConfig};
 use unr_powerllel::{Backend, Solver, SolverConfig, Timers};
 use unr_simnet::{Fabric, Platform};
@@ -54,11 +54,16 @@ const SMALL_AGG_MAX: usize = 512;
 /// Run one put/signal storm: every rank fires `iters` notified PUTs of
 /// `msg` bytes at its ring neighbour, then waits for all of its own
 /// arrivals. 8 ranks on 4 nodes, 4 NICs per node, GLEX channel, so
-/// large messages stripe into 4 sub-messages.
-fn storm(iters: usize, msg: usize, ucfg: UnrConfig) -> StormResult {
+/// large messages stripe into 4 sub-messages. With `hardware` the
+/// fabric advertises a level-4 atomic-add unit (GLEX-hw channel): the
+/// sink applies MMAS addends terminally and no CQ round-trip exists.
+fn storm(iters: usize, msg: usize, ucfg: UnrConfig, hardware: bool) -> StormResult {
     let mut cfg = Platform::th_xy().fabric_config(STORM_NODES, STORM_RANKS_PER_NODE);
     cfg.nics_per_node = STORM_NICS;
     cfg.seed = 0xB0B0;
+    if hardware {
+        cfg.iface = cfg.iface.with_hardware_atomic_add();
+    }
     let fabric = Fabric::new(cfg);
     let per_rank: Vec<RankStorm> = run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
         let unr = Unr::init(comm.ep_shared(), ucfg);
@@ -116,13 +121,16 @@ fn summarize(per_rank: Vec<RankStorm>) -> StormResult {
 /// The ≤512 B storm, with or without sender-side coalescing. Reliable
 /// transport both ways: aggregation also collapses the retry state to
 /// one pending entry per aggregate, which is part of what it buys.
-fn small_storm(iters: usize, agg_max: usize) -> StormResult {
-    let ucfg = UnrConfig::builder()
+/// With `hardware`, progress runs in hybrid level-4 mode: the sink owns
+/// the data path and the ctrl-only drainer carries acks + `MSG_AGG`.
+fn small_storm(iters: usize, agg_max: usize, hardware: bool) -> StormResult {
+    let mut builder = UnrConfig::builder()
         .reliability(Reliability::On)
-        .agg_eager_max(agg_max)
-        .build()
-        .unwrap();
-    storm(iters, SMALL_MSG, ucfg)
+        .agg_eager_max(agg_max);
+    if hardware {
+        builder = builder.progress(ProgressMode::Hardware);
+    }
+    storm(iters, SMALL_MSG, builder.build().unwrap(), hardware)
 }
 
 /// PowerLLEL wall-clock: the fig6 TH-XY configuration (4 nodes x 2
@@ -162,7 +170,7 @@ const NETFAB_RANKS: usize = 4;
 const NETFAB_NICS: usize = 2;
 const NETFAB_MSG: usize = 64 * 1024;
 
-fn netfab_opts(quick: bool, reliable: bool) -> unr_netfab::StormOpts {
+fn netfab_opts(quick: bool, reliable: bool, hardware: bool) -> unr_netfab::StormOpts {
     unr_netfab::StormOpts {
         iters: if quick { 16 } else { 64 },
         epochs: if quick { 3 } else { 8 },
@@ -170,6 +178,7 @@ fn netfab_opts(quick: bool, reliable: bool) -> unr_netfab::StormOpts {
         reliable,
         drop_every: None, // throughput run: reliable protocol, no faults
         agg_eager_max: 0,
+        hardware,
         kill_rank: None,
         kill_epoch: 0,
     }
@@ -185,6 +194,7 @@ fn netfab_small_opts(quick: bool, agg: bool) -> unr_netfab::StormOpts {
         reliable: true,
         drop_every: None,
         agg_eager_max: if agg { SMALL_AGG_MAX } else { 0 },
+        hardware: false,
         kill_rank: None,
         kill_epoch: 0,
     }
@@ -194,10 +204,11 @@ fn netfab_small_opts(quick: bool, agg: bool) -> unr_netfab::StormOpts {
 /// report one machine-readable line for the parent to aggregate.
 fn netfab_child(world: unr_netfab::NetWorld, quick: bool, args: &[String]) {
     let reliable = args.iter().any(|a| a == "--netfab-reliable");
+    let hardware = args.iter().any(|a| a == "--netfab-hw");
     let opts = if args.iter().any(|a| a == "--netfab-small") {
         netfab_small_opts(quick, args.iter().any(|a| a == "--netfab-agg"))
     } else {
-        netfab_opts(quick, reliable)
+        netfab_opts(quick, reliable, hardware)
     };
     let out = unr_netfab::run_storm(Arc::new(world), opts).expect("netfab storm rank");
     println!(
@@ -255,10 +266,15 @@ fn netfab_run(quick: bool, variant: &[&str]) -> NetfabVariant {
 fn netfab_main(quick: bool) {
     let reliable = netfab_run(quick, &["--netfab-reliable"]);
     let rma = netfab_run(quick, &[]);
+    // Level-4 emulation arms: the reactor-side sink is terminal and no
+    // control thread exists (pure), or the hybrid ctrl drainer carries
+    // the ack/replay protocol next to the hardware data path.
+    let level4 = netfab_run(quick, &["--netfab-hw"]);
+    let level4_rel = netfab_run(quick, &["--netfab-hw", "--netfab-reliable"]);
     let small_plain = netfab_run(quick, &["--netfab-small"]);
     let small_agg = netfab_run(quick, &["--netfab-small", "--netfab-agg"]);
     let small_speedup = small_agg.ops_per_sec / small_plain.ops_per_sec.max(f64::MIN_POSITIVE);
-    let opts = netfab_opts(quick, true);
+    let opts = netfab_opts(quick, true, false);
     let small_opts = netfab_small_opts(quick, true);
     let row = |name: &str, v: &NetfabVariant| {
         vec![
@@ -279,16 +295,23 @@ fn netfab_main(quick: bool) {
         &[
             row("reliable", &reliable),
             row("rma", &rma),
+            row("level4 (hw sink)", &level4),
+            row("level4 reliable (hybrid)", &level4_rel),
             row("small unbatched", &small_plain),
             row("small aggregated", &small_agg),
         ],
     );
     // Gate metric: the reliable storm, as on the simnet backend. The
     // small block gates separately (scripts/bench.sh keys
-    // netfab_small_full / netfab_small_quick off "agg_ops_per_sec").
+    // netfab_small_full / netfab_small_quick off "agg_ops_per_sec");
+    // the level-4 hardware-emulation storm under
+    // gate.netfab_level4_full / netfab_level4_quick off
+    // "level4_ops_per_sec". Key names are chosen so that the top-level
+    // "ops_per_sec" stays the *first* '"ops_per_sec":' match.
     println!(
         "BENCH_PERF_JSON {{\"schema\":1,\"backend\":\"netfab\",\"quick\":{quick},\
          \"ops_per_sec\":{:.1},\
+         \"level4_ops_per_sec\":{:.1},\"level4_rel_ops_per_sec\":{:.1},\
          \"storm\":{{\"ranks\":{NETFAB_RANKS},\"nics\":{NETFAB_NICS},\"msg_bytes\":{NETFAB_MSG},\
          \"iters\":{},\"epochs\":{},\
          \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2}}},\
@@ -296,6 +319,8 @@ fn netfab_main(quick: bool) {
          \"small\":{{\"msg_bytes\":{},\"agg_max\":{},\"iters\":{},\"epochs\":{},\
          \"unbatched_ops_per_sec\":{:.1},\"agg_ops_per_sec\":{:.1},\"speedup\":{:.2}}}}}",
         reliable.ops_per_sec,
+        level4.ops_per_sec,
+        level4_rel.ops_per_sec,
         opts.iters,
         opts.epochs,
         reliable.ops_per_sec,
@@ -343,6 +368,7 @@ fn main() {
             reliability: Reliability::On,
             ..UnrConfig::default()
         },
+        false,
     );
     let rma = storm(
         iters,
@@ -351,10 +377,39 @@ fn main() {
             reliability: Reliability::Off,
             ..UnrConfig::default()
         },
+        false,
     );
-    let small_plain = small_storm(small_iters, 0);
-    let small_agg = small_storm(small_iters, SMALL_AGG_MAX);
+    // Level-4 fast path: the fabric's atomic-add unit applies MMAS
+    // addends terminally (zero CQ round-trips); reliable and
+    // small-message arms run the hybrid ctrl drainer next to the
+    // hardware sink (DESIGN.md §5g). The reliable arm is the gated one
+    // and is compared against the `reliable` storm above — the same
+    // traffic under `PollingAgent { interval: 0 }` software progress.
+    let level4 = storm(
+        iters,
+        STORM_MSG,
+        UnrConfig {
+            reliability: Reliability::On,
+            progress: Some(ProgressMode::Hardware),
+            ..UnrConfig::default()
+        },
+        true,
+    );
+    let level4_rma = storm(
+        iters,
+        STORM_MSG,
+        UnrConfig {
+            reliability: Reliability::Off,
+            progress: Some(ProgressMode::Hardware),
+            ..UnrConfig::default()
+        },
+        true,
+    );
+    let small_plain = small_storm(small_iters, 0, false);
+    let small_agg = small_storm(small_iters, SMALL_AGG_MAX, false);
+    let level4_small = small_storm(small_iters, SMALL_AGG_MAX, true);
     let small_speedup = small_agg.ops_per_sec / small_plain.ops_per_sec.max(f64::MIN_POSITIVE);
+    let level4_speedup = level4.ops_per_sec / reliable.ops_per_sec.max(f64::MIN_POSITIVE);
     let pll_ms = powerllel_step(steps);
 
     let row = |name: &str, s: &StormResult| {
@@ -382,7 +437,20 @@ fn main() {
             "put p50 ns",
             "put p99 ns",
         ],
-        &[row("reliable", &reliable), row("rma", &rma)],
+        &[
+            row("reliable", &reliable),
+            row("rma", &rma),
+            row("level4 reliable (hybrid)", &level4),
+            row("level4 rma (hw sink)", &level4_rma),
+            vec![
+                "level4 speedup".to_string(),
+                String::new(),
+                String::new(),
+                format!("{level4_speedup:.2}x"),
+                String::new(),
+                String::new(),
+            ],
+        ],
     );
     print_table(
         &format!(
@@ -400,6 +468,7 @@ fn main() {
         &[
             row("unbatched", &small_plain),
             row("aggregated", &small_agg),
+            row("level4 aggregated", &level4_small),
             vec![
                 "speedup".to_string(),
                 String::new(),
@@ -419,10 +488,14 @@ fn main() {
     // The gate metric is the reliable storm: it exercises the signal
     // table, the retry state and the payload path all at once. The small
     // block gates separately (scripts/bench.sh keys small_full /
-    // small_quick off "agg_ops_per_sec"); its keys are named so that the
-    // top-level "ops_per_sec" stays the *first* match in the line.
+    // small_quick off "agg_ops_per_sec") and the level-4 storm gates off
+    // "level4_ops_per_sec" (level4_full / level4_quick); the keys are
+    // named so that the top-level "ops_per_sec" stays the *first* match
+    // in the line.
     println!(
         "BENCH_PERF_JSON {{\"schema\":1,\"quick\":{quick},\"ops_per_sec\":{:.1},\
+         \"level4_ops_per_sec\":{:.1},\"level4_rma_ops_per_sec\":{:.1},\
+         \"level4_small_ops_per_sec\":{:.1},\"level4_speedup_vs_polling\":{:.2},\
          \"storm\":{{\"ranks\":{},\"nics\":{},\"msg_bytes\":{},\"iters\":{iters},\
          \"reliable\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}},\
          \"rma\":{{\"ops_per_sec\":{:.1},\"wall_ms\":{:.2},\"put_ns_p50\":{},\"put_ns_p99\":{}}}}},\
@@ -430,6 +503,10 @@ fn main() {
          \"unbatched_ops_per_sec\":{:.1},\"agg_ops_per_sec\":{:.1},\"speedup\":{:.2}}},\
          \"powerllel\":{{\"steps\":{steps},\"wall_ms_per_step\":{:.2}}}}}",
         reliable.ops_per_sec,
+        level4.ops_per_sec,
+        level4_rma.ops_per_sec,
+        level4_small.ops_per_sec,
+        level4_speedup,
         STORM_NODES * STORM_RANKS_PER_NODE,
         STORM_NICS,
         STORM_MSG,

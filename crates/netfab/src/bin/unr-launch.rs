@@ -4,7 +4,7 @@
 //! ```text
 //! unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E]
 //!                  [--msg BYTES] [--reliable] [--drop-every N]
-//!                  [--agg-max BYTES] [--min-ops-per-sec F]
+//!                  [--agg-max BYTES] [--hardware] [--min-ops-per-sec F]
 //!                  [--kill-rank R] [--kill-epoch E]
 //! ```
 //!
@@ -47,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: unr-launch storm [--ranks N] [--nics K] [--iters I] [--epochs E] \
          [--msg BYTES] [--reliable] [--drop-every N] [--agg-max BYTES] \
-         [--min-ops-per-sec F] [--kill-rank R] [--kill-epoch E]"
+         [--hardware] [--min-ops-per-sec F] [--kill-rank R] [--kill-epoch E]"
     );
     std::process::exit(2);
 }
@@ -81,6 +81,10 @@ fn parse_cli(args: &[String]) -> Cli {
             "--reliable" => cli.opts.reliable = true,
             "--drop-every" => cli.opts.drop_every = Some(num("--drop-every")),
             "--agg-max" => cli.opts.agg_eager_max = num("--agg-max") as usize,
+            // Hardware progress: the reactor-side sink is terminal; no
+            // control thread unless --reliable/--agg-max also asks for
+            // the hybrid drainer (DESIGN.md §5g).
+            "--hardware" => cli.opts.hardware = true,
             "--min-ops-per-sec" => cli.min_ops_per_sec = Some(num("--min-ops-per-sec") as f64),
             "--kill-rank" => cli.opts.kill_rank = Some(num("--kill-rank") as usize),
             "--kill-epoch" => cli.opts.kill_epoch = num("--kill-epoch") as usize,

@@ -43,8 +43,8 @@ use unr_core::signal::{Signal, SignalError, SignalTable};
 use unr_core::wire::{self, CtrlMsg};
 use unr_core::{
     striped_addends, AggFlush, AggMetrics, Backend, Blk, Channel, Coalescer, DedupWindow,
-    Encoding, Epoch, FlushWhy, MemCheckpoint, Notif, PeerFailedCause, Reliability, SigKey,
-    UnrConfig, UnrError,
+    Encoding, Epoch, FlushWhy, MemCheckpoint, Notif, PeerFailedCause, ProgressMode,
+    Reliability, SigKey, UnrConfig, UnrError,
 };
 use unr_simnet::FabricError;
 
@@ -165,13 +165,48 @@ impl NetMem {
 
 /// Sink that decodes inbound 128-bit custom bits into a [`Notif`] and
 /// applies it to the signal table — the emulated atomic-add unit.
+///
+/// Always the *terminal* step of a notification on this backend: the
+/// reactor thread that read the frame applies the addend straight into
+/// the generation-tagged slot; nothing is ever queued for a software
+/// progress pass to pick up. Under [`ProgressMode::Hardware`] the
+/// `unr.hw.*` series account this CQ-bypass explicitly.
 struct TableSink {
     table: Arc<SignalTable>,
+    /// `Some` iff the engine runs hardware progress (the `unr.hw.*`
+    /// series stay absent from software-progress snapshots).
+    hw: Option<NetHwMetrics>,
+}
+
+/// Pre-resolved `unr.hw.*` instruments (see OBSERVABILITY.md),
+/// registered only under [`ProgressMode::Hardware`].
+#[derive(Clone)]
+struct NetHwMetrics {
+    sink_applies: Arc<unr_obs::Counter>,
+    cq_bypass: Arc<unr_obs::Counter>,
+    ctrl_msgs: Arc<unr_obs::Counter>,
+}
+
+impl NetHwMetrics {
+    fn new(obs: &unr_obs::Obs) -> NetHwMetrics {
+        let m = &obs.metrics;
+        NetHwMetrics {
+            sink_applies: m.counter("unr.hw.sink_applies"),
+            cq_bypass: m.counter("unr.hw.cq_bypass"),
+            ctrl_msgs: m.counter("unr.hw.ctrl_msgs"),
+        }
+    }
 }
 
 impl NetAddSink for TableSink {
     fn apply(&self, custom: u128) {
         let n: Notif = Encoding::Full128.decode(custom);
+        if let Some(hw) = &self.hw {
+            hw.cq_bypass.inc();
+            if n.key != 0 {
+                hw.sink_applies.inc();
+            }
+        }
         self.table.apply_counted(n.key, n.addend);
     }
 }
@@ -191,6 +226,10 @@ pub struct NetUnr {
     epoch: u64,
     rel: Arc<RelState>,
     stop: Arc<AtomicBool>,
+    /// The resolved progress mode ([`ProgressMode::Hardware`] skips the
+    /// control thread entirely when nothing rides the control path).
+    progress_mode: ProgressMode,
+    /// Control-path drainer — `None` under pure hardware progress.
     progress: Mutex<Option<JoinHandle<()>>>,
     next_nic: AtomicUsize,
     /// Wall-clock cap on one `sig_wait`.
@@ -227,8 +266,14 @@ impl NetUnr {
         let fabric = Arc::clone(&world.fabric);
         let channel = Channel::netfab();
         let table = SignalTable::with_key_capacity(cfg.n_bits, Encoding::Full128.max_key());
+        let progress_mode = cfg
+            .progress
+            .unwrap_or(ProgressMode::PollingAgent { interval: 0 });
+        let hw = (progress_mode == ProgressMode::Hardware)
+            .then(|| NetHwMetrics::new(&fabric.obs));
         fabric.set_add_sink(Arc::new(TableSink {
             table: Arc::clone(&table),
+            hw: hw.clone(),
         }));
         let reliable = match cfg.reliability {
             Reliability::On => true,
@@ -247,23 +292,44 @@ impl NetUnr {
 
         let rto = MIN_RTO.max(Duration::from_nanos(cfg.retry_timeout));
         let cap = MIN_BACKOFF_CAP.max(Duration::from_nanos(cfg.retry_max_backoff));
-        let progress = {
+        // On this backend the reactor threads apply notification custom
+        // bits at frame-read time (the emulated level-4 atomic-add
+        // unit), so the data path never needs the progress thread. It
+        // exists for the *control* path: acks, retransmits, `MSG_AGG`
+        // and `MSG_EPOCH`. Under hardware progress with neither the
+        // reliable transport nor the coalescer there is no control
+        // traffic to drain — spawn nothing (threads = main + reactors,
+        // the paper's "no software progress at all"). Hybrid configs
+        // (hardware + reliable/agg, DESIGN.md §5g) spawn it as the
+        // ctrl-only drainer under the `netfab-hwctrl-*` name.
+        let hardware = progress_mode == ProgressMode::Hardware;
+        let need_ctrl = !hardware || reliable || cfg.agg_eager_max > 0;
+        let progress = need_ctrl.then(|| {
             let fabric = Arc::clone(&fabric);
             let table = Arc::clone(&table);
             let rel = Arc::clone(&rel);
             let stop = Arc::clone(&stop);
             let max_retries = cfg.max_retries;
+            let ctrl_msgs = hw.as_ref().map(|h| Arc::clone(&h.ctrl_msgs));
+            let name = if hardware {
+                format!("netfab-hwctrl-r{}", fabric.rank())
+            } else {
+                format!("netfab-progress-r{}", fabric.rank())
+            };
             std::thread::Builder::new()
-                .name(format!("netfab-progress-r{}", fabric.rank()))
+                .name(name)
                 .spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        let mut worked = false;
+                        let mut drained = 0u64;
                         while let Some((src, bytes)) = fabric.pop_ctrl() {
                             handle_ctrl(&fabric, &table, &rel, epoch, src, &bytes);
-                            worked = true;
+                            drained += 1;
                         }
                         sweep_retries(&fabric, &rel, rto, cap, max_retries);
-                        if worked {
+                        if drained > 0 {
+                            if let Some(c) = &ctrl_msgs {
+                                c.add(drained);
+                            }
                             // Signals may have fired: wake sig_wait parkers.
                             fabric.ring_bell();
                         }
@@ -273,7 +339,7 @@ impl NetUnr {
                     }
                 })
                 .expect("spawn progress thread")
-        };
+        });
 
         let wait_timeout = std::env::var("UNR_NETFAB_WAIT_MS")
             .ok()
@@ -308,7 +374,8 @@ impl NetUnr {
             epoch,
             rel,
             stop,
-            progress: Mutex::new(Some(progress)),
+            progress_mode,
+            progress: Mutex::new(progress),
             next_nic: AtomicUsize::new(0),
             wait_timeout,
             agg,
@@ -344,6 +411,18 @@ impl NetUnr {
     /// Whether the ack/replay protocol is active.
     pub fn reliable(&self) -> bool {
         self.reliable
+    }
+
+    /// The resolved progress mode.
+    pub fn progress_mode(&self) -> ProgressMode {
+        self.progress_mode
+    }
+
+    /// FNV-1a fingerprint of the signal table's observable state —
+    /// the hardware/software equivalence oracle's "final signal table"
+    /// term (see `unr_core::SignalTable::fingerprint`).
+    pub fn table_fingerprint(&self) -> u64 {
+        self.table.fingerprint()
     }
 
     /// Register a memory region (`UNR_Mem_Reg`).

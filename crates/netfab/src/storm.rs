@@ -57,6 +57,11 @@ pub struct StormOpts {
     /// Coalesce puts of at most this many bytes into aggregate frames
     /// (0: aggregation off).
     pub agg_eager_max: usize,
+    /// Run under [`unr_core::ProgressMode::Hardware`]: the reactor-side
+    /// sink is the terminal applier and no control thread is spawned
+    /// unless the reliable transport or the coalescer needs one (the
+    /// hybrid drainer, DESIGN.md §5g).
+    pub hardware: bool,
     /// `SIGKILL` this rank's generation-0 incarnation at the end of
     /// storm epoch [`StormOpts::kill_epoch`] (requires reliable mode
     /// and a recovery-enabled launcher).
@@ -75,6 +80,7 @@ impl Default for StormOpts {
             reliable: false,
             drop_every: None,
             agg_eager_max: 0,
+            hardware: false,
             kill_rank: None,
             kill_epoch: 1,
         }
@@ -137,16 +143,18 @@ pub fn run_storm(world: Arc<NetWorld>, opts: StormOpts) -> Result<StormOutcome, 
         }
     }
 
-    let cfg = UnrConfig::builder()
+    let mut builder = UnrConfig::builder()
         .backend(Backend::Netfab)
         .reliability(if opts.reliable {
             Reliability::On
         } else {
             Reliability::Off
         })
-        .agg_eager_max(opts.agg_eager_max)
-        .build()
-        .map_err(|e| err(format!("config: {e}")))?;
+        .agg_eager_max(opts.agg_eager_max);
+    if opts.hardware {
+        builder = builder.progress(unr_core::ProgressMode::Hardware);
+    }
+    let cfg = builder.build().map_err(|e| err(format!("config: {e}")))?;
     let faults = NetFaults {
         drop_every: if opts.reliable { opts.drop_every } else { None },
     };

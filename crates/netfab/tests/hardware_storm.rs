@@ -1,0 +1,105 @@
+//! Level-4 hardware progress over real TCP-loopback processes
+//! (DESIGN.md §5g): the reactor-side sink applies MMAS addends
+//! terminally, so a pure-hardware world runs one thread *fewer* per
+//! process (no progress thread), while the reliable and aggregated
+//! hybrids keep a ctrl-only drainer and still complete under injected
+//! drops.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const LAUNCH: &str = env!("CARGO_BIN_EXE_unr-launch");
+const DEADLINE: Duration = Duration::from_secs(300);
+
+fn wait_bounded(mut child: Child, what: &str) -> std::process::Output {
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => return child.wait_with_output().expect("collect output"),
+            None if t0.elapsed() > DEADLINE => {
+                let _ = child.kill();
+                let out = child.wait_with_output().expect("collect output");
+                panic!(
+                    "{what} exceeded {DEADLINE:?}\nstdout:\n{}\nstderr:\n{}",
+                    String::from_utf8_lossy(&out.stdout),
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Launch a 4-rank storm with the given extra flags; assert it passes
+/// and return the maximum per-rank thread count from the STORM_OK lines.
+fn storm_max_threads(extra: &[&str], what: &str) -> u64 {
+    let mut args = vec![
+        "storm", "--ranks", "4", "--nics", "2", "--iters", "4", "--epochs", "2", "--msg", "512",
+    ];
+    args.extend_from_slice(extra);
+    let child = Command::new(LAUNCH)
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn unr-launch");
+    let out = wait_bounded(child, what);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "{what} failed\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+        .lines()
+        .filter(|l| l.contains("STORM_OK"))
+        .map(|l| {
+            let at = l.find("\"threads\":").expect("threads field") + "\"threads\":".len();
+            l[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse::<u64>()
+                .expect("threads value")
+        })
+        .max()
+        .expect("at least one STORM_OK line")
+}
+
+/// Pure hardware drops the progress thread entirely: same world, same
+/// reactor pool, exactly one software thread fewer per process.
+#[test]
+fn pure_hardware_world_runs_without_progress_thread() {
+    if unr_netfab::process_thread_count().is_none() {
+        eprintln!("skipping: no /proc/self/status on this platform");
+        return;
+    }
+    let software = storm_max_threads(&[], "software storm");
+    let hardware = storm_max_threads(&["--hardware"], "pure hardware storm");
+    assert!(
+        hardware < software,
+        "hardware world must shed the progress thread \
+         (hardware {hardware} >= software {software} threads)"
+    );
+}
+
+/// The hybrid drainer composes level 4 with the reliable transport:
+/// injected drops are replayed and the storm's per-epoch MMAS verify
+/// still passes end to end.
+#[test]
+fn hardware_reliable_storm_survives_drops() {
+    storm_max_threads(
+        &["--hardware", "--reliable", "--drop-every", "7"],
+        "hardware reliable storm with drops",
+    );
+}
+
+/// And with the small-message coalescer: sub-MTU puts batch through the
+/// ctrl port as MSG_AGG while the sink owns the data path.
+#[test]
+fn hardware_aggregated_storm_completes() {
+    storm_max_threads(
+        &["--hardware", "--reliable", "--agg-max", "512", "--msg", "256"],
+        "hardware aggregated storm",
+    );
+}

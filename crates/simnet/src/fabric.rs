@@ -537,10 +537,17 @@ impl Fabric {
                         f2.stats.lost_writes.fetch_add(1, Ordering::Relaxed);
                         f2.metrics.lost_writes.inc();
                     } else if notify_remote {
-                        if spec.hardware_atomic_add {
-                            if let Some(sink) = sink {
-                                sink.apply(st2, arrival, raw_custom_remote);
-                            }
+                        // Level-4 fast path: the sink is the *terminal*
+                        // step — the addend lands in the signal table
+                        // and no CQ completion is ever pushed, so
+                        // sink-routed traffic can neither inflate
+                        // `simnet.cq.depth` nor trip `cq.dropped`. A
+                        // hardware spec with no sink installed (a
+                        // software channel forced onto a level-4
+                        // fabric) falls back to the CQ instead of
+                        // silently losing the notification.
+                        if let Some(sink) = sink.filter(|_| spec.hardware_atomic_add) {
+                            sink.apply(st2, arrival, raw_custom_remote);
                         } else {
                             remote_cq.push(
                                 st2,
@@ -818,12 +825,26 @@ impl Endpoint {
 
             // Local completion: buffer reusable once the NIC drained it.
             // Never faulted — the source-side DMA engine did drain it.
+            // Level-4 terminal sink; the CQ fallback catches a hardware
+            // spec whose rank never installed a sink (software channel
+            // forced onto a level-4 fabric) so the local notification
+            // is not silently lost.
             if spec.hardware_atomic_add {
                 let f2 = Arc::clone(&fabric);
                 st.schedule_at(end, move |st2| {
                     let sink = f2.inner.lock().ranks[src_rank].sink.clone();
                     if let Some(sink) = sink {
                         sink.apply(st2, end, raw_custom_local);
+                    } else if let Some(cq) = local_cq {
+                        cq.push(
+                            st2,
+                            Completion {
+                                kind: CompletionKind::PutLocal,
+                                custom: custom_local,
+                                nic: nic_idx,
+                                t: end,
+                            },
+                        );
                     }
                 });
             } else if let Some(cq) = local_cq {
@@ -1109,10 +1130,12 @@ impl Endpoint {
 
                 if let Some(data) = data {
                     if notify_remote {
-                        if spec.hardware_atomic_add {
-                            if let Some(sink) = sink_remote {
-                                sink.apply(st2, t_req, raw_custom_remote);
-                            }
+                        // Terminal sink with CQ fallback — mirrors the
+                        // PUT paths: a hardware spec without a sink
+                        // (software channel on a level-4 fabric) still
+                        // delivers its notification through the CQ.
+                        if let Some(sink) = sink_remote.filter(|_| spec.hardware_atomic_add) {
+                            sink.apply(st2, t_req, raw_custom_remote);
                         } else if let Some(cq) = remote_cq {
                             cq.push(
                                 st2,
@@ -1132,11 +1155,12 @@ impl Endpoint {
                             f3.metrics.lost_writes.inc();
                             return;
                         }
-                        if spec.hardware_atomic_add {
-                            let sink = f3.inner.lock().ranks[my_rank].sink.clone();
-                            if let Some(sink) = sink {
-                                sink.apply(st3, t_back, raw_custom_local);
-                            }
+                        let sink = spec
+                            .hardware_atomic_add
+                            .then(|| f3.inner.lock().ranks[my_rank].sink.clone())
+                            .flatten();
+                        if let Some(sink) = sink {
+                            sink.apply(st3, t_back, raw_custom_local);
                         } else if let Some(cq) = local_cq {
                             cq.push(
                                 st3,

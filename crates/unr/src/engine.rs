@@ -46,7 +46,14 @@ pub enum ProgressMode {
     /// The application drives progress itself (`Unr::progress`,
     /// `Unr::sig_wait`).
     UserDriven,
-    /// Level-4 hardware applies `*p += a`; no software progress at all.
+    /// Level-4 hardware applies `*p += a` directly against the signal
+    /// table — the notification "lands in user memory" with no CQ
+    /// round-trip. Pure notified-RMA traffic needs no software progress
+    /// at all; if the config also enables the reliable transport or the
+    /// small-message coalescer, a lightweight control-port drainer
+    /// (idle-parked, woken by the event bell) handles acks, retransmits,
+    /// `MSG_AGG`, and `MSG_EPOCH` while the hardware sink keeps owning
+    /// the data path (DESIGN.md §5g).
     Hardware,
 }
 
@@ -87,8 +94,8 @@ pub struct UnrConfig {
     pub retry_timeout: Ns,
     /// Cap on the exponentially backed-off retransmit timeout.
     pub retry_max_backoff: Ns,
-    /// Retransmissions per sub-message before the channel is declared
-    /// down ([`UnrError::RetryExhausted`] / [`UnrError::ChannelDown`]).
+    /// Retransmissions per sub-message before the peer is declared
+    /// failed ([`UnrError::PeerFailed`]).
     pub max_retries: u32,
     /// Attempt number from which retransmissions abandon the RMA path
     /// and reroute through the datagram fallback channel.
@@ -103,8 +110,9 @@ pub struct UnrConfig {
     /// posted individually. `0` (the default) disables aggregation
     /// entirely: no coalescer is built, no `unr.agg.*` metrics are
     /// registered, and every data path is byte-identical to a build
-    /// without the feature. Requires software progress (the aggregate
-    /// rides the control port, which hardware progress never drains).
+    /// without the feature. Composes with every progress mode: under
+    /// [`ProgressMode::Hardware`] the aggregate rides the control port
+    /// and is drained by the hybrid control drainer (DESIGN.md §5g).
     pub agg_eager_max: usize,
     /// Flush a destination's aggregate ring once its packed payload
     /// reaches this many bytes.
@@ -361,13 +369,6 @@ impl UnrConfig {
                     self.agg_flush_bytes, self.agg_eager_max
                 )));
             }
-            if self.progress == Some(ProgressMode::Hardware) {
-                return Err(UnrError::InvalidConfig(
-                    "aggregation needs software progress (the aggregate rides the \
-                     control port): use PollingAgent or UserDriven"
-                        .into(),
-                ));
-            }
         }
         if let RecoveryPolicy::Respawn {
             max_attempts,
@@ -468,29 +469,6 @@ pub enum UnrError {
         /// The receiver's current membership epoch.
         current: Epoch,
     },
-    /// The reliable transport already declared this context's channel
-    /// down (a previous sub-message exhausted its retries); further
-    /// operations are refused.
-    #[deprecated(
-        since = "0.2.0",
-        note = "folded into `UnrError::PeerFailed`; no longer constructed — match \
-                `PeerFailed { .. }` instead (alias kept one release)"
-    )]
-    ChannelDown,
-    /// A sub-message exhausted its retransmission budget even after NIC
-    /// rotation and fallback rerouting — the destination is unreachable.
-    #[deprecated(
-        since = "0.2.0",
-        note = "folded into `UnrError::PeerFailed` with \
-                `cause: PeerFailedCause::RetryExhausted`; no longer constructed \
-                (alias kept one release)"
-    )]
-    RetryExhausted {
-        /// Destination rank of the abandoned sub-message.
-        dst: usize,
-        /// Retransmissions attempted before giving up.
-        attempts: u32,
-    },
     /// A configuration rejected by [`UnrConfig::validate`].
     InvalidConfig(String),
 }
@@ -503,8 +481,6 @@ impl UnrError {
     }
 }
 
-// The deprecated aliases must still render until they are removed.
-#[allow(deprecated)]
 impl std::fmt::Display for UnrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -531,13 +507,6 @@ impl std::fmt::Display for UnrError {
             UnrError::StaleEpoch { msg_epoch, current } => write!(
                 f,
                 "stale-epoch message fenced: stamped {msg_epoch}, current {current}"
-            ),
-            UnrError::ChannelDown => {
-                write!(f, "channel is down: a sub-message exhausted its retries")
-            }
-            UnrError::RetryExhausted { dst, attempts } => write!(
-                f,
-                "sub-message to rank {dst} abandoned after {attempts} retransmissions"
             ),
             UnrError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
         }
@@ -677,6 +646,36 @@ impl RetryMetrics {
     }
 }
 
+/// Pre-resolved `unr.hw.*` instruments of the level-4 fast path,
+/// registered only when the selected channel is hardware-capable so
+/// software-channel runs keep a byte-identical metrics snapshot.
+///
+/// See OBSERVABILITY.md for the catalogue.
+pub(crate) struct HwMetrics {
+    /// Notification addends the hardware sink applied directly against
+    /// the signal table (the terminal step of a level-4 completion).
+    pub sink_applies: Arc<unr_obs::Counter>,
+    /// Completions that skipped the CQ round-trip entirely because the
+    /// sink was terminal (one per `sink_applies`; kept as a separate
+    /// series so CQ-bypass accounting can be asserted independently).
+    pub cq_bypass: Arc<unr_obs::Counter>,
+    /// Control-port messages drained by the hybrid control drainer
+    /// (acks, retransmit traffic, `MSG_AGG`, `MSG_EPOCH`) while the
+    /// hardware sink owned the data path.
+    pub ctrl_msgs: Arc<unr_obs::Counter>,
+}
+
+impl HwMetrics {
+    fn new(obs: &unr_obs::Obs) -> HwMetrics {
+        let m = &obs.metrics;
+        HwMetrics {
+            sink_applies: m.counter("unr.hw.sink_applies"),
+            cq_bypass: m.counter("unr.hw.cq_bypass"),
+            ctrl_msgs: m.counter("unr.hw.ctrl_msgs"),
+        }
+    }
+}
+
 /// Read-mostly registry of this rank's registered memory regions.
 ///
 /// Registration is rare (startup, mostly) but every put/get/fallback
@@ -751,6 +750,9 @@ pub(crate) struct UnrCore {
     /// Ack/replay state — `Some` iff reliability is active.
     pub retry: Option<Arc<RetryState>>,
     pub rmet: Option<RetryMetrics>,
+    /// `unr.hw.*` instruments — `Some` iff the selected channel is
+    /// hardware-capable (level 4 with `hardware_atomic_add`).
+    pub hwmet: Option<HwMetrics>,
     /// Small-message coalescer — `Some` iff `cfg.agg_eager_max > 0`.
     /// Only the application rank touches it (the polling agent never
     /// flushes rings), so the mutex is uncontended.
@@ -942,6 +944,33 @@ impl UnrCore {
             events.shrink_to(cap / 2);
         }
         drop(events);
+        let (cn, c_bytes, c_msgs) = self.ctrl_pass(sched, t, replies);
+        n += cn;
+        fb_bytes += c_bytes;
+        fb_msgs += c_msgs;
+        self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
+        self.met.events_progressed.add(n as u64);
+        self.met.progress_batch.record(n as u64);
+        (n, fb_bytes, fb_msgs)
+    }
+
+    /// The control half of [`UnrCore::progress_pass`]: drain the control
+    /// port, retire traffic to dead ranks and sweep retransmit
+    /// deadlines — without touching the CQ. This is the whole pass of
+    /// the hybrid control drainer (DESIGN.md §5g): under a hardware
+    /// channel every completion routes to the level-4 sink and the CQ
+    /// is empty by construction, so skipping its drain is virtual-time
+    /// neutral and keeps hybrid runs byte-identical to
+    /// `PollingAgent { interval: 0 }` runs of the same seed.
+    fn ctrl_pass(
+        &self,
+        sched: &mut Sched,
+        t: Ns,
+        replies: &mut Vec<Reply>,
+    ) -> (usize, usize, usize) {
+        let mut n = 0;
+        let mut fb_bytes = 0usize;
+        let mut fb_msgs = 0usize;
         while let Some(d) = self.port.try_pop() {
             n += 1;
             // Membership fence: unwrap the epoch envelope (bare frames
@@ -958,9 +987,6 @@ impl UnrCore {
         }
         self.drain_dead(sched, t);
         self.sweep_retries(sched, t, replies);
-        self.stats.events_progressed.fetch_add(n as u64, Ordering::Relaxed);
-        self.met.events_progressed.add(n as u64);
-        self.met.progress_batch.record(n as u64);
         (n, fb_bytes, fb_msgs)
     }
 
@@ -1256,6 +1282,7 @@ impl Unr {
             ))
         });
         let rmet = reliable.then(|| RetryMetrics::new(&ep.fabric().obs));
+        let hwmet = channel.hardware.then(|| HwMetrics::new(&ep.fabric().obs));
         let world = ep.fabric().cfg.nodes * ep.fabric().cfg.ranks_per_node;
         let agg = (cfg.agg_eager_max > 0).then(|| {
             Mutex::new(Coalescer::new(world, cfg.agg_flush_bytes, cfg.agg_flush_puts))
@@ -1273,6 +1300,7 @@ impl Unr {
             met,
             retry,
             rmet,
+            hwmet,
             agg,
             amet,
             agg_vcost: AtomicU64::new(0),
@@ -1284,22 +1312,13 @@ impl Unr {
         let progress_mode = cfg.progress.unwrap_or(if channel.hardware && !reliable {
             ProgressMode::Hardware
         } else {
-            // Default: dedicated busy-polling thread (interval 0). The
-            // reliable transport always needs software progress — its
-            // acks, retransmissions and sequenced companions flow
-            // through the control port, which hardware never drains.
+            // Default: dedicated busy-polling thread (interval 0) —
+            // the conservative choice for reliable/software channels.
+            // Hardware is still explicitly requestable alongside the
+            // reliable transport or the coalescer: the hybrid drainer
+            // below keeps the control port flowing (DESIGN.md §5g).
             ProgressMode::PollingAgent { interval: 0 }
         });
-        assert!(
-            !(reliable && progress_mode == ProgressMode::Hardware),
-            "reliable transport needs software progress (ack/replay): \
-             use PollingAgent or UserDriven"
-        );
-        assert!(
-            !(cfg.agg_eager_max > 0 && progress_mode == ProgressMode::Hardware),
-            "aggregation needs software progress (the aggregate rides the \
-             control port): use PollingAgent or UserDriven"
-        );
         let unr = Arc::new(Unr {
             ep,
             core,
@@ -1310,9 +1329,12 @@ impl Unr {
             // A level-4 NIC applies *p += a itself, whatever the software
             // progress mode is; without the sink every notification would
             // be silently lost (hardware channels post no CQ events).
+            let hw = unr.core.hwmet.as_ref().expect("hwmet set for hardware channels");
             let sink = Arc::new(TableSink {
                 table: Arc::clone(&unr.core.table),
                 sig_adds: Arc::clone(&unr.core.met.sig_adds),
+                sink_applies: Arc::clone(&hw.sink_applies),
+                cq_bypass: Arc::clone(&hw.cq_bypass),
             });
             unr.ep.set_add_sink(sink);
         }
@@ -1322,9 +1344,17 @@ impl Unr {
                     channel.hardware,
                     "Hardware progress requires a level-4 fabric (hardware atomic add)"
                 );
+                // Hybrid progress (DESIGN.md §5g): the sink above owns
+                // the data path; if the config also runs the reliable
+                // transport or the coalescer, a ctrl-only drainer keeps
+                // acks/retransmits/`MSG_AGG`/`MSG_EPOCH` flowing. Pure
+                // notified-RMA traffic spawns no software thread at all.
+                if reliable || cfg.agg_eager_max > 0 {
+                    unr.spawn_agent(0, true);
+                }
             }
             ProgressMode::PollingAgent { interval } => {
-                unr.spawn_agent(interval);
+                unr.spawn_agent(interval, false);
             }
             ProgressMode::UserDriven => {}
         }
@@ -1364,6 +1394,13 @@ impl Unr {
     /// Signal-table statistics (sync-error counters).
     pub fn signal_stats(&self) -> &crate::signal::SignalStats {
         &self.core.table.stats
+    }
+
+    /// FNV-1a fingerprint of the signal table's observable state
+    /// ([`SignalTable::fingerprint`]) — the "final signal table" term
+    /// of the hardware/software equivalence oracle.
+    pub fn table_fingerprint(&self) -> u64 {
+        self.core.table.fingerprint()
     }
 
     /// The active progress mode.
@@ -2318,6 +2355,41 @@ impl Unr {
         let (n, fb_bytes, fb_msgs) = ep
             .actor()
             .with_sched(|st, t| core.progress_pass(st, t, &mut replies));
+        Self::dispatch_progress(core, ep, replies, fb_bytes, fb_msgs);
+        n
+    }
+
+    /// One pass of the hybrid control drainer: [`UnrCore::ctrl_pass`]
+    /// only — the level-4 sink already owns the data path, so the CQ is
+    /// never touched (DESIGN.md §5g). Accounts drained messages into
+    /// `unr.hw.ctrl_msgs` on top of the usual progress series.
+    fn ctrl_on(core: &Arc<UnrCore>, ep: &Endpoint) -> usize {
+        let mut replies = Vec::new();
+        let (n, fb_bytes, fb_msgs) = ep
+            .actor()
+            .with_sched(|st, t| core.ctrl_pass(st, t, &mut replies));
+        core.stats
+            .events_progressed
+            .fetch_add(n as u64, Ordering::Relaxed);
+        core.met.events_progressed.add(n as u64);
+        core.met.progress_batch.record(n as u64);
+        if let Some(hw) = &core.hwmet {
+            hw.ctrl_msgs.add(n as u64);
+        }
+        Self::dispatch_progress(core, ep, replies, fb_bytes, fb_msgs);
+        n
+    }
+
+    /// Post-pass tail shared by every progress driver: charge the
+    /// fallback channel's receive-side costs and send the replies
+    /// computed inside scheduler context.
+    fn dispatch_progress(
+        core: &Arc<UnrCore>,
+        ep: &Endpoint,
+        replies: Vec<Reply>,
+        fb_bytes: usize,
+        fb_msgs: usize,
+    ) {
         if fb_msgs > 0 {
             // Receive-side bounce-buffer copy + per-message MPI-stack
             // overhead of the fallback channel.
@@ -2353,7 +2425,6 @@ impl Unr {
                 }
             }
         }
-        n
     }
 
     /// `UNR_Sig_Wait`: block until the signal triggers, driving progress
@@ -2582,12 +2653,21 @@ impl Unr {
 
     // ---- polling agent ------------------------------------------------------
 
-    fn spawn_agent(self: &Arc<Self>, interval: Ns) {
+    /// Spawn the software progress thread. `ctrl_only == false` is the
+    /// classic polling agent (drains CQ + control port every pass);
+    /// `ctrl_only == true` is the hybrid control drainer of
+    /// `ProgressMode::Hardware` (DESIGN.md §5g): the level-4 sink owns
+    /// the data path, this thread only drains the control port —
+    /// acks/retransmits/`MSG_AGG`/`MSG_EPOCH` — and idle-parks until
+    /// the port bell or a retransmit deadline wakes it.
+    fn spawn_agent(self: &Arc<Self>, interval: Ns, ctrl_only: bool) {
         let rank = self.ep.rank();
-        let agent_ep = self
-            .ep
-            .fabric()
-            .attach_at(rank, &format!("unr-poller-{rank}"), self.ep.now());
+        let name = if ctrl_only {
+            format!("unr-hwctrl-{rank}")
+        } else {
+            format!("unr-poller-{rank}")
+        };
+        let agent_ep = self.ep.fabric().attach_at(rank, &name, self.ep.now());
         let actor_id = agent_ep.actor().id();
         let stop = Arc::new(AtomicBool::new(false));
         let done = Arc::new(AtomicBool::new(false));
@@ -2597,7 +2677,7 @@ impl Unr {
         let done2 = Arc::clone(&done);
         let waiter2 = Arc::clone(&finalize_waiter);
         let join = std::thread::Builder::new()
-            .name(format!("unr-poller-{rank}"))
+            .name(name)
             .spawn(move || {
                 agent_ep.actor().begin();
                 let cfg = core.cfg;
@@ -2605,7 +2685,11 @@ impl Unr {
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
-                    let n = Self::progress_on(&core, &agent_ep);
+                    let n = if ctrl_only {
+                        Self::ctrl_on(&core, &agent_ep)
+                    } else {
+                        Self::progress_on(&core, &agent_ep)
+                    };
                     agent_ep
                         .advance(cfg.poll_cost_base + n as Ns * cfg.poll_cost_per_event);
                     if interval == 0 {
@@ -2613,17 +2697,21 @@ impl Unr {
                         // to process (the CQ/port wake us), a retransmit
                         // deadline expires, or stop. Borrow-only closures
                         // — this parks once per quiet spell, so per-park
-                        // Arc traffic was pure overhead.
+                        // Arc traffic was pure overhead. The ctrl-only
+                        // drainer never registers on the CQ: under a
+                        // hardware channel nothing is ever pushed there.
                         let retry = core.retry.as_deref();
                         agent_ep.actor().wait_until(
                             |_st| {
                                 stop2.load(Ordering::Relaxed)
-                                    || !core.cq.is_empty()
+                                    || (!ctrl_only && !core.cq.is_empty())
                                     || !core.port.is_empty()
                                     || retry.is_some_and(|r| r.is_due())
                             },
                             |_st, me| {
-                                core.cq.add_waiter(me);
+                                if !ctrl_only {
+                                    core.cq.add_waiter(me);
+                                }
                                 core.port.add_waiter(me);
                                 if let Some(r) = retry {
                                     r.add_waiter(me);
@@ -2724,15 +2812,29 @@ impl Drop for Unr {
 }
 
 /// Level-4 sink: the "NIC" applies `*p += a` (paper §IV-C).
+///
+/// This is the *terminal* step of a level-4 completion (DESIGN.md §5g):
+/// the MMAS addend lands directly in the generation-tagged lock-free
+/// slot and no CQ round-trip follows — the fabric never pushes a
+/// completion for sink-routed traffic, which `unr.hw.cq_bypass`
+/// accounts one-for-one.
 struct TableSink {
     table: Arc<SignalTable>,
     sig_adds: Arc<unr_obs::Counter>,
+    sink_applies: Arc<unr_obs::Counter>,
+    cq_bypass: Arc<unr_obs::Counter>,
 }
 
 impl AtomicAddSink for TableSink {
     fn apply(&self, sched: &mut Sched, t: Ns, custom: u128) {
+        self.cq_bypass.inc();
         let notif = Encoding::Full128.decode(custom);
+        if notif.key == 0 {
+            // Null signal: unnotified traffic, nothing to apply.
+            return;
+        }
         self.table.apply(sched, t, notif.key, notif.addend);
         self.sig_adds.inc();
+        self.sink_applies.inc();
     }
 }

@@ -11,9 +11,9 @@
 //! (`RetryState::sweep`) and retransmits expired ones with exponential backoff,
 //! rotating NICs (so a flapping NIC is escaped) and, after `fallback_after` attempts,
 //! rerouting through the datagram fallback channel. When a sub-message
-//! exhausts `max_retries` the channel is declared down: waiters are
-//! woken and surface [`UnrError::RetryExhausted`](crate::UnrError) /
-//! [`UnrError::ChannelDown`](crate::UnrError).
+//! exhausts `max_retries` the peer is declared failed: waiters are
+//! woken and surface [`UnrError::PeerFailed`](crate::UnrError) with
+//! [`PeerFailedCause::RetryExhausted`](crate::epoch::PeerFailedCause).
 //!
 //! # Sharded locking
 //!

@@ -548,6 +548,41 @@ impl SignalTable {
         }
     }
 
+    /// FNV-1a fingerprint of the table's observable state: every
+    /// allocated slot's index, state word (liveness + generation) and —
+    /// when live — its counter value. Two seeded runs of the same
+    /// workload that end with byte-identical signal tables hash equal
+    /// no matter which progress mode applied the addends; the
+    /// hardware/software equivalence tests key on this.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        // The alloc lock pins the slot population; the counters stay
+        // atomic reads (callers fingerprint quiesced tables).
+        let a = self.alloc.lock();
+        for idx in 1..a.next_idx as u64 {
+            let Some(slot) = self.slot(idx) else { continue };
+            let state = slot.state.load(Ordering::Acquire);
+            mix(idx);
+            mix(state);
+            if state & SLOT_LIVE != 0 {
+                // SAFETY: same contract as `apply_detached` — live
+                // slots have a published inner the table never frees
+                // while it exists.
+                let inner = unsafe { &*slot.inner.load(Ordering::Acquire) };
+                mix(inner.counter.load(Ordering::SeqCst) as u64);
+            }
+        }
+        drop(a);
+        h
+    }
+
     fn release(&self, key: u64) {
         if key == 0 {
             return;

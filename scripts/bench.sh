@@ -46,13 +46,18 @@ esac
 # against their own reference (different machine physics entirely).
 # The small-message storm gates under its own key (small_* /
 # netfab_small_*): it measures the aggregation path, whose throughput
-# is unrelated to the big-message storm's.
+# is unrelated to the big-message storm's. The level-4 storm gates
+# under level4_* / netfab_level4_*: it measures the direct-sink
+# hardware path (CQ bypass + hybrid ctrl drainer, DESIGN.md 5g),
+# which must not silently fall back to software-progress speeds.
 GATE_KEY="$MODE"
 SMALL_GATE_KEY="small_$MODE"
+LEVEL4_GATE_KEY="level4_$MODE"
 OUT_NAME=BENCH_PERF.json
 if [ "$BACKEND" = netfab ]; then
   GATE_KEY="netfab_$MODE"
   SMALL_GATE_KEY="netfab_small_$MODE"
+  LEVEL4_GATE_KEY="netfab_level4_$MODE"
   OUT_NAME=BENCH_PERF_netfab.json
 fi
 
@@ -132,6 +137,33 @@ if [ -n "$small_ops" ]; then
       exit 1;
     }
     printf "OK: %.1f small-agg ops/sec >= floor %.1f (%.2fx of reference)\n",
+           fresh, floor, fresh / base;
+  }'
+fi
+
+# Level-4 direct-sink gate. The fresh JSON's "level4_ops_per_sec" is the
+# hardware-progress storm (simnet: reliable hybrid; netfab: hw-sink rma);
+# same rule as the small gate — once the benchmark emits the key, a
+# missing reference is an error, not a skip, because a storm that quietly
+# re-routed through the CQ would otherwise pass unmeasured.
+level4_ops=$(grep -o '"level4_ops_per_sec":[0-9.]*' "$FRESH" | head -n1 | cut -d: -f2)
+if [ -n "$level4_ops" ]; then
+  level4_base=$(sed -n 's/.*"gate": *{[^}]*"'"$LEVEL4_GATE_KEY"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
+  if [ -z "$level4_base" ]; then
+    echo "error: benchmark emitted the level-4 storm but $BASELINE has no" >&2
+    echo "       gate.$LEVEL4_GATE_KEY reference. Run this script on the reference" >&2
+    echo "       machine and add the measured level4_ops_per_sec under that key." >&2
+    exit 1
+  fi
+  echo "gate: $level4_ops level-4 ops/sec vs reference $level4_base ($LEVEL4_GATE_KEY, 20% tolerance)"
+  awk -v fresh="$level4_ops" -v base="$level4_base" 'BEGIN {
+    floor = 0.80 * base;
+    if (fresh < floor) {
+      printf "FAIL: %.1f level-4 ops/sec is below the regression floor %.1f (80%% of %.1f)\n",
+             fresh, floor, base;
+      exit 1;
+    }
+    printf "OK: %.1f level-4 ops/sec >= floor %.1f (%.2fx of reference)\n",
            fresh, floor, fresh / base;
   }'
 fi
