@@ -425,6 +425,24 @@ impl NetUnr {
         self.table.fingerprint()
     }
 
+    /// Signal-table occupancy probe: `(live signals, materialized slot
+    /// capacity)` — `unr_core::SignalTable::occupancy`. Relaxed loads
+    /// only; the admission controller in `unr-serve` consults this
+    /// before every signal allocation so table pressure surfaces as a
+    /// typed shed, never as an allocation failure.
+    pub fn signal_occupancy(&self) -> (usize, usize) {
+        self.table.occupancy()
+    }
+
+    /// Bytes and puts buffered in the small-message coalescer's ring
+    /// for destination `dst`; `(0, 0)` when aggregation is off.
+    pub fn agg_backlog(&self, dst: usize) -> (usize, usize) {
+        match &self.agg {
+            Some(m) => m.lock().expect("agg lock").backlog(dst),
+            None => (0, 0),
+        }
+    }
+
     /// Register a memory region (`UNR_Mem_Reg`).
     pub fn mem_reg(&self, len: usize) -> NetMem {
         assert!(len > 0, "cannot register an empty region");

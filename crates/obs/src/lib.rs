@@ -50,7 +50,10 @@ pub mod metrics;
 pub mod span;
 
 pub use export::chrome_trace_json;
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, HIST_BUCKETS};
+pub use metrics::{
+    percentile_from_buckets, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,
+    HIST_BUCKETS,
+};
 pub use span::{SpanEvent, SpanLog};
 
 /// The root observability object: one metrics registry plus one span

@@ -112,6 +112,50 @@ pub(crate) fn bucket_lo(i: usize) -> u64 {
     }
 }
 
+/// Estimate the `q`-quantile (`0.0..=1.0`) of a log2-bucketed
+/// distribution by linear interpolation *inside* the crossing bucket.
+///
+/// The cumulative count is walked until it reaches `q * total`; the
+/// estimate is then placed proportionally between the crossing bucket's
+/// inclusive lower bound `2^(i-1)` and its exclusive upper bound `2^i`.
+/// Bucket 0 holds only the value `0`, so a quantile landing there is
+/// exactly `0.0`. The error bound is the bucket width (a factor of
+/// two); for distributions roughly uniform within a bucket the
+/// interpolation is much tighter. An empty distribution estimates `0.0`.
+///
+/// Callers with an exact maximum should clamp the result to it (as
+/// [`Histogram::percentile`] and the snapshot exporters do): the top
+/// bucket's upper edge can overshoot the largest recorded sample.
+pub fn percentile_from_buckets(buckets: &[u64; HIST_BUCKETS], q: f64) -> f64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0.0;
+    }
+    // Nearest-rank target: at least one sample must be covered, so
+    // q = 0 estimates the smallest sample's bucket rather than 0.
+    let target = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cum as f64;
+        cum += n;
+        if cum as f64 >= target {
+            if i == 0 {
+                return 0.0;
+            }
+            let lo = bucket_lo(i) as f64;
+            let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+            return lo + frac * lo; // upper edge of bucket i is 2*lo
+        }
+    }
+    // Unreachable except for float rounding at q == 1.0: the upper edge
+    // of the top occupied bucket.
+    let top = buckets.iter().rposition(|&n| n != 0).unwrap_or(0);
+    bucket_lo(top) as f64 * 2.0
+}
+
 impl Histogram {
     /// Record one sample.
     pub fn record(&self, v: u64) {
@@ -149,6 +193,13 @@ impl Histogram {
     /// Per-bucket sample counts.
     pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) of the recorded samples
+    /// via [`percentile_from_buckets`], clamped to the exact maximum so
+    /// high quantiles never overshoot the largest sample.
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile_from_buckets(&self.buckets(), q).min(self.max() as f64)
     }
 }
 
@@ -305,8 +356,9 @@ impl Snapshot {
     }
 
     /// Render as a human-readable aligned table, one instrument per
-    /// line. Histograms print count / mean / max plus a compact sparkline
-    /// of their occupied log2 buckets.
+    /// line. Histograms print count / mean / interpolated p50, p99 and
+    /// p999 / max plus a compact sparkline of their occupied log2
+    /// buckets.
     pub fn render_table(&self) -> String {
         let mut rows: Vec<(String, String)> = Vec::with_capacity(self.entries.len());
         for (name, v) in &self.entries {
@@ -324,6 +376,9 @@ impl Snapshot {
                     } else {
                         *sum as f64 / *count as f64
                     };
+                    let pct =
+                        |q: f64| percentile_from_buckets(buckets, q).min(*max as f64);
+                    let (p50, p99, p999) = (pct(0.50), pct(0.99), pct(0.999));
                     let mut spark = String::new();
                     let lo = buckets.iter().position(|&b| b != 0);
                     let hi = buckets.iter().rposition(|&b| b != 0);
@@ -344,7 +399,10 @@ impl Snapshot {
                             hi
                         );
                     }
-                    format!("n={count} mean={mean:.1} max={max}{spark}")
+                    format!(
+                        "n={count} mean={mean:.1} p50={p50:.0} p99={p99:.0} \
+                         p999={p999:.0} max={max}{spark}"
+                    )
                 }
             };
             rows.push((name.clone(), cell));
@@ -359,8 +417,10 @@ impl Snapshot {
 
     /// Serialize as a JSON object keyed by metric name. Counters render
     /// as numbers, gauges as `{"value", "max"}`, histograms as
-    /// `{"count", "sum", "max", "buckets": {"<lo>": n, ...}}` with only
-    /// occupied buckets listed (keyed by their inclusive lower bound).
+    /// `{"count", "sum", "max", "p50", "p99", "p999", "buckets":
+    /// {"<lo>": n, ...}}` with interpolated quantiles (see
+    /// [`percentile_from_buckets`]) and only occupied buckets listed
+    /// (keyed by their inclusive lower bound).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         for (i, (name, v)) in self.entries.iter().enumerate() {
@@ -379,8 +439,14 @@ impl Snapshot {
                     max,
                     buckets,
                 } => {
+                    let pct =
+                        |q: f64| percentile_from_buckets(buckets, q).min(*max as f64);
                     out.push_str(&format!(
-                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\"buckets\":{{"
+                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\
+                         \"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1},\"buckets\":{{",
+                        pct(0.50),
+                        pct(0.99),
+                        pct(0.999)
                     ));
                     let mut first = true;
                     for (b, &n) in buckets.iter().enumerate() {
@@ -511,6 +577,110 @@ mod tests {
         assert_eq!(b[7], 1); // 100 in [64, 128)
         assert_eq!(b[8], 1); // 200 in [128, 256)
         assert_eq!(b[9], 1); // 300 in [256, 512)
+    }
+
+    // ---- percentile estimation ---------------------------------------
+
+    /// Nearest-rank exact quantile of a sorted sample set.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// Tiny deterministic generator (SplitMix64) so the quantile tests
+    /// run on a seeded, reproducible sample set without any RNG dep.
+    fn splitmix_stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentile_empty_and_single_sample() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0.0);
+        h.record(5);
+        // A single sample: every quantile is that sample (the max clamp
+        // pins the in-bucket interpolation to the exact value).
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 5.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_zero_samples_estimate_zero() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(0.999), 0.0);
+    }
+
+    #[test]
+    fn percentile_within_bucket_interpolation_is_monotone() {
+        let h = Histogram::default();
+        // 64 samples spread uniformly across one bucket [64, 128).
+        for v in 64..128 {
+            h.record(v);
+        }
+        let (p25, p50, p75) = (h.percentile(0.25), h.percentile(0.5), h.percentile(0.75));
+        assert!(p25 < p50 && p50 < p75, "{p25} {p50} {p75}");
+        // Uniform within the bucket: interpolation lands near the exact
+        // quantile, far inside the factor-of-two bucket bound.
+        assert!((p50 - 96.0).abs() < 8.0, "p50={p50}");
+    }
+
+    #[test]
+    fn percentile_tracks_exact_quantiles_on_seeded_data() {
+        // Mixed-scale seeded samples: exercises many buckets at once.
+        for (seed, n) in [(7u64, 500usize), (0x5eed, 4096), (99, 10_000)] {
+            let h = Histogram::default();
+            let mut samples: Vec<u64> = splitmix_stream(seed, n)
+                .into_iter()
+                // Spread over ~20 octaves so several buckets are hit.
+                .map(|r| (r % 1_000_000) + 1)
+                .collect();
+            for &v in &samples {
+                h.record(v);
+            }
+            samples.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let exact = exact_quantile(&samples, q) as f64;
+                let est = h.percentile(q);
+                // The log2 bucketing guarantees a factor-of-two bound.
+                assert!(
+                    est >= exact / 2.0 && est <= exact * 2.0,
+                    "seed {seed} q {q}: est {est} vs exact {exact}"
+                );
+            }
+            // The top quantile never exceeds the true max.
+            assert!(h.percentile(1.0) <= *samples.last().unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn exporters_carry_percentiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = r.snapshot();
+        let t = s.render_table();
+        assert!(t.contains("p50=") && t.contains("p99=") && t.contains("p999="), "{t}");
+        let j = s.to_json();
+        assert!(
+            j.contains("\"p50\":") && j.contains("\"p99\":") && j.contains("\"p999\":"),
+            "{j}"
+        );
     }
 
     // ---- snapshot ----------------------------------------------------

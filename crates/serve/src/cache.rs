@@ -1,0 +1,144 @@
+//! A direct-mapped response cache with
+//! **invalidation-on-replicated-write**.
+//!
+//! The invariant: a cached response is replaced *exactly when* the
+//! local rank learns its key was durably replicated — i.e. at the
+//! moment a PUT's quorum signal fires (not when the PUT is issued:
+//! until the MMAS ack arrives the old value is still the only durable
+//! one). Writes by *other* ranks produce no ack here, so entries also
+//! carry an age bound: a hit older than `max_age_ops` arrivals is
+//! treated as a miss and re-fetched, which caps staleness without any
+//! cross-rank invalidation traffic.
+
+/// One cached `(key → version)` response.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    ver: u64,
+    /// Arrival-counter stamp when the entry was filled.
+    stamp: u64,
+}
+
+/// Direct-mapped cache: slot = `key % capacity`. Collisions evict.
+#[derive(Debug)]
+pub struct ResponseCache {
+    slots: Vec<Option<Entry>>,
+    max_age_ops: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResponseCache {
+    /// A cache of `capacity` slots; entries expire after
+    /// `max_age_ops` arrivals. `capacity == 0` disables the cache
+    /// (every lookup misses).
+    pub fn new(capacity: usize, max_age_ops: u64) -> ResponseCache {
+        ResponseCache {
+            slots: vec![None; capacity],
+            max_age_ops,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn idx(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some((key % self.slots.len() as u64) as usize)
+        }
+    }
+
+    /// Look up `key` at arrival counter `now_ops`. A hit returns the
+    /// cached version; stale or colliding entries miss.
+    pub fn lookup(&mut self, key: u64, now_ops: u64) -> Option<u64> {
+        let hit = self.idx(key).and_then(|i| self.slots[i]).and_then(|e| {
+            (e.key == key && now_ops.saturating_sub(e.stamp) <= self.max_age_ops).then_some(e.ver)
+        });
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Fill (or replace) the entry for `key` — called when a GET
+    /// response lands, or when a PUT's replication quorum is
+    /// acknowledged (the invalidation-on-replicated-write rule).
+    pub fn fill(&mut self, key: u64, ver: u64, now_ops: u64) {
+        if let Some(i) = self.idx(key) {
+            self.slots[i] = Some(Entry {
+                key,
+                ver,
+                stamp: now_ops,
+            });
+        }
+    }
+
+    /// Drop the entry for `key` if present (used when a fetched record
+    /// fails verification — never serve it again from cache).
+    pub fn invalidate(&mut self, key: u64) {
+        if let Some(i) = self.idx(key) {
+            if self.slots[i].is_some_and(|e| e.key == key) {
+                self.slots[i] = None;
+            }
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = ResponseCache::new(8, 100);
+        assert_eq!(c.lookup(3, 0), None);
+        c.fill(3, 7, 0);
+        assert_eq!(c.lookup(3, 10), Some(7));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn replicated_write_replaces_the_cached_version() {
+        let mut c = ResponseCache::new(8, 100);
+        c.fill(3, 7, 0);
+        // Quorum ack for version 8 lands: the stale response is gone.
+        c.fill(3, 8, 5);
+        assert_eq!(c.lookup(3, 6), Some(8));
+    }
+
+    #[test]
+    fn entries_age_out() {
+        let mut c = ResponseCache::new(8, 10);
+        c.fill(1, 1, 0);
+        assert_eq!(c.lookup(1, 10), Some(1));
+        assert_eq!(c.lookup(1, 11), None, "older than max_age_ops");
+    }
+
+    #[test]
+    fn collisions_evict() {
+        let mut c = ResponseCache::new(8, 100);
+        c.fill(1, 1, 0);
+        c.fill(9, 2, 0); // same slot: 9 % 8 == 1 % 8
+        assert_eq!(c.lookup(9, 0), Some(2));
+        assert_eq!(c.lookup(1, 0), None);
+    }
+
+    #[test]
+    fn invalidate_and_zero_capacity() {
+        let mut c = ResponseCache::new(8, 100);
+        c.fill(1, 1, 0);
+        c.invalidate(1);
+        assert_eq!(c.lookup(1, 0), None);
+        let mut off = ResponseCache::new(0, 100);
+        off.fill(1, 1, 0);
+        assert_eq!(off.lookup(1, 0), None, "capacity 0 disables the cache");
+    }
+}

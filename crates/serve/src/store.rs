@@ -1,0 +1,177 @@
+//! Record layout and key placement for the sharded store.
+//!
+//! Each key slot holds one fixed-size record:
+//!
+//! ```text
+//! [ key: u64 | ver: u64 | crc: u64 | payload: value_len bytes ]
+//! ```
+//!
+//! The payload is a deterministic pattern of `(key, ver)` — byte `i`
+//! is `(key ^ ver ^ i) as u8` — so a reader can verify a record
+//! end-to-end without shipping the original value around. The CRC is
+//! FNV-1a over key, version and payload: a GET that races a replica
+//! write (possible on the netfab backend, where remote writes land
+//! from another OS process) decodes to `None` instead of returning a
+//! torn half-old half-new record. On simnet the scheduler serializes
+//! fabric accesses, so decode failures there are real bugs.
+
+use crate::workload::mix64;
+
+/// Header bytes preceding the payload: key, version, crc.
+pub const REC_HEADER: usize = 24;
+
+/// Total record length for a given payload size.
+pub fn rec_len(value_len: usize) -> usize {
+    REC_HEADER + value_len
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The pattern byte at position `i` of `(key, ver)`'s payload.
+fn pattern_byte(key: u64, ver: u64, i: usize) -> u8 {
+    (key ^ ver ^ i as u64) as u8
+}
+
+/// Encode the record for `(key, ver)` into `buf`
+/// (`buf.len() == rec_len(value_len)`).
+pub fn encode_record(buf: &mut [u8], key: u64, ver: u64) {
+    assert!(buf.len() >= REC_HEADER, "record too short for its header");
+    buf[0..8].copy_from_slice(&key.to_le_bytes());
+    buf[8..16].copy_from_slice(&ver.to_le_bytes());
+    for (i, b) in buf[REC_HEADER..].iter_mut().enumerate() {
+        *b = pattern_byte(key, ver, i);
+    }
+    let crc = fnv1a(&buf[0..16]) ^ fnv1a(&buf[REC_HEADER..]);
+    buf[16..24].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode and verify a record. Returns `(key, ver)` if the CRC and the
+/// payload pattern both check out; `None` for an unwritten slot or a
+/// torn read.
+pub fn decode_record(buf: &[u8]) -> Option<(u64, u64)> {
+    if buf.len() < REC_HEADER {
+        return None;
+    }
+    let key = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+    let ver = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    if ver == 0 {
+        // Versions start at 1; an all-zero slot is simply unwritten.
+        return None;
+    }
+    let crc = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+    if crc != fnv1a(&buf[0..16]) ^ fnv1a(&buf[REC_HEADER..]) {
+        return None;
+    }
+    for (i, &b) in buf[REC_HEADER..].iter().enumerate() {
+        if b != pattern_byte(key, ver, i) {
+            return None;
+        }
+    }
+    Some((key, ver))
+}
+
+/// Where a key lives: its home rank, its slot inside every replica's
+/// window, and the replica set.
+///
+/// Replicas are the `r` consecutive ranks starting at the home (mod
+/// world size), all using the *same* slot index — so one key's record
+/// occupies the same window offset everywhere, and a writer can derive
+/// every replica target from one hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Home rank (the GET target).
+    pub home: usize,
+    /// Slot index inside each replica's shard window.
+    pub slot: usize,
+}
+
+impl Placement {
+    /// Place `key` on a world of `nranks` ranks with `slots_per_rank`
+    /// window slots each.
+    pub fn of(key: u64, nranks: usize, slots_per_rank: usize) -> Placement {
+        let h = mix64(key);
+        Placement {
+            home: (h % nranks as u64) as usize,
+            slot: ((h >> 32) % slots_per_rank as u64) as usize,
+        }
+    }
+
+    /// The replica ranks: `r` consecutive ranks starting at the home.
+    pub fn replicas(&self, nranks: usize, r: usize) -> impl Iterator<Item = usize> + '_ {
+        let home = self.home;
+        (0..r.min(nranks)).map(move |i| (home + i) % nranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut buf = vec![0u8; rec_len(64)];
+        encode_record(&mut buf, 0xfeed_beef, 17);
+        assert_eq!(decode_record(&buf), Some((0xfeed_beef, 17)));
+    }
+
+    #[test]
+    fn unwritten_slot_decodes_to_none() {
+        assert_eq!(decode_record(&vec![0u8; rec_len(64)]), None);
+        assert_eq!(decode_record(&[]), None);
+    }
+
+    #[test]
+    fn torn_read_is_rejected() {
+        let mut a = vec![0u8; rec_len(32)];
+        let mut b = vec![0u8; rec_len(32)];
+        encode_record(&mut a, 5, 1);
+        encode_record(&mut b, 5, 2);
+        // Splice: header of version 2, tail of version 1 — the shape a
+        // racing reader could observe on a real memory system.
+        let mut torn = b.clone();
+        torn[REC_HEADER + 16..].copy_from_slice(&a[REC_HEADER + 16..]);
+        assert_eq!(decode_record(&torn), None);
+        // Flipping a single payload bit is also caught.
+        let mut flip = a.clone();
+        flip[REC_HEADER + 3] ^= 0x40;
+        assert_eq!(decode_record(&flip), None);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for key in 0..10_000u64 {
+            let p = Placement::of(key, 4, 512);
+            assert_eq!(p, Placement::of(key, 4, 512));
+            assert!(p.home < 4);
+            assert!(p.slot < 512);
+            let reps: Vec<usize> = p.replicas(4, 2).collect();
+            assert_eq!(reps.len(), 2);
+            assert_eq!(reps[0], p.home);
+            assert_ne!(reps[0], reps[1]);
+        }
+    }
+
+    #[test]
+    fn placement_spreads_keys() {
+        let mut per_rank = [0u32; 4];
+        for key in 0..40_000u64 {
+            per_rank[Placement::of(key, 4, 512).home] += 1;
+        }
+        for &c in &per_rank {
+            assert!((8_000..12_000).contains(&c), "placement skew: {per_rank:?}");
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_world() {
+        let p = Placement::of(9, 2, 16);
+        assert_eq!(p.replicas(2, 3).count(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Integration tests for the KV service on the simulated fabric:
+//! seeded determinism, overload shedding (the admission-before-alloc
+//! regression), aggregation-ring backpressure, and exact replication
+//! accounting.
+
+use unr_core::{Backend, Unr, UnrConfig};
+use unr_minimpi::{barrier, run_mpi_on_fabric, MpiConfig};
+use unr_serve::harness::run_simnet;
+use unr_serve::link::{RmaLink, SimLink};
+use unr_serve::workload::{Arrival, OpKind};
+use unr_serve::{KvService, OverloadCause, ServeConfig, ServeError};
+use unr_simnet::{Fabric, Platform, MS};
+
+fn test_cfg() -> ServeConfig {
+    ServeConfig {
+        ops_per_rank: 300,
+        clients: 500,
+        mean_think_ns: 10_000_000,
+        slots_per_rank: 512,
+        keys: 2_048,
+        ..ServeConfig::default()
+    }
+}
+
+/// The comparable portion of a rank report (everything wall-clock-free).
+fn digest(r: &unr_serve::RankReport) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, Vec<u64>) {
+    (
+        r.ops,
+        r.puts,
+        r.gets,
+        r.hits,
+        r.misses,
+        r.shed,
+        r.replica_acks,
+        r.window_writes,
+        r.fingerprint,
+        r.lat.to_vec(),
+    )
+}
+
+/// Satellite: same seed → byte-identical run (reports, metrics
+/// snapshot, rendered table and JSON export); different workload seed
+/// → observably different traffic.
+#[test]
+fn seeded_serve_runs_are_reproducible() {
+    let cfg = test_cfg();
+    let a = run_simnet(&cfg, UnrConfig::default(), 0xD0);
+    let b = run_simnet(&cfg, UnrConfig::default(), 0xD0);
+    assert_eq!(a.per_rank.len(), b.per_rank.len());
+    for (ra, rb) in a.per_rank.iter().zip(b.per_rank.iter()) {
+        assert_eq!(digest(ra), digest(rb), "per-rank reports must match");
+    }
+    assert_eq!(a.snapshot, b.snapshot, "metrics snapshots must match");
+    assert_eq!(a.table, b.table, "rendered table must be byte-identical");
+    assert_eq!(a.json, b.json, "JSON export must be byte-identical");
+
+    let mut other = cfg.clone();
+    other.seed ^= 0x5eed_cafe;
+    let c = run_simnet(&other, UnrConfig::default(), 0xD0);
+    assert_ne!(
+        a.per_rank.iter().map(digest).collect::<Vec<_>>(),
+        c.per_rank.iter().map(digest).collect::<Vec<_>>(),
+        "distinct workload seeds must produce different traffic"
+    );
+}
+
+/// Every request is accounted for: completed + shed == arrivals,
+/// cache hits + misses == completed GETs, and every remote replica
+/// leg acknowledged by a writer landed in some window (summed-MMAS
+/// conservation).
+#[test]
+fn replication_accounting_is_exact() {
+    let run = run_simnet(&test_cfg(), UnrConfig::default(), 0xD1);
+    let m = &run.merged;
+    assert_eq!(m.completed() + m.shed, m.ops, "no request lost");
+    assert_eq!(m.hits + m.misses, m.gets, "every GET is a hit or a miss");
+    assert!(m.puts > 0 && m.gets > 0, "mixed workload expected");
+    assert!(m.hits > 0, "zipfian traffic must produce cache hits");
+    assert_eq!(
+        m.replica_acks, m.window_writes,
+        "every acked replica leg must have landed in a window"
+    );
+    assert_eq!(m.sig_alloc_fails, 0);
+}
+
+/// The bugfix regression: drive arrivals far faster than the fabric
+/// drains, with a signal high-water mark well below the hard budget.
+/// Admission must shed (typed), the hard budget must never be reached
+/// (zero alloc failures reach clients), and the run must drain rather
+/// than hang.
+#[test]
+fn overload_sheds_before_signal_alloc_failure() {
+    let cfg = ServeConfig {
+        ops_per_rank: 800,
+        slots_per_rank: 512,
+        keys: 2_048,
+        ..ServeConfig::overload()
+    };
+    let run = run_simnet(&cfg, UnrConfig::default(), 0xD2);
+    let m = &run.merged;
+    assert!(
+        m.shed > 0,
+        "saturation must trip the admission controller (ops={}, completed={})",
+        m.ops,
+        m.completed()
+    );
+    assert_eq!(
+        m.sig_alloc_fails, 0,
+        "signal pressure must surface as Overloaded, never as an allocation failure"
+    );
+    assert_eq!(m.completed() + m.shed, m.ops, "drained, nothing stuck");
+    // The shed counter also reached the shared metrics registry.
+    let shed = run
+        .snapshot
+        .counter("unr.serve.shed")
+        .expect("unr.serve.shed registered");
+    assert_eq!(shed, m.shed);
+    assert_eq!(run.snapshot.counter("unr.serve.sig_alloc_fails"), Some(0));
+}
+
+/// Aggregation-ring backpressure: with the sender-side coalescer
+/// enabled and flushes withheld, per-destination backlog must trip the
+/// `AggRing` high-water mark — and a later flush must drain every
+/// buffered put (backpressure, never deadlock).
+#[test]
+fn agg_ring_pressure_sheds_and_then_drains() {
+    let mut fcfg = Platform::th_xy().fabric_config(1, 2);
+    fcfg.seed = 0xA66;
+    let fabric = Fabric::new(fcfg);
+    let ucfg = UnrConfig::builder()
+        .backend(Backend::Simnet)
+        .agg_eager_max(128) // record (88 B) is aggregable
+        .build()
+        .expect("agg config");
+    let sheds: Vec<(u64, u64, usize)> =
+        run_mpi_on_fabric(&fabric, MpiConfig::default(), move |comm| {
+            let cfg = ServeConfig {
+                agg_hwm_bytes: 256, // ~3 buffered records trip the mark
+                read_frac: 0.0,
+                replicas: 2,
+                slots_per_rank: 128,
+                keys: 256,
+                ..ServeConfig::default()
+            };
+            let unr = Unr::init(comm.ep_shared(), ucfg);
+            let link = SimLink::new(unr, KvService::region_len(&cfg), comm.size());
+            let win_sig = link.sig_init(1 << 20);
+            let rec = unr_serve::rec_len(cfg.value_len);
+            let win = link.local_blk(0, cfg.slots_per_rank * rec, win_sig.key());
+            let windows = unr_serve::harness::exchange_pairwise(comm, 7, &win);
+            let base_live = link.signal_occupancy().0;
+            let mut svc = KvService::new(&link, cfg.clone(), windows, base_live);
+
+            barrier(comm);
+            // Submit PUTs without ever flushing: the coalescer buffers
+            // them and the admission probe must eventually say stop.
+            let mut agg_sheds = 0u64;
+            let mut issued = 0u64;
+            for i in 0..64u64 {
+                let arr = Arrival {
+                    at_ns: link.now_ns(),
+                    kind: OpKind::Put,
+                    key: i,
+                };
+                match svc.submit(&link, arr) {
+                    Ok(()) => issued += 1,
+                    Err(ServeError::Overloaded(OverloadCause::AggRing)) => agg_sheds += 1,
+                    Err(ServeError::Overloaded(_)) => {}
+                    Err(e) => panic!("unexpected serve error: {e}"),
+                }
+            }
+            // Now flush and drain: buffered puts and their deferred
+            // ack addends must all complete.
+            let deadline = link.now_ns() + 500 * MS;
+            while svc.inflight() > 0 {
+                assert!(link.now_ns() < deadline, "agg drain must not hang");
+                link.flush().expect("flush");
+                link.progress();
+                if svc.reap(&link) == 0 {
+                    link.sleep_ns(10_000);
+                }
+            }
+            barrier(comm);
+            (agg_sheds, issued, svc.tallies.sig_alloc_fails as usize)
+        });
+    for (agg_sheds, issued, alloc_fails) in sheds {
+        assert!(
+            agg_sheds > 0,
+            "agg backlog must trip the AggRing mark (issued {issued})"
+        );
+        assert!(issued > 0, "some puts must get through before the mark");
+        assert_eq!(alloc_fails, 0);
+    }
+}
+
+/// A quick end-to-end on the default engine config asserting the serve
+/// metrics made it into the shared registry with the right names.
+#[test]
+fn serve_metrics_are_registered_under_unr_serve() {
+    let run = run_simnet(&test_cfg(), UnrConfig::default(), 0xD3);
+    for name in [
+        "unr.serve.puts",
+        "unr.serve.gets",
+        "unr.serve.hits",
+        "unr.serve.misses",
+        "unr.serve.shed",
+        "unr.serve.replica_acks",
+        "unr.serve.sig_alloc_fails",
+    ] {
+        assert!(
+            run.snapshot.counter(name).is_some(),
+            "{name} missing from the registry"
+        );
+    }
+    assert!(
+        run.snapshot.get("unr.serve.request_ns").is_some(),
+        "latency histogram missing"
+    );
+    assert_eq!(run.snapshot.counter("unr.serve.puts"), Some(run.merged.puts));
+    assert_eq!(run.snapshot.counter("unr.serve.gets"), Some(run.merged.gets));
+}

@@ -144,6 +144,15 @@ impl Coalescer {
         self.rings.get(dst).is_some_and(|r| r.puts > 0)
     }
 
+    /// `(pending bytes, pending puts)` buffered for `dst` — the
+    /// admission controller's view of how backlogged one destination's
+    /// ring is. Out-of-range destinations report `(0, 0)`.
+    pub fn backlog(&self, dst: usize) -> (usize, usize) {
+        self.rings
+            .get(dst)
+            .map_or((0, 0), |r| (r.buf.len(), r.puts))
+    }
+
     /// Drain `dst`'s ring (empties it and clears its dirty mark).
     pub fn drain(&mut self, dst: usize) -> Option<AggFlush> {
         let ring = &mut self.rings[dst];

@@ -1403,6 +1403,27 @@ impl Unr {
         self.core.table.fingerprint()
     }
 
+    /// Signal-table occupancy probe: `(live signals, materialized slot
+    /// capacity)` — [`SignalTable::occupancy`]. Two relaxed loads, no
+    /// lock, no metric update: admission controllers (`unr-serve`) call
+    /// this before every allocation to shed load *before* signal-table
+    /// pressure can surface as an allocation failure, and a software
+    /// run that merely probes keeps a byte-identical metrics snapshot.
+    pub fn signal_occupancy(&self) -> (usize, usize) {
+        self.core.table.occupancy()
+    }
+
+    /// Bytes and puts buffered in the small-message coalescer's ring
+    /// for destination `dst` ([`Coalescer::backlog`]); `(0, 0)` when
+    /// aggregation is off. Takes the (uncontended) coalescer lock — the
+    /// caller is the same application rank that fills the ring.
+    pub fn agg_backlog(&self, dst: usize) -> (usize, usize) {
+        match &self.core.agg {
+            Some(m) => m.lock().backlog(dst),
+            None => (0, 0),
+        }
+    }
+
     /// The active progress mode.
     pub fn progress_mode(&self) -> ProgressMode {
         self.progress_mode

@@ -261,6 +261,10 @@ pub struct SignalTable {
     segs: [AtomicPtr<Slot>; NUM_SEGS],
     alloc: Mutex<AllocState>,
     live: AtomicUsize,
+    /// Total slots held by the published segments. Grows geometrically
+    /// as segments materialize; read with a relaxed load by the
+    /// occupancy probe (admission controllers poll it on every admit).
+    capacity: AtomicUsize,
     n_bits: u32,
     /// Bits of generation tag carried above the index in each key
     /// (0 on channels whose custom bits cannot spare any).
@@ -306,6 +310,7 @@ impl SignalTable {
                 next_idx: 1,
             }),
             live: AtomicUsize::new(0),
+            capacity: AtomicUsize::new(0),
             n_bits,
             gen_bits,
             gen_shift,
@@ -321,6 +326,24 @@ impl SignalTable {
     /// Number of live signals (diagnostics).
     pub fn live(&self) -> usize {
         self.live.load(Ordering::Relaxed)
+    }
+
+    /// Slots materialized by the published segments. The table grows
+    /// geometrically on demand, so this is the headroom already paid
+    /// for — not a hard limit; allocation past it publishes the next
+    /// segment.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// `(live, capacity)` occupancy probe for admission controllers.
+    ///
+    /// Both values are single relaxed atomic loads — cheap enough to
+    /// consult on every admit decision, and they never perturb the
+    /// table (no lock, no metric, no allocation), so seeded runs that
+    /// merely *probe* stay byte-identical.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.live(), self.capacity())
     }
 
     /// Width of the generation field in keys (diagnostics/tests).
@@ -374,6 +397,7 @@ impl SignalTable {
             .collect();
         let ptr = Box::into_raw(boxed) as *mut Slot;
         self.segs[seg].store(ptr, Ordering::Release);
+        self.capacity.fetch_add(len, Ordering::Relaxed);
         self.slot(idx as u64).expect("segment just published")
     }
 

@@ -15,6 +15,10 @@
 #   scripts/bench.sh --backend netfab     # TCP-loopback processes,
 #                                         #   gate .gate.netfab_full
 #   scripts/bench.sh --quick --backend netfab   # gate .gate.netfab_quick
+#   scripts/bench.sh --serve [--quick] [--backend netfab]
+#                                         # KV-service bench (serve-bench),
+#                                         #   gate .gate.serve_* /
+#                                         #   .gate.netfab_serve_*
 #
 # Deliberately dependency-free: JSON fields are pulled with sed/awk
 # (the emitted JSON is single-line with known key names), no jq.
@@ -23,10 +27,12 @@ cd "$(dirname "$0")/.."
 
 MODE=full
 BACKEND=simnet
+SERVE=0
 ARGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) MODE=quick; ARGS+=(--quick) ;;
+    --serve) SERVE=1 ;;
     --backend)
       shift
       [ $# -gt 0 ] || { echo "error: --backend needs a value (simnet|netfab)" >&2; exit 2; }
@@ -41,6 +47,73 @@ case "$BACKEND" in
   netfab) ARGS+=(--backend netfab) ;;
   *) echo "error: unknown backend '$BACKEND' (want simnet or netfab)" >&2; exit 2 ;;
 esac
+
+# ---------------------------------------------------------------------------
+# --serve: the unr-serve KV benchmark. Separate binary, separate JSON
+# line (BENCH_SERVE_JSON), separate gate keys (serve_full / serve_quick
+# / netfab_serve_*) — same 80% floor and the same hard-fail rule: once
+# the benchmark emits its JSON, a missing reference key is an error,
+# not a skip.
+# ---------------------------------------------------------------------------
+if [ "$SERVE" = 1 ]; then
+  SERVE_GATE_KEY="serve_$MODE"
+  SERVE_OUT=BENCH_SERVE.json
+  if [ "$BACKEND" = netfab ]; then
+    SERVE_GATE_KEY="netfab_serve_$MODE"
+    SERVE_OUT=BENCH_SERVE_netfab.json
+  fi
+  OUT_DIR=target/bench
+  mkdir -p "$OUT_DIR"
+  RAW="$OUT_DIR/serve_${BACKEND}_$MODE.txt"
+  FRESH="$OUT_DIR/$SERVE_OUT"
+
+  echo "== serve ($BACKEND, $MODE)"
+  cargo run --release -q -p unr-serve --bin serve-bench -- "${ARGS[@]}" | tee "$RAW"
+
+  grep '^BENCH_SERVE_JSON ' "$RAW" | sed 's/^BENCH_SERVE_JSON //' > "$FRESH" || true
+  if [ ! -s "$FRESH" ]; then
+    echo "error: no BENCH_SERVE_JSON line in serve-bench output ($RAW)." >&2
+    exit 1
+  fi
+  echo "wrote $FRESH"
+
+  # Sanity invariants the service must hold on every run, bench included.
+  fails=$(grep -o '"sig_alloc_fails":[0-9]*' "$FRESH" | head -n1 | cut -d: -f2)
+  if [ -n "$fails" ] && [ "$fails" != 0 ]; then
+    echo "FAIL: serve run leaked $fails signal allocation failures to clients" >&2
+    exit 1
+  fi
+
+  fresh_ops=$(grep -o '"ops_per_sec":[0-9.]*' "$FRESH" | head -n1 | cut -d: -f2)
+  [ -n "$fresh_ops" ] || { echo "error: ops_per_sec missing from $FRESH" >&2; exit 1; }
+  p99=$(grep -o '"lat_p99_ns":[0-9.]*' "$FRESH" | head -n1 | cut -d: -f2)
+  echo "serve: $fresh_ops ops/sec, p99 ${p99:-?} ns"
+
+  BASELINE=BENCH_PERF.json
+  if [ ! -f "$BASELINE" ]; then
+    echo "no checked-in $BASELINE — skipping serve regression gate"
+    exit 0
+  fi
+  serve_base=$(sed -n 's/.*"gate": *{[^}]*"'"$SERVE_GATE_KEY"'": *\([0-9.]*\).*/\1/p' "$BASELINE")
+  if [ -z "$serve_base" ]; then
+    echo "error: serve-bench emitted BENCH_SERVE_JSON but $BASELINE has no" >&2
+    echo "       gate.$SERVE_GATE_KEY reference. Run this script on the reference" >&2
+    echo "       machine and add the measured ops_per_sec under that key." >&2
+    exit 1
+  fi
+  echo "gate: $fresh_ops serve ops/sec vs reference $serve_base ($SERVE_GATE_KEY, 20% tolerance)"
+  awk -v fresh="$fresh_ops" -v base="$serve_base" 'BEGIN {
+    floor = 0.80 * base;
+    if (fresh < floor) {
+      printf "FAIL: %.1f serve ops/sec is below the regression floor %.1f (80%% of %.1f)\n",
+             fresh, floor, base;
+      exit 1;
+    }
+    printf "OK: %.1f serve ops/sec >= floor %.1f (%.2fx of reference)\n",
+           fresh, floor, fresh / base;
+  }'
+  exit 0
+fi
 
 # Gate key inside the baseline's "gate" object; netfab runs gate
 # against their own reference (different machine physics entirely).
